@@ -1,0 +1,29 @@
+//! Benchmark applications and evaluation metrics (paper §VI).
+//!
+//! The paper evaluates instruction sets on four application classes that
+//! "cover the main types of circuits studied for QC systems":
+//!
+//! * **Quantum Volume (QV)** — random SU(4) layers ([`workloads::qv_circuit`]),
+//!   scored by heavy-output probability ([`metrics::heavy_output_probability`]).
+//! * **QAOA MaxCut** — random ZZ cost layers interleaved with X mixers
+//!   ([`workloads::qaoa_circuit`]), scored by cross-entropy difference
+//!   ([`metrics::cross_entropy_difference`]).
+//! * **1-D Fermi–Hubbard Trotter steps** ([`workloads::fermi_hubbard_circuit`]),
+//!   scored by linear XEB fidelity ([`metrics::linear_xeb_fidelity`]).
+//! * **QFT** ([`workloads::qft_echo_circuit`]), scored by success rate
+//!   ([`metrics::success_rate`]).
+//!
+//! [`workloads`] also exposes pools of *two-qubit unitaries* drawn from each
+//! application (QV, QAOA, QFT, FH, SWAP) for the Fig. 8 expressivity heatmaps.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod workloads;
+
+pub use metrics::{
+    cross_entropy_difference, heavy_output_probability, linear_xeb_fidelity, success_rate,
+};
+pub use workloads::{
+    fermi_hubbard_circuit, qaoa_circuit, qft_circuit, qft_echo_circuit, qv_circuit, Workload,
+};

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the simulation and compilation substrate:
+//! state-vector scaling, noisy trajectories, and the end-to-end pipeline
+//! kernels behind Figs. 9-10.
+
+use bench::{qaoa_suite, qv_suite};
+use compiler::{compile, CompilerOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use device::DeviceModel;
+use gates::InstructionSet;
+use qmath::RngSeed;
+use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+
+fn bench_statevector_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ideal_simulation");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let circuit = apps::workloads::qv_circuit(n, RngSeed(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circ| {
+            b.iter(|| IdealSimulator::probabilities(circ))
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_trajectories(c: &mut Criterion) {
+    let device = DeviceModel::sycamore(RngSeed(1));
+    let region: Vec<usize> = (0..4).collect();
+    let sub = device.subdevice(&region);
+    let circuit = apps::workloads::qaoa_circuit(4, RngSeed(2));
+    let noise = NoiseModel::from_device(&sub);
+    let sim = NoisySimulator::new(noise);
+    let mut group = c.benchmark_group("noisy_simulation");
+    group.sample_size(10);
+    for shots in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(shots), &shots, |b, &shots| {
+            b.iter(|| sim.run(&circuit, shots, RngSeed(3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_pipeline(c: &mut Criterion) {
+    let device = DeviceModel::aspen8(RngSeed(4));
+    let suite = qv_suite(3, 1, RngSeed(5));
+    let options = CompilerOptions::sweep();
+    let mut group = c.benchmark_group("compile_pipeline");
+    group.sample_size(10);
+    for set in [InstructionSet::s(3), InstructionSet::r(5)] {
+        group.bench_with_input(BenchmarkId::new("qv3", set.name()), &set, |b, set| {
+            b.iter(|| compile(&suite[0].circuit, &device, set, &options))
+        });
+    }
+    let qaoa = qaoa_suite(3, 1, RngSeed(6));
+    group.bench_function("qaoa3_G3", |b| {
+        b.iter(|| compile(&qaoa[0].circuit, &device, &InstructionSet::g(3), &options))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector_scaling,
+    bench_noisy_trajectories,
+    bench_compile_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 6: hardware gate counts of the Cirq-style KAK baseline vs NuOp at
+//! several approximation levels (100%, 99.9%, 99%, 95%), averaged over QV,
+//! QAOA and QFT unitaries, for CZ / SYC / iSWAP / sqrt(iSWAP) targets.
+
+use apps::workloads::{qaoa_unitaries, qft_unitaries, qv_unitaries};
+use bench::Scale;
+use gates::GateType;
+use nuop_core::{decompose_approx, decompose_fixed, DecomposeConfig};
+use qmath::{CMatrix, RngSeed};
+use synth::{cirq_gate_count, CirqTargetGate};
+
+fn mean_counts(
+    unitaries: &[CMatrix],
+    gate: &GateType,
+    cirq_gate: CirqTargetGate,
+    cfg: &DecomposeConfig,
+) -> (Option<f64>, [f64; 4]) {
+    let mut cirq_total = 0usize;
+    let mut cirq_supported = true;
+    let mut nuop = [0.0f64; 4]; // 100%, 99.9%, 99%, 95%
+    for u in unitaries {
+        match cirq_gate_count(u, cirq_gate) {
+            Some(c) => cirq_total += c,
+            None => cirq_supported = false,
+        }
+        nuop[0] += decompose_fixed(u, gate, cfg).layers as f64;
+        for (slot, hw_fid) in [(1usize, 0.999f64), (2, 0.99), (3, 0.95)] {
+            nuop[slot] += decompose_approx(u, gate, hw_fid, cfg).layers as f64;
+        }
+    }
+    let n = unitaries.len() as f64;
+    (
+        if cirq_supported { Some(cirq_total as f64 / n) } else { None },
+        [nuop[0] / n, nuop[1] / n, nuop[2] / n, nuop[3] / n],
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let per_app = scale.pick(5, 100);
+    let cfg = match scale {
+        Scale::Small => DecomposeConfig::sweep(),
+        Scale::Paper => DecomposeConfig::default(),
+    };
+    let seed = RngSeed(0xF6);
+
+    let mut pool: Vec<CMatrix> = Vec::new();
+    pool.extend(qv_unitaries(per_app, seed.child(1)));
+    pool.extend(qaoa_unitaries(per_app, seed.child(2)));
+    pool.extend(qft_unitaries(6).into_iter().take(per_app));
+
+    println!("Figure 6: Cirq baseline vs NuOp gate counts ({} unitaries)", pool.len());
+    println!(
+        "{:<12} {:>8} {:>10} {:>11} {:>10} {:>10}",
+        "target", "Cirq", "NuOp-100%", "NuOp-99.9%", "NuOp-99%", "NuOp-95%"
+    );
+    for (gate, cirq_gate) in [
+        (GateType::cz(), CirqTargetGate::Cz),
+        (GateType::syc(), CirqTargetGate::Syc),
+        (GateType::iswap(), CirqTargetGate::Iswap),
+        (GateType::sqrt_iswap(), CirqTargetGate::SqrtIswap),
+    ] {
+        let (cirq, nuop) = mean_counts(&pool, &gate, cirq_gate, &cfg);
+        let cirq_str = cirq.map(|c| format!("{c:.2}")).unwrap_or_else(|| "n/a".to_string());
+        println!(
+            "{:<12} {:>8} {:>10.2} {:>11.2} {:>10.2} {:>10.2}",
+            gate.name(),
+            cirq_str,
+            nuop[0],
+            nuop[1],
+            nuop[2],
+            nuop[3]
+        );
+    }
+    println!("\nExpected shape (paper Fig. 6): NuOp-100% matches or beats the Cirq/KAK");
+    println!("baseline (notably 3 vs 6 for SYC), approximation lowers counts further,");
+    println!("and Cirq has no sqrt_iSWAP decomposition for generic (QV) unitaries.");
+}

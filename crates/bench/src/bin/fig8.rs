@@ -1,0 +1,54 @@
+//! Figure 8: expressivity heatmaps -- average two-qubit gate count needed to
+//! decompose QV / QAOA / QFT / FH / SWAP unitaries into each point of the
+//! fSim(theta, phi) parameter plane.
+
+use apps::workloads::{unitary_pool, Workload};
+use bench::Scale;
+use gates::fsim::grid;
+use gates::GateType;
+use nuop_core::{decompose_fixed, DecomposeConfig};
+use qmath::RngSeed;
+
+fn main() {
+    let scale = Scale::from_args();
+    // Paper: 19x19 grid, 1000 QV + 1000 QAOA + 10 QFT + 60 FH unitaries.
+    let grid_n = scale.pick(7, 19);
+    let pool_size = scale.pick(4, 60);
+    let cfg = DecomposeConfig::sweep();
+    let seed = RngSeed(0xF8);
+
+    println!("Figure 8: average two-qubit gate count over the fSim(theta, phi) plane");
+    println!("grid: {grid_n}x{grid_n}, unitaries per workload: {pool_size}");
+    println!("CSV columns: workload,theta,phi,mean_gate_count");
+    for workload in Workload::all() {
+        let pool = unitary_pool(workload, pool_size, seed.child(workload as u64));
+        for point in grid(grid_n, grid_n) {
+            let gate = GateType::from_fsim(
+                format!("fSim({:.3},{:.3})", point.theta, point.phi),
+                point.theta,
+                point.phi,
+            );
+            let mean: f64 = pool
+                .iter()
+                .map(|u| {
+                    let d = decompose_fixed(u, &gate, &cfg);
+                    if d.decomposition_fidelity >= cfg.fidelity_threshold {
+                        d.layers as f64
+                    } else {
+                        // The target is not expressible with this gate type
+                        // within the layer budget (e.g. entangling targets at
+                        // the identity corner of the plane): censor at the
+                        // budget, mirroring the paper's saturated color scale.
+                        (cfg.max_layers + 1) as f64
+                    }
+                })
+                .sum::<f64>()
+                / pool.len() as f64;
+            println!("{},{:.4},{:.4},{:.3}", workload.name(), point.theta, point.phi, mean);
+        }
+    }
+    eprintln!("\nExpected shape (paper Fig. 8): QV unitaries are cheapest near");
+    eprintln!("fSim(5pi/12,0) and fSim(pi/6,pi) (~2 gates); QAOA near CZ and iSWAP;");
+    eprintln!("FH near sqrt_iSWAP; SWAP costs 3 gates over most of the plane but 1 at");
+    eprintln!("fSim(pi/2,pi).");
+}

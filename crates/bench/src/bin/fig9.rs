@@ -1,0 +1,45 @@
+//! Figure 9: application reliability on the Rigetti Aspen-8 model for
+//! single-type sets (S2-S6), Rigetti multi-type sets (R1-R5) and FullXY.
+//! (a) 3-qubit QV HOP, (b) 4-qubit QAOA XED, (c) 3-qubit QFT success rate.
+
+use bench::{evaluate_set, print_results, qaoa_suite, qft_suite, qv_suite, Metric, Scale};
+use device::DeviceModel;
+use gates::InstructionSet;
+use qmath::RngSeed;
+
+fn rigetti_sets() -> Vec<InstructionSet> {
+    let mut sets: Vec<InstructionSet> = (2..=6).map(InstructionSet::s).collect();
+    sets.extend((1..=5).map(InstructionSet::r));
+    sets.push(InstructionSet::full_xy());
+    sets
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let circuits = scale.pick(4, 100);
+    let qft_instances = scale.pick(2, 1);
+    let shots = scale.pick(300, 10000);
+    let seed = RngSeed(0xF9);
+    let device = DeviceModel::aspen8(seed.child(0));
+    let options = scale.compiler_options();
+
+    let experiments = [
+        ("(a) 3-qubit QV on Aspen-8", Metric::Hop, qv_suite(3, circuits, seed.child(1))),
+        ("(b) 4-qubit QAOA on Aspen-8", Metric::Xed, qaoa_suite(4, circuits, seed.child(2))),
+        (
+            "(c) 3-qubit QFT on Aspen-8",
+            Metric::SuccessRate,
+            qft_suite(3, qft_instances.max(1), seed.child(3)),
+        ),
+    ];
+    for (title, metric, suite) in experiments {
+        let results: Vec<_> = rigetti_sets()
+            .iter()
+            .map(|set| evaluate_set(&suite, &device, set, &options, shots, seed.child(7)))
+            .collect();
+        print_results(title, metric, &results);
+    }
+    println!("\nExpected shape (paper Fig. 9): multi-type sets R1-R5 beat the");
+    println!("single-type sets; only R3-R5 cross the HOP=2/3 threshold; R5 (native");
+    println!("SWAP) approaches FullXY in both reliability and instruction count.");
+}

@@ -1,0 +1,305 @@
+//! Shared experiment harness for the per-figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! They share this harness: benchmark-suite construction, the
+//! compile → simulate → score loop, and plain-text/CSV reporting.
+//!
+//! All binaries accept `--scale small|paper` (default `small`): `small` runs
+//! laptop-sized versions of each experiment (fewer circuits, fewer shots,
+//! coarser grids) in seconds-to-minutes; `paper` uses the circuit counts and
+//! shot counts reported in §VI.
+
+#![warn(missing_docs)]
+
+use apps::workloads::{fermi_hubbard_circuit, qaoa_circuit, qft_echo_circuit, qv_circuit};
+use apps::{cross_entropy_difference, heavy_output_probability, linear_xeb_fidelity, success_rate};
+use circuit::Circuit;
+use compiler::{compile, CompiledCircuit, CompilerOptions};
+use device::DeviceModel;
+use gates::InstructionSet;
+use qmath::RngSeed;
+use serde::{Deserialize, Serialize};
+use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Laptop-sized: few circuits, few shots, coarse grids.
+    Small,
+    /// The paper's configuration (100 circuits per benchmark, 10000 shots).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale small|paper` from the process arguments (default Small).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for window in args.windows(2) {
+            if window[0] == "--scale" && window[1].eq_ignore_ascii_case("paper") {
+                return Scale::Paper;
+            }
+        }
+        Scale::Small
+    }
+
+    /// Picks the small or paper value.
+    pub fn pick(&self, small: usize, paper: usize) -> usize {
+        match self {
+            Scale::Small => small,
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Number of random circuits per benchmark.
+    pub fn circuits(&self) -> usize {
+        self.pick(8, 100)
+    }
+
+    /// Number of measurement shots per circuit.
+    pub fn shots(&self) -> usize {
+        self.pick(500, 10000)
+    }
+
+    /// Compiler options (cheaper optimizer at small scale).
+    pub fn compiler_options(&self) -> CompilerOptions {
+        match self {
+            Scale::Small => CompilerOptions::sweep(),
+            Scale::Paper => CompilerOptions::default(),
+        }
+    }
+}
+
+/// Which metric scores a benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Heavy-output probability (QV).
+    Hop,
+    /// Cross-entropy difference (QAOA).
+    Xed,
+    /// Linear XEB fidelity (Fermi–Hubbard).
+    Xeb,
+    /// Success rate (QFT echo).
+    SuccessRate,
+}
+
+impl Metric {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Hop => "HOP",
+            Metric::Xed => "XED",
+            Metric::Xeb => "XEB fidelity",
+            Metric::SuccessRate => "success rate",
+        }
+    }
+}
+
+/// One benchmark circuit plus the data needed to score it.
+#[derive(Debug, Clone)]
+pub struct BenchCircuit {
+    /// The logical (device-independent) circuit.
+    pub circuit: Circuit,
+    /// Metric used to score it.
+    pub metric: Metric,
+    /// Expected outcome for success-rate benchmarks.
+    pub expected_outcome: Option<usize>,
+}
+
+/// Builds the QV benchmark suite: `count` random `n`-qubit QV circuits.
+pub fn qv_suite(n: usize, count: usize, seed: RngSeed) -> Vec<BenchCircuit> {
+    (0..count)
+        .map(|i| BenchCircuit {
+            circuit: qv_circuit(n, seed.child(i as u64)),
+            metric: Metric::Hop,
+            expected_outcome: None,
+        })
+        .collect()
+}
+
+/// Builds the QAOA benchmark suite.
+pub fn qaoa_suite(n: usize, count: usize, seed: RngSeed) -> Vec<BenchCircuit> {
+    (0..count)
+        .map(|i| BenchCircuit {
+            circuit: qaoa_circuit(n, seed.child(i as u64)),
+            metric: Metric::Xed,
+            expected_outcome: None,
+        })
+        .collect()
+}
+
+/// Builds the QFT-echo benchmark suite (the paper uses one QFT circuit per
+/// size; we allow several random input states).
+pub fn qft_suite(n: usize, count: usize, seed: RngSeed) -> Vec<BenchCircuit> {
+    (0..count)
+        .map(|i| {
+            let (circuit, expected) = qft_echo_circuit(n, seed.child(i as u64));
+            BenchCircuit {
+                circuit,
+                metric: Metric::SuccessRate,
+                expected_outcome: Some(expected),
+            }
+        })
+        .collect()
+}
+
+/// Builds the Fermi–Hubbard benchmark suite.
+pub fn fh_suite(n: usize, count: usize, seed: RngSeed) -> Vec<BenchCircuit> {
+    (0..count)
+        .map(|i| BenchCircuit {
+            circuit: fermi_hubbard_circuit(n, seed.child(i as u64)),
+            metric: Metric::Xeb,
+            expected_outcome: None,
+        })
+        .collect()
+}
+
+/// Result of evaluating one instruction set on one benchmark suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetResult {
+    /// Instruction-set name.
+    pub set: String,
+    /// Mean metric value across circuits (higher is better).
+    pub mean_metric: f64,
+    /// Mean number of two-qubit hardware gates per compiled circuit.
+    pub mean_two_qubit_gates: f64,
+    /// Mean routing SWAPs inserted per circuit.
+    pub mean_swaps: f64,
+    /// Mean estimated circuit fidelity from the compiler's model.
+    pub mean_estimated_fidelity: f64,
+}
+
+/// Compiles, simulates and scores one benchmark circuit.
+pub fn run_circuit(
+    bench: &BenchCircuit,
+    device: &DeviceModel,
+    set: &InstructionSet,
+    options: &CompilerOptions,
+    shots: usize,
+    seed: RngSeed,
+) -> (f64, CompiledCircuit) {
+    let compiled = compile(&bench.circuit, device, set, options);
+    let noise = NoiseModel::from_device(&compiled.subdevice);
+    let counts = NoisySimulator::new(noise).run(&compiled.circuit, shots, seed);
+    let logical = compiled.logical_counts(&counts);
+    let ideal = IdealSimulator::probabilities(&bench.circuit.without_measurements());
+    let metric = match bench.metric {
+        Metric::Hop => heavy_output_probability(&logical, &ideal),
+        Metric::Xed => cross_entropy_difference(&logical, &ideal),
+        Metric::Xeb => linear_xeb_fidelity(&logical, &ideal),
+        Metric::SuccessRate => {
+            success_rate(&logical, bench.expected_outcome.expect("expected outcome set"))
+        }
+    };
+    (metric, compiled)
+}
+
+/// Evaluates an instruction set over a whole suite.
+pub fn evaluate_set(
+    suite: &[BenchCircuit],
+    device: &DeviceModel,
+    set: &InstructionSet,
+    options: &CompilerOptions,
+    shots: usize,
+    seed: RngSeed,
+) -> SetResult {
+    assert!(!suite.is_empty(), "benchmark suite must not be empty");
+    let mut metric_sum = 0.0;
+    let mut gate_sum = 0.0;
+    let mut swap_sum = 0.0;
+    let mut fid_sum = 0.0;
+    for (i, bench) in suite.iter().enumerate() {
+        let (metric, compiled) = run_circuit(bench, device, set, options, shots, seed.child(i as u64));
+        metric_sum += metric;
+        gate_sum += compiled.two_qubit_gate_count() as f64;
+        swap_sum += compiled.swap_count as f64;
+        fid_sum += compiled.pass_stats.estimated_circuit_fidelity;
+    }
+    let n = suite.len() as f64;
+    SetResult {
+        set: set.name().to_string(),
+        mean_metric: metric_sum / n,
+        mean_two_qubit_gates: gate_sum / n,
+        mean_swaps: swap_sum / n,
+        mean_estimated_fidelity: fid_sum / n,
+    }
+}
+
+/// Prints a results table in the style of the paper's bar-chart annotations
+/// (metric value plus the two-qubit instruction count above each bar).
+pub fn print_results(title: &str, metric: Metric, results: &[SetResult]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10} {:>12}",
+        "set",
+        metric.name(),
+        "2Q gates",
+        "SWAPs",
+        "est. fid."
+    );
+    for r in results {
+        println!(
+            "{:<10} {:>14.4} {:>12.1} {:>10.1} {:>12.4}",
+            r.set, r.mean_metric, r.mean_two_qubit_gates, r.mean_swaps, r.mean_estimated_fidelity
+        );
+    }
+}
+
+/// Prints results as CSV (for plotting).
+pub fn print_csv(metric: Metric, results: &[SetResult]) {
+    println!("set,{},two_qubit_gates,swaps,estimated_fidelity", metric.name().replace(' ', "_"));
+    for r in results {
+        println!(
+            "{},{:.6},{:.3},{:.3},{:.6}",
+            r.set, r.mean_metric, r.mean_two_qubit_gates, r.mean_swaps, r.mean_estimated_fidelity
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks_values() {
+        assert_eq!(Scale::Small.pick(3, 100), 3);
+        assert_eq!(Scale::Paper.pick(3, 100), 100);
+        assert!(Scale::Small.shots() < Scale::Paper.shots());
+    }
+
+    #[test]
+    fn suites_have_requested_sizes_and_metrics() {
+        let qv = qv_suite(3, 4, RngSeed(1));
+        assert_eq!(qv.len(), 4);
+        assert!(qv.iter().all(|b| b.metric == Metric::Hop));
+        let qft = qft_suite(3, 2, RngSeed(2));
+        assert!(qft.iter().all(|b| b.expected_outcome.is_some()));
+        let fh = fh_suite(4, 2, RngSeed(3));
+        assert!(fh.iter().all(|b| b.metric == Metric::Xeb));
+        let qaoa = qaoa_suite(4, 2, RngSeed(4));
+        assert!(qaoa.iter().all(|b| b.metric == Metric::Xed));
+    }
+
+    #[test]
+    fn evaluate_set_produces_sane_numbers() {
+        let device = DeviceModel::aspen8(RngSeed(5));
+        let suite = qaoa_suite(3, 2, RngSeed(6));
+        let result = evaluate_set(
+            &suite,
+            &device,
+            &InstructionSet::s(3),
+            &CompilerOptions::sweep(),
+            200,
+            RngSeed(7),
+        );
+        assert_eq!(result.set, "S3");
+        assert!(result.mean_two_qubit_gates >= suite[0].circuit.two_qubit_gate_count() as f64);
+        assert!(result.mean_estimated_fidelity > 0.0 && result.mean_estimated_fidelity <= 1.0);
+        assert!(result.mean_metric.is_finite());
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(Metric::Hop.name(), "HOP");
+        assert_eq!(Metric::SuccessRate.name(), "success rate");
+    }
+}

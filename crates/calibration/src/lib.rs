@@ -1,0 +1,202 @@
+//! Calibration-overhead model (paper §IX, Fig. 11).
+//!
+//! The paper adopts the fSim calibration procedure of Foxen et al. (where 525
+//! gate types were calibrated on two qubits) and models the cost of keeping a
+//! multi-type instruction set calibrated:
+//!
+//! * every gate type on every coupled qubit pair must be calibrated
+//!   individually (CPHASE angle sweep, iSWAP-angle sweep, pulse construction,
+//!   unitary tomography) and then *characterized* by running a large number of
+//!   cross-entropy-benchmarking (XEB) circuits;
+//! * the number of calibration circuits therefore grows linearly with both the
+//!   number of gate types and the number of coupled pairs (≈ device size);
+//! * wall-clock calibration time grows linearly in the number of gate types
+//!   (the paper conservatively assumes ≈2 hours per additional two-qubit gate
+//!   type on top of the per-device baseline).
+//!
+//! A continuous gate family corresponds to an effectively unbounded number of
+//! types; following Foxen et al. the model prices it as the 525-point grid
+//! actually calibrated in that work, which is what makes the discrete 4–8 type
+//! sets of the paper two orders of magnitude cheaper.
+
+#![warn(missing_docs)]
+
+use gates::InstructionSet;
+use serde::{Deserialize, Serialize};
+
+/// Number of fSim parameter combinations Foxen et al. calibrated to cover the
+/// continuous family; used to price `FullXY` / `FullfSim`.
+pub const CONTINUOUS_FAMILY_COMBINATIONS: usize = 525;
+
+/// The calibration-cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationModel {
+    /// Circuits per calibration stage (angle sweeps, tomography points).
+    pub circuits_per_stage: usize,
+    /// Number of calibration stages per gate type per pair (CPHASE sweep,
+    /// iSWAP sweep, θ tune-up, pulse construction, unitary tomography).
+    pub stages: usize,
+    /// XEB characterization rounds per gate type per pair.
+    pub xeb_rounds: usize,
+    /// Circuits per XEB round.
+    pub circuits_per_xeb_round: usize,
+    /// Wall-clock hours per additional two-qubit gate type (whole device,
+    /// calibrated in parallel across pairs).
+    pub hours_per_gate_type: f64,
+    /// Baseline hours per calibration cycle (electronics, qubit frequencies,
+    /// single-qubit gates, readout).
+    pub baseline_hours: f64,
+}
+
+impl Default for CalibrationModel {
+    fn default() -> Self {
+        CalibrationModel {
+            circuits_per_stage: 200,
+            stages: 5,
+            xeb_rounds: 1000,
+            circuits_per_xeb_round: 10,
+            hours_per_gate_type: 2.0,
+            baseline_hours: 2.0,
+        }
+    }
+}
+
+impl CalibrationModel {
+    /// Calibration + characterization circuits for a single gate type on a
+    /// single qubit pair.
+    pub fn circuits_per_type_per_pair(&self) -> usize {
+        self.circuits_per_stage * self.stages + self.xeb_rounds * self.circuits_per_xeb_round
+    }
+
+    /// Estimated number of coupled qubit pairs in a device of `num_qubits`
+    /// qubits (grid-like devices have ≈2 edges per qubit).
+    pub fn estimated_pairs(num_qubits: usize) -> usize {
+        match num_qubits {
+            0 | 1 => 0,
+            2 => 1,
+            n => 2 * n,
+        }
+    }
+
+    /// Total calibration circuits for `num_gate_types` gate types on a device
+    /// with `num_qubits` qubits (Fig. 11a).
+    pub fn total_circuits(&self, num_gate_types: usize, num_qubits: usize) -> f64 {
+        self.circuits_per_type_per_pair() as f64
+            * num_gate_types as f64
+            * Self::estimated_pairs(num_qubits) as f64
+    }
+
+    /// Wall-clock calibration hours for `num_gate_types` gate types (Fig. 11b).
+    pub fn hours(&self, num_gate_types: usize) -> f64 {
+        self.baseline_hours + self.hours_per_gate_type * num_gate_types as f64
+    }
+
+    /// Number of distinct gate types the model charges for an instruction set:
+    /// the set size for discrete sets, [`CONTINUOUS_FAMILY_COMBINATIONS`] for
+    /// continuous families.
+    pub fn effective_gate_types(&self, set: &InstructionSet) -> usize {
+        if set.is_continuous() {
+            CONTINUOUS_FAMILY_COMBINATIONS
+        } else {
+            set.gate_types().len()
+        }
+    }
+
+    /// Total calibration circuits for an instruction set on a device.
+    pub fn circuits_for_set(&self, set: &InstructionSet, num_qubits: usize) -> f64 {
+        self.total_circuits(self.effective_gate_types(set), num_qubits)
+    }
+
+    /// Wall-clock hours for an instruction set.
+    pub fn hours_for_set(&self, set: &InstructionSet) -> f64 {
+        self.hours(self.effective_gate_types(set))
+    }
+
+    /// Ratio of the continuous family's calibration cost to a discrete set's
+    /// cost — the paper's headline "two orders of magnitude" saving.
+    pub fn saving_versus_continuous(&self, set: &InstructionSet) -> f64 {
+        assert!(!set.is_continuous(), "saving is defined for discrete sets");
+        CONTINUOUS_FAMILY_COMBINATIONS as f64 / self.effective_gate_types(set) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuits_scale_linearly_in_types_and_size() {
+        let m = CalibrationModel::default();
+        let base = m.total_circuits(1, 54);
+        assert!((m.total_circuits(2, 54) - 2.0 * base).abs() < 1e-6);
+        assert!((m.total_circuits(1, 108) / base - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fig11a_orders_of_magnitude() {
+        let m = CalibrationModel::default();
+        // 54-qubit device, 10 gate types: ~10^7 circuits (paper Fig. 11a).
+        let c54 = m.total_circuits(10, 54);
+        assert!(c54 > 1e6 && c54 < 1e8, "c54 = {c54}");
+        // 1000-qubit device, a few hundred combinations: approaching 10^9.
+        let c1000 = m.total_circuits(100, 1000);
+        assert!(c1000 > 1e8, "c1000 = {c1000}");
+        // Two qubits, full continuous family (525 types): millions of circuits.
+        let c2 = m.total_circuits(CONTINUOUS_FAMILY_COMBINATIONS, 2);
+        assert!(c2 > 1e6, "c2 = {c2}");
+    }
+
+    #[test]
+    fn hours_grow_linearly_and_match_fig11b_range() {
+        let m = CalibrationModel::default();
+        assert!(m.hours(2) < m.hours(8));
+        // 2-8 gate types: single-digit to ~20 hours (Fig. 11b's y-axis).
+        assert!(m.hours(2) >= 4.0 && m.hours(8) <= 20.0, "{} {}", m.hours(2), m.hours(8));
+    }
+
+    #[test]
+    fn discrete_sets_save_two_orders_of_magnitude() {
+        let m = CalibrationModel::default();
+        for set in [InstructionSet::r(5), InstructionSet::g(7), InstructionSet::g(4)] {
+            let saving = m.saving_versus_continuous(&set);
+            assert!(saving >= 65.0, "{}: saving = {saving}", set.name());
+            let circuits_discrete = m.circuits_for_set(&set, 54);
+            let circuits_continuous = m.circuits_for_set(&InstructionSet::full_fsim(), 54);
+            assert!((circuits_continuous / circuits_discrete - saving).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn continuous_sets_are_priced_as_the_foxen_grid() {
+        let m = CalibrationModel::default();
+        assert_eq!(
+            m.effective_gate_types(&InstructionSet::full_fsim()),
+            CONTINUOUS_FAMILY_COMBINATIONS
+        );
+        assert_eq!(m.effective_gate_types(&InstructionSet::g(7)), 8);
+        assert_eq!(m.effective_gate_types(&InstructionSet::s(3)), 1);
+    }
+
+    #[test]
+    fn hours_for_sets_ordering() {
+        let m = CalibrationModel::default();
+        assert!(m.hours_for_set(&InstructionSet::s(1)) < m.hours_for_set(&InstructionSet::g(7)));
+        assert!(
+            m.hours_for_set(&InstructionSet::g(7)) < m.hours_for_set(&InstructionSet::full_fsim())
+        );
+    }
+
+    #[test]
+    fn tiny_devices_have_no_pairs() {
+        assert_eq!(CalibrationModel::estimated_pairs(0), 0);
+        assert_eq!(CalibrationModel::estimated_pairs(1), 0);
+        assert_eq!(CalibrationModel::estimated_pairs(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined for discrete sets")]
+    fn saving_for_continuous_set_panics() {
+        let m = CalibrationModel::default();
+        let _ = m.saving_versus_continuous(&InstructionSet::full_xy());
+    }
+}

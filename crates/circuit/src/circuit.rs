@@ -1,0 +1,352 @@
+//! The [`Circuit`] container.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qmath::CMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::embed::{embed_one_qubit, embed_two_qubit};
+use crate::moments::moments;
+use crate::ops::{OpKind, Operation, QubitId};
+
+/// An ordered sequence of operations over `n` qubits.
+///
+/// ```
+/// use circuit::{Circuit, Operation};
+/// let mut bell = Circuit::new(2);
+/// bell.push(Operation::h(0));
+/// bell.push(Operation::cnot(0, 1));
+/// assert_eq!(bell.len(), 2);
+/// assert_eq!(bell.two_qubit_gate_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    ///
+    /// # Panics
+    /// Panics if `num_qubits` is zero.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "a circuit needs at least one qubit");
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the circuit has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends an operation.
+    ///
+    /// # Panics
+    /// Panics if the operation references a qubit outside the register.
+    pub fn push(&mut self, op: Operation) {
+        for &q in op.qubits() {
+            assert!(q < self.num_qubits, "operation qubit {q} out of range (n={})", self.num_qubits);
+        }
+        self.ops.push(op);
+    }
+
+    /// Appends every operation of `other` (which must fit in this register).
+    pub fn append_circuit(&mut self, other: &Circuit) {
+        for op in other.iter() {
+            self.push(op.clone());
+        }
+    }
+
+    /// Iterates over operations in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operation> {
+        self.ops.iter()
+    }
+
+    /// The operations as a slice.
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of two-qubit unitary operations (the paper's primary instruction
+    /// count metric).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_two_qubit_unitary()).count()
+    }
+
+    /// Number of single-qubit unitary operations.
+    pub fn one_qubit_gate_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_one_qubit_unitary()).count()
+    }
+
+    /// Count of two-qubit operations per label (e.g. how many `CZ` vs `SYC`).
+    pub fn two_qubit_counts_by_label(&self) -> BTreeMap<String, usize> {
+        let mut map = BTreeMap::new();
+        for op in &self.ops {
+            if op.is_two_qubit_unitary() {
+                *map.entry(op.label().to_string()).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Circuit depth: the number of moments when operations are scheduled ASAP.
+    pub fn depth(&self) -> usize {
+        moments(self).len()
+    }
+
+    /// Depth counting only two-qubit gates (1Q gates are an order of magnitude
+    /// faster and less error-prone, so 2Q depth dominates decoherence).
+    pub fn two_qubit_depth(&self) -> usize {
+        let mut layer_of_qubit = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            if !op.is_two_qubit_unitary() {
+                continue;
+            }
+            let start = op.qubits().iter().map(|&q| layer_of_qubit[q]).max().unwrap_or(0);
+            let layer = start + 1;
+            for &q in op.qubits() {
+                layer_of_qubit[q] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Appends a measurement of every qubit.
+    pub fn measure_all(&mut self) {
+        let qubits: Vec<QubitId> = (0..self.num_qubits).collect();
+        self.push(Operation::measure(qubits));
+    }
+
+    /// True when the circuit ends with measurements (at least one).
+    pub fn has_measurements(&self) -> bool {
+        self.ops.iter().any(|o| o.is_measurement())
+    }
+
+    /// Returns the circuit without measurement and barrier operations.
+    pub fn without_measurements(&self) -> Circuit {
+        let mut c = Circuit::new(self.num_qubits);
+        for op in &self.ops {
+            match op.kind() {
+                OpKind::Measure | OpKind::Barrier => {}
+                _ => c.push(op.clone()),
+            }
+        }
+        c
+    }
+
+    /// The adjoint circuit: operations reversed and each inverted. Measurement
+    /// and barrier operations are dropped.
+    pub fn inverse(&self) -> Circuit {
+        let mut c = Circuit::new(self.num_qubits);
+        for op in self.ops.iter().rev() {
+            match op.kind() {
+                OpKind::Measure | OpKind::Barrier => {}
+                _ => c.push(op.inverse()),
+            }
+        }
+        c
+    }
+
+    /// The full `2^n × 2^n` unitary implemented by the circuit (ignoring
+    /// measurements and barriers).
+    ///
+    /// Intended for small circuits (tests, decomposition verification); the
+    /// cost is `O(len · 4^n)` memory and worse time.
+    ///
+    /// # Panics
+    /// Panics if `num_qubits > 12` to guard against accidental huge allocations.
+    pub fn unitary(&self) -> CMatrix {
+        assert!(
+            self.num_qubits <= 12,
+            "Circuit::unitary is intended for small circuits (n <= 12)"
+        );
+        let dim = 1usize << self.num_qubits;
+        let mut u = CMatrix::identity(dim);
+        for op in &self.ops {
+            let full = match op.kind() {
+                OpKind::Unitary1Q { matrix, .. } => {
+                    embed_one_qubit(matrix, op.qubits()[0], self.num_qubits)
+                }
+                OpKind::Unitary2Q { matrix, .. } => {
+                    embed_two_qubit(matrix, op.qubits()[0], op.qubits()[1], self.num_qubits)
+                }
+                OpKind::Measure | OpKind::Barrier => continue,
+            };
+            u = &full * &u;
+        }
+        u
+    }
+
+    /// Renames qubits according to `mapping` (`mapping[logical] = physical`),
+    /// producing a circuit over `new_num_qubits` qubits.
+    ///
+    /// # Panics
+    /// Panics if the mapping is shorter than the register or maps outside
+    /// `new_num_qubits`.
+    pub fn remapped(&self, mapping: &[QubitId], new_num_qubits: usize) -> Circuit {
+        assert!(mapping.len() >= self.num_qubits, "mapping too short");
+        let mut c = Circuit::new(new_num_qubits);
+        for op in &self.ops {
+            let new_qubits: Vec<QubitId> = op.qubits().iter().map(|&q| mapping[q]).collect();
+            c.push(op.retargeted(new_qubits));
+        }
+        c
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Circuit({} qubits, {} ops)", self.num_qubits, self.ops.len())?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+impl Extend<Operation> for Circuit {
+    fn extend<T: IntoIterator<Item = Operation>>(&mut self, iter: T) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::standard;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(0));
+        c.push(Operation::cnot(0, 1));
+        c
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let mut c = Circuit::new(3);
+        c.push(Operation::h(0));
+        c.push(Operation::h(1));
+        c.push(Operation::cz(0, 1));
+        c.push(Operation::cz(1, 2));
+        c.push(Operation::h(2));
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.one_qubit_gate_count(), 3);
+        // H(0), H(1) in moment 0; CZ(0,1) in moment 1; CZ(1,2) in moment 2;
+        // H(2) follows CZ(1,2) in program order, so it lands in moment 3.
+        assert_eq!(c.depth(), 4);
+        assert_eq!(c.two_qubit_depth(), 2);
+    }
+
+    #[test]
+    fn label_counts() {
+        let mut c = Circuit::new(2);
+        c.push(Operation::cz(0, 1));
+        c.push(Operation::cz(0, 1));
+        c.push(Operation::swap(0, 1));
+        let counts = c.two_qubit_counts_by_label();
+        assert_eq!(counts["CZ"], 2);
+        assert_eq!(counts["SWAP"], 1);
+    }
+
+    #[test]
+    fn bell_unitary_is_correct() {
+        let u = bell().unitary();
+        // First column should be (1/sqrt2, 0, 0, 1/sqrt2).
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((u[(0, 0)].re - s).abs() < 1e-12);
+        assert!((u[(3, 0)].re - s).abs() < 1e-12);
+        assert!(u[(1, 0)].norm() < 1e-12);
+        assert!(u[(2, 0)].norm() < 1e-12);
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn inverse_circuit_gives_identity() {
+        let c = bell();
+        let mut both = c.clone();
+        both.append_circuit(&c.inverse());
+        let u = both.unitary();
+        assert!(u.approx_eq(&CMatrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn unitary_ignores_measurements() {
+        let mut c = bell();
+        c.measure_all();
+        assert!(c.has_measurements());
+        assert!(c.unitary().approx_eq(&bell().unitary(), 1e-12));
+        assert!(!c.without_measurements().has_measurements());
+    }
+
+    #[test]
+    fn remap_moves_operations() {
+        let c = bell();
+        let mapped = c.remapped(&[2, 0], 3);
+        assert_eq!(mapped.num_qubits(), 3);
+        assert_eq!(mapped.operations()[0].qubits(), &[2]);
+        assert_eq!(mapped.operations()[1].qubits(), &[2, 0]);
+    }
+
+    #[test]
+    fn gate_order_matters_in_unitary() {
+        let mut a = Circuit::new(1);
+        a.push(Operation::unitary1q("X", standard::x(), 0));
+        a.push(Operation::unitary1q("S", standard::s(), 0));
+        let mut b = Circuit::new(1);
+        b.push(Operation::unitary1q("S", standard::s(), 0));
+        b.push(Operation::unitary1q("X", standard::x(), 0));
+        assert!(!a.unitary().approx_eq(&b.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn extend_trait_and_intoiter() {
+        let mut c = Circuit::new(2);
+        c.extend(vec![Operation::h(0), Operation::cz(0, 1)]);
+        assert_eq!(c.len(), 2);
+        let labels: Vec<&str> = (&c).into_iter().map(|o| o.label()).collect();
+        assert_eq!(labels, vec!["H", "CZ"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pushing_out_of_range_op_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(5));
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let text = format!("{}", bell());
+        assert!(text.contains("CNOT"));
+        assert!(text.contains("2 qubits"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Embedding small operators into an `n`-qubit register operator.
+//!
+//! The convention throughout the workspace is big-endian: qubit 0 is the most
+//! significant bit of a basis-state index. A basis index `b` of an `n`-qubit
+//! register therefore decomposes as `b = q0 q1 … q_{n-1}` in binary.
+
+use qmath::{CMatrix, Complex};
+
+use crate::ops::QubitId;
+
+/// Extracts bit `qubit` (big-endian) from basis index `idx` of an `n`-qubit register.
+#[inline]
+pub(crate) fn bit_of(idx: usize, qubit: QubitId, n: usize) -> usize {
+    (idx >> (n - 1 - qubit)) & 1
+}
+
+/// Sets bit `qubit` (big-endian) of basis index `idx` to `value`.
+#[inline]
+pub(crate) fn with_bit(idx: usize, qubit: QubitId, n: usize, value: usize) -> usize {
+    let shift = n - 1 - qubit;
+    (idx & !(1 << shift)) | (value << shift)
+}
+
+/// Embeds a 2×2 operator acting on `qubit` into the full `2^n × 2^n` operator.
+///
+/// # Panics
+/// Panics if `qubit >= n` or the matrix is not 2×2.
+pub fn embed_one_qubit(gate: &CMatrix, qubit: QubitId, n: usize) -> CMatrix {
+    assert!(qubit < n, "qubit index out of range");
+    assert_eq!(gate.rows(), 2, "expected a 2x2 matrix");
+    let dim = 1usize << n;
+    let mut out = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        let cb = bit_of(col, qubit, n);
+        for rb in 0..2 {
+            let row = with_bit(col, qubit, n, rb);
+            let amp = gate[(rb, cb)];
+            if amp != Complex::ZERO {
+                out[(row, col)] += amp;
+            }
+        }
+    }
+    out
+}
+
+/// Embeds a 4×4 operator acting on `(q0, q1)` into the full `2^n × 2^n`
+/// operator. `q0` is the most significant qubit of the 4×4 matrix.
+///
+/// # Panics
+/// Panics if the qubit indices are out of range or equal, or the matrix is not 4×4.
+pub fn embed_two_qubit(gate: &CMatrix, q0: QubitId, q1: QubitId, n: usize) -> CMatrix {
+    assert!(q0 < n && q1 < n, "qubit index out of range");
+    assert_ne!(q0, q1, "two-qubit gate requires distinct qubits");
+    assert_eq!(gate.rows(), 4, "expected a 4x4 matrix");
+    let dim = 1usize << n;
+    let mut out = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        let cb = (bit_of(col, q0, n) << 1) | bit_of(col, q1, n);
+        for rb in 0..4 {
+            let amp = gate[(rb, cb)];
+            if amp == Complex::ZERO {
+                continue;
+            }
+            let row = with_bit(with_bit(col, q0, n, rb >> 1), q1, n, rb & 1);
+            out[(row, col)] += amp;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::standard;
+
+    #[test]
+    fn bit_helpers_roundtrip() {
+        let n = 4;
+        for idx in 0..16 {
+            for q in 0..n {
+                let b = bit_of(idx, q, n);
+                assert_eq!(with_bit(idx, q, n, b), idx);
+                assert_eq!(bit_of(with_bit(idx, q, n, 1), q, n), 1);
+                assert_eq!(bit_of(with_bit(idx, q, n, 0), q, n), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn one_qubit_embedding_matches_kron() {
+        let x = standard::x();
+        let id = CMatrix::identity(2);
+        // X on qubit 0 of 2: X ⊗ I
+        assert!(embed_one_qubit(&x, 0, 2).approx_eq(&x.kron(&id), 1e-12));
+        // X on qubit 1 of 2: I ⊗ X
+        assert!(embed_one_qubit(&x, 1, 2).approx_eq(&id.kron(&x), 1e-12));
+        // Middle qubit of 3: I ⊗ X ⊗ I
+        let expect = id.kron(&x).kron(&id);
+        assert!(embed_one_qubit(&x, 1, 3).approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn two_qubit_embedding_on_adjacent_pair_matches_kron() {
+        let cz = standard::cz();
+        let id = CMatrix::identity(2);
+        // CZ on (0,1) of 3 qubits: CZ ⊗ I
+        assert!(embed_two_qubit(&cz, 0, 1, 3).approx_eq(&cz.kron(&id), 1e-12));
+        // CZ on (1,2) of 3 qubits: I ⊗ CZ
+        assert!(embed_two_qubit(&cz, 1, 2, 3).approx_eq(&id.kron(&cz), 1e-12));
+    }
+
+    #[test]
+    fn reversed_qubit_order_transposes_cnot() {
+        // CNOT with control 1, target 0 on a 2-qubit register equals
+        // (H⊗H) CNOT (H⊗H).
+        let cnot = standard::cnot();
+        let rev = embed_two_qubit(&cnot, 1, 0, 2);
+        let hh = standard::h().kron(&standard::h());
+        let expect = &(&hh * &cnot) * &hh;
+        assert!(rev.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn embedding_preserves_unitarity_on_non_adjacent_qubits() {
+        let syc = gates::GateType::syc();
+        let u = embed_two_qubit(syc.unitary(), 0, 2, 3);
+        assert!(u.is_unitary(1e-12));
+        let u2 = embed_two_qubit(syc.unitary(), 3, 1, 4);
+        assert!(u2.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn swap_embedding_permutes_basis_states() {
+        let swap = standard::swap();
+        let u = embed_two_qubit(&swap, 0, 2, 3);
+        // |100> (idx 4) should map to |001> (idx 1).
+        assert!((u[(1, 4)] - Complex::ONE).norm() < 1e-12);
+        assert!((u[(4, 1)] - Complex::ONE).norm() < 1e-12);
+        // |010> untouched.
+        assert!((u[(2, 2)] - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let _ = embed_one_qubit(&standard::x(), 2, 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! ASAP moment scheduling.
+//!
+//! A *moment* is a set of operations that act on disjoint qubits and can
+//! execute simultaneously. The simulator uses moments to apply decoherence for
+//! idle qubits, and the compiler reports circuit depth as the moment count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::Circuit;
+use crate::ops::Operation;
+
+/// One parallel layer of operations (indices into the source circuit).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Moment {
+    /// Indices of operations (into `Circuit::operations()`) in this moment.
+    pub op_indices: Vec<usize>,
+}
+
+impl Moment {
+    /// Operations of the moment resolved against a circuit.
+    pub fn resolve<'c>(&self, circuit: &'c Circuit) -> Vec<&'c Operation> {
+        self.op_indices.iter().map(|&i| &circuit.operations()[i]).collect()
+    }
+}
+
+/// Greedy ASAP scheduling: each operation is placed in the earliest moment
+/// after the last moment that touches any of its qubits.
+///
+/// Barriers occupy a moment slot on their qubits (forcing later operations on
+/// those qubits into strictly later moments) but are included in the schedule
+/// so callers can see them.
+pub fn moments(circuit: &Circuit) -> Vec<Moment> {
+    let n = circuit.num_qubits();
+    // earliest free moment per qubit
+    let mut frontier = vec![0usize; n];
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    for (idx, op) in circuit.iter().enumerate() {
+        let start = op.qubits().iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        if start >= layers.len() {
+            layers.resize_with(start + 1, Vec::new);
+        }
+        layers[start].push(idx);
+        for &q in op.qubits() {
+            frontier[q] = start + 1;
+        }
+    }
+    layers
+        .into_iter()
+        .filter(|l| !l.is_empty())
+        .map(|op_indices| Moment { op_indices })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Operation;
+
+    #[test]
+    fn parallel_gates_share_a_moment() {
+        let mut c = Circuit::new(4);
+        c.push(Operation::h(0));
+        c.push(Operation::h(1));
+        c.push(Operation::h(2));
+        c.push(Operation::h(3));
+        let m = moments(&c);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].op_indices.len(), 4);
+    }
+
+    #[test]
+    fn dependent_gates_get_separate_moments() {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(0));
+        c.push(Operation::cz(0, 1));
+        c.push(Operation::h(1));
+        let m = moments(&c);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn independent_two_qubit_gates_are_parallel() {
+        let mut c = Circuit::new(4);
+        c.push(Operation::cz(0, 1));
+        c.push(Operation::cz(2, 3));
+        c.push(Operation::cz(1, 2));
+        let m = moments(&c);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].op_indices, vec![0, 1]);
+        assert_eq!(m[1].op_indices, vec![2]);
+    }
+
+    #[test]
+    fn barrier_forces_a_new_moment() {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(0));
+        c.push(Operation::barrier(vec![0, 1]));
+        c.push(Operation::h(1));
+        let m = moments(&c);
+        // H(1) could otherwise run in moment 0, but the barrier pushes it later.
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn resolve_returns_ops() {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(0));
+        c.push(Operation::x(1));
+        let m = moments(&c);
+        let ops = m[0].resolve(&c);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].label(), "H");
+        assert_eq!(ops[1].label(), "X");
+    }
+
+    #[test]
+    fn empty_circuit_has_no_moments() {
+        let c = Circuit::new(3);
+        assert!(moments(&c).is_empty());
+        assert_eq!(c.depth(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the circuit IR.
+
+use circuit::{Circuit, Operation};
+use proptest::prelude::*;
+
+/// Strategy generating a random small circuit over `n` qubits.
+fn arb_circuit(n: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let op = (0..6u8, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, a, b, angle)| {
+        let b = if a == b { (b + 1) % n } else { b };
+        match kind {
+            0 => Operation::h(a),
+            1 => Operation::rx(a, angle),
+            2 => Operation::rz(a, angle),
+            3 => Operation::cz(a, b),
+            4 => Operation::zz(a, b, angle),
+            _ => Operation::swap(a, b),
+        }
+    });
+    proptest::collection::vec(op, 1..max_ops).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for op in ops {
+            c.push(op);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn depth_is_bounded_by_length(c in arb_circuit(4, 12)) {
+        prop_assert!(c.depth() <= c.len());
+        prop_assert!(c.two_qubit_depth() <= c.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn gate_counts_are_consistent(c in arb_circuit(4, 12)) {
+        let by_label: usize = c.two_qubit_counts_by_label().values().sum();
+        prop_assert_eq!(by_label, c.two_qubit_gate_count());
+        prop_assert_eq!(c.two_qubit_gate_count() + c.one_qubit_gate_count(), c.len());
+    }
+
+    #[test]
+    fn circuit_unitary_is_unitary(c in arb_circuit(3, 10)) {
+        prop_assert!(c.unitary().is_unitary(1e-8));
+    }
+
+    #[test]
+    fn inverse_circuit_undoes_the_circuit(c in arb_circuit(3, 8)) {
+        let mut full = c.clone();
+        full.append_circuit(&c.inverse());
+        let u = full.unitary();
+        prop_assert!(u.approx_eq(&qmath::CMatrix::identity(8), 1e-7));
+    }
+
+    #[test]
+    fn remapping_preserves_structure(c in arb_circuit(3, 10)) {
+        let mapped = c.remapped(&[2, 0, 1], 3);
+        prop_assert_eq!(mapped.len(), c.len());
+        prop_assert_eq!(mapped.two_qubit_gate_count(), c.two_qubit_gate_count());
+        prop_assert_eq!(mapped.depth(), c.depth());
+    }
+
+    #[test]
+    fn moments_partition_all_operations(c in arb_circuit(4, 12)) {
+        let moments = circuit::moments(&c);
+        let total: usize = moments.iter().map(|m| m.op_indices.len()).sum();
+        prop_assert_eq!(total, c.len());
+        // No qubit appears twice within one moment.
+        for m in &moments {
+            let mut seen = std::collections::HashSet::new();
+            for op in m.resolve(&c) {
+                for &q in op.qubits() {
+                    prop_assert!(seen.insert(q));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! End-to-end compilation pipeline (paper Fig. 1, "Quantum compiler" box).
+//!
+//! The pipeline turns a device-independent application circuit into a
+//! hardware circuit for a given [`device::DeviceModel`] and
+//! [`gates::InstructionSet`]:
+//!
+//! 1. **Region selection** ([`region`]) — carve a connected, high-fidelity
+//!    `n`-qubit patch out of the machine (so that downstream simulation only
+//!    has to track the qubits the program actually uses).
+//! 2. **Qubit mapping** ([`mapping`]) — place frequently-interacting logical
+//!    qubits on adjacent physical qubits.
+//! 3. **Routing** ([`routing`]) — insert SWAP operations so every two-qubit
+//!    operation acts on neighbouring qubits; SWAPs are emitted as ordinary
+//!    two-qubit unitaries so the NuOp pass can decompose them with whatever
+//!    gate types the instruction set offers (this is where native-SWAP sets R5
+//!    and G7 shine).
+//! 4. **Gate decomposition** — the NuOp pass ([`nuop_core::NuOpPass`])
+//!    rewrites every two-qubit unitary into calibrated hardware gate types,
+//!    noise-adaptively.
+//!
+//! [`pipeline::compile`] runs all four stages and returns a
+//! [`pipeline::CompiledCircuit`] carrying the layouts and statistics needed to
+//! interpret measurement results and reproduce the paper's instruction-count
+//! annotations.
+
+#![warn(missing_docs)]
+
+pub mod mapping;
+pub mod pipeline;
+pub mod region;
+pub mod routing;
+
+pub use mapping::initial_mapping;
+pub use pipeline::{compile, CompiledCircuit, CompilerOptions};
+pub use region::select_region;
+pub use routing::{route, RoutedCircuit};

@@ -1,0 +1,131 @@
+//! Initial qubit mapping: logical → physical placement inside a region.
+
+use std::collections::BTreeMap;
+
+use circuit::{Circuit, QubitId};
+use device::DeviceModel;
+
+/// Computes an initial placement `layout[logical] = physical` for a circuit on
+/// a (small) device, trying to put frequently-interacting logical qubits on
+/// adjacent physical qubits.
+///
+/// The heuristic orders logical qubits by their two-qubit interaction degree
+/// and physical qubits by a BFS from the highest-degree physical qubit, then
+/// pairs the two orders. This is deliberately simple — the paper's focus is
+/// the decomposition stage — but it keeps routed SWAP counts reasonable on
+/// ring and grid devices.
+///
+/// # Panics
+/// Panics if the device has fewer qubits than the circuit.
+pub fn initial_mapping(circuit: &Circuit, device: &DeviceModel) -> Vec<QubitId> {
+    let n = circuit.num_qubits();
+    assert!(
+        device.num_qubits() >= n,
+        "device has {} qubits, circuit needs {n}",
+        device.num_qubits()
+    );
+
+    // Interaction counts between logical qubits.
+    let mut weight: BTreeMap<QubitId, usize> = BTreeMap::new();
+    for op in circuit.iter().filter(|o| o.is_two_qubit_unitary()) {
+        for &q in op.qubits() {
+            *weight.entry(q).or_insert(0) += 1;
+        }
+    }
+    let mut logical_order: Vec<QubitId> = (0..n).collect();
+    logical_order.sort_by_key(|q| std::cmp::Reverse(*weight.get(q).unwrap_or(&0)));
+
+    // Physical order: BFS from the physical qubit with the highest degree.
+    let topo = device.topology();
+    let start = (0..device.num_qubits())
+        .max_by_key(|&q| topo.neighbors(q).len())
+        .unwrap_or(0);
+    let mut physical_order = Vec::with_capacity(device.num_qubits());
+    let mut visited = vec![false; device.num_qubits()];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    visited[start] = true;
+    while let Some(q) = queue.pop_front() {
+        physical_order.push(q);
+        let mut nbs = topo.neighbors(q);
+        nbs.sort();
+        for nb in nbs {
+            if !visited[nb] {
+                visited[nb] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    // Include any disconnected leftovers so the layout is total.
+    for q in 0..device.num_qubits() {
+        if !visited[q] {
+            physical_order.push(q);
+        }
+    }
+
+    let mut layout = vec![0usize; n];
+    for (rank, &logical) in logical_order.iter().enumerate() {
+        layout[logical] = physical_order[rank];
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Operation;
+    use qmath::RngSeed;
+
+    #[test]
+    fn mapping_is_a_permutation_prefix() {
+        let device = DeviceModel::aspen8(RngSeed(1)).subdevice(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut c = Circuit::new(4);
+        c.push(Operation::cz(0, 1));
+        c.push(Operation::cz(1, 2));
+        c.push(Operation::cz(2, 3));
+        let layout = initial_mapping(&c, &device);
+        assert_eq!(layout.len(), 4);
+        let mut sorted = layout.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "layout must be injective: {layout:?}");
+        for &p in &layout {
+            assert!(p < device.num_qubits());
+        }
+    }
+
+    #[test]
+    fn busiest_logical_qubit_gets_a_well_connected_site() {
+        // Star-shaped interaction: qubit 0 talks to everyone.
+        let device = DeviceModel::sycamore(RngSeed(2)).subdevice(&[0, 1, 9, 10, 2, 11]);
+        let mut c = Circuit::new(5);
+        for q in 1..5 {
+            c.push(Operation::cz(0, q));
+        }
+        let layout = initial_mapping(&c, &device);
+        let topo = device.topology();
+        let degree_of_center = topo.neighbors(layout[0]).len();
+        let max_degree = (0..device.num_qubits())
+            .map(|q| topo.neighbors(q).len())
+            .max()
+            .unwrap();
+        assert_eq!(degree_of_center, max_degree);
+    }
+
+    #[test]
+    fn works_for_circuits_without_two_qubit_gates() {
+        let device = DeviceModel::ideal(3, 0.99);
+        let mut c = Circuit::new(3);
+        c.push(Operation::h(0));
+        let layout = initial_mapping(&c, &device);
+        assert_eq!(layout.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "device has")]
+    fn device_too_small_panics() {
+        let device = DeviceModel::ideal(2, 0.99);
+        let c = Circuit::new(3);
+        let _ = initial_mapping(&c, &device);
+    }
+}

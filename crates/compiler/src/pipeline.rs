@@ -1,0 +1,246 @@
+//! The end-to-end compile pipeline.
+
+use circuit::{Circuit, QubitId};
+use device::DeviceModel;
+use gates::InstructionSet;
+use nuop_core::{DecomposeConfig, NuOpPass, PassStats};
+use serde::{Deserialize, Serialize};
+use sim::Counts;
+
+use crate::mapping::initial_mapping;
+use crate::region::select_region;
+use crate::routing::{route, RoutedCircuit};
+
+/// Options controlling compilation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// Decomposition configuration forwarded to the NuOp pass.
+    pub decompose: DecomposeConfig,
+    /// Number of threads for the decomposition stage (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            decompose: DecomposeConfig::default(),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// A cheaper configuration (fewer optimizer restarts) suitable for large
+    /// experiment sweeps.
+    pub fn sweep() -> Self {
+        CompilerOptions {
+            decompose: DecomposeConfig::sweep(),
+            ..CompilerOptions::default()
+        }
+    }
+}
+
+/// A compiled circuit plus everything needed to execute it and interpret the
+/// results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledCircuit {
+    /// The hardware circuit over the selected region's qubits (relabelled
+    /// `0..region.len()`).
+    pub circuit: Circuit,
+    /// Physical qubit ids (in the full device) of the selected region.
+    pub region: Vec<QubitId>,
+    /// The sub-device the circuit was compiled against (region-local indices).
+    pub subdevice: DeviceModel,
+    /// Initial layout: `initial_layout[logical] = region-local physical index`.
+    pub initial_layout: Vec<QubitId>,
+    /// Final layout after routing SWAPs.
+    pub final_layout: Vec<QubitId>,
+    /// Number of routing SWAPs inserted (before decomposition).
+    pub swap_count: usize,
+    /// Statistics from the NuOp decomposition pass.
+    pub pass_stats: PassStats,
+}
+
+impl CompiledCircuit {
+    /// Number of two-qubit hardware gates in the compiled circuit (the
+    /// instruction-count annotation used throughout Figs. 9 and 10).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.circuit.two_qubit_gate_count()
+    }
+
+    /// Converts physical measurement counts into logical-qubit counts using
+    /// the final layout.
+    pub fn logical_counts(&self, physical: &Counts) -> Counts {
+        let routed_view = RoutedCircuit {
+            circuit: self.circuit.clone(),
+            initial_layout: self.initial_layout.clone(),
+            final_layout: self.final_layout.clone(),
+            swap_count: self.swap_count,
+        };
+        let mut logical = Counts::new(self.initial_layout.len());
+        for (outcome, count) in physical.iter() {
+            let mapped = routed_view.logical_outcome(outcome);
+            for _ in 0..count {
+                logical.record(mapped);
+            }
+        }
+        logical
+    }
+}
+
+/// Compiles an application circuit for a device and instruction set.
+///
+/// Stages: region selection → initial mapping → SWAP routing → NuOp
+/// decomposition (noise-adaptive across the instruction set's gate types).
+///
+/// # Panics
+/// Panics if the device cannot host the circuit (fewer qubits than needed or
+/// no connected region of the right size).
+pub fn compile(
+    circuit: &Circuit,
+    device: &DeviceModel,
+    instruction_set: &InstructionSet,
+    options: &CompilerOptions,
+) -> CompiledCircuit {
+    let n = circuit.num_qubits();
+    let region = select_region(device, n);
+    let subdevice = device.subdevice(&region);
+
+    let layout = initial_mapping(circuit, &subdevice);
+    let routed = route(circuit, &subdevice, &layout);
+
+    let pass = NuOpPass::new(instruction_set.clone(), options.decompose.clone())
+        .with_threads(options.threads);
+    let (decomposed, pass_stats) = pass.run(&routed.circuit, &subdevice);
+
+    CompiledCircuit {
+        circuit: decomposed,
+        region,
+        subdevice,
+        initial_layout: routed.initial_layout,
+        final_layout: routed.final_layout,
+        swap_count: routed.swap_count,
+        pass_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::workloads::{qaoa_circuit, qft_echo_circuit, qv_circuit};
+    use qmath::RngSeed;
+    use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+
+    fn quick_options() -> CompilerOptions {
+        CompilerOptions {
+            decompose: DecomposeConfig {
+                restarts: 2,
+                max_layers: 4,
+                ..DecomposeConfig::default()
+            },
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn compile_small_qv_circuit_on_aspen8() {
+        let device = DeviceModel::aspen8(RngSeed(1));
+        let circ = qv_circuit(3, RngSeed(2));
+        let compiled = compile(&circ, &device, &InstructionSet::s(3), &quick_options());
+        assert_eq!(compiled.region.len(), 3);
+        assert!(compiled.two_qubit_gate_count() >= circ.two_qubit_gate_count());
+        assert!(compiled.circuit.has_measurements());
+        // Every two-qubit gate in the output is the CZ type.
+        for (label, _) in compiled.circuit.two_qubit_counts_by_label() {
+            assert_eq!(label, "CZ");
+        }
+    }
+
+    #[test]
+    fn compiled_circuit_preserves_semantics_on_ideal_device() {
+        let device = DeviceModel::ideal(3, 1.0);
+        let circ = qaoa_circuit(3, RngSeed(3));
+        let compiled = compile(&circ, &device, &InstructionSet::s(3), &quick_options());
+        let ideal = IdealSimulator::probabilities(&circ.without_measurements());
+        let compiled_probs =
+            IdealSimulator::probabilities(&compiled.circuit.without_measurements());
+        // Undo the layout permutation and compare distributions.
+        let mut remapped = vec![0.0; ideal.len()];
+        let routed_view = RoutedCircuit {
+            circuit: compiled.circuit.clone(),
+            initial_layout: compiled.initial_layout.clone(),
+            final_layout: compiled.final_layout.clone(),
+            swap_count: compiled.swap_count,
+        };
+        for (idx, p) in compiled_probs.iter().enumerate() {
+            remapped[routed_view.logical_outcome(idx)] += p;
+        }
+        for (a, b) in ideal.iter().zip(remapped.iter()) {
+            assert!((a - b).abs() < 2e-3, "ideal {a} vs compiled {b}");
+        }
+    }
+
+    #[test]
+    fn native_swap_set_reduces_routing_cost() {
+        // A QFT echo needs routing on a ring; R5 (native SWAP) should emit no
+        // more two-qubit gates than R4 (no SWAP).
+        let device = DeviceModel::aspen8(RngSeed(4));
+        let (circ, _) = qft_echo_circuit(4, RngSeed(5));
+        let with_swap = compile(&circ, &device, &InstructionSet::r(5), &quick_options());
+        let without_swap = compile(&circ, &device, &InstructionSet::r(4), &quick_options());
+        assert!(
+            with_swap.two_qubit_gate_count() <= without_swap.two_qubit_gate_count(),
+            "R5 {} vs R4 {}",
+            with_swap.two_qubit_gate_count(),
+            without_swap.two_qubit_gate_count()
+        );
+    }
+
+    #[test]
+    fn logical_counts_reorders_outcomes() {
+        let device = DeviceModel::aspen8(RngSeed(6));
+        let (circ, expected) = qft_echo_circuit(3, RngSeed(7));
+        let compiled = compile(&circ, &device, &InstructionSet::r(2), &quick_options());
+        // Noiseless execution must return the expected outcome deterministically.
+        let noiseless = NoiseModel::noiseless(&compiled.subdevice);
+        let counts = NoisySimulator::new(noiseless).run(&compiled.circuit, 64, RngSeed(8));
+        let logical = compiled.logical_counts(&counts);
+        // The compiler targets the (noisy) Aspen-8 calibration, so the
+        // approximate decompositions are intentionally inexact; the expected
+        // outcome must still dominate by a wide margin when executed without
+        // noise.
+        let p_expected = logical.probability(expected);
+        assert!(p_expected > 0.6, "expected outcome probability = {p_expected}");
+        let best = logical.iter().max_by_key(|&(_, c)| c).map(|(idx, _)| idx);
+        assert_eq!(best, Some(expected));
+    }
+
+    #[test]
+    fn multi_type_sets_do_not_reduce_estimated_fidelity() {
+        // Per operation, the noise-adaptive choice over G3's types includes SYC
+        // itself, so the multi-type compile can never be worse than S1 in
+        // estimated overall fidelity (gate *counts* may differ because the
+        // approximate mode trades accuracy for fewer gates differently per type).
+        let device = DeviceModel::sycamore(RngSeed(9));
+        let circ = qv_circuit(3, RngSeed(10));
+        let single = compile(&circ, &device, &InstructionSet::s(1), &quick_options());
+        let multi = compile(&circ, &device, &InstructionSet::g(3), &quick_options());
+        assert!(
+            multi.pass_stats.estimated_circuit_fidelity
+                >= single.pass_stats.estimated_circuit_fidelity - 1e-6,
+            "multi {} vs single {}",
+            multi.pass_stats.estimated_circuit_fidelity,
+            single.pass_stats.estimated_circuit_fidelity
+        );
+    }
+
+    #[test]
+    fn pass_stats_are_populated() {
+        let device = DeviceModel::sycamore(RngSeed(11));
+        let circ = qaoa_circuit(3, RngSeed(12));
+        let compiled = compile(&circ, &device, &InstructionSet::g(1), &quick_options());
+        assert_eq!(compiled.pass_stats.input_two_qubit_gates, circ.two_qubit_gate_count() + compiled.swap_count);
+        assert!(compiled.pass_stats.mean_overall_fidelity > 0.5);
+        assert!(!compiled.pass_stats.gate_type_histogram.is_empty());
+    }
+}

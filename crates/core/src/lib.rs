@@ -1,0 +1,55 @@
+//! # NuOp — numerical-optimization gate decomposition
+//!
+//! This crate implements the primary contribution of the ISCA'21 paper
+//! *"Designing Calibration and Expressivity-Efficient Instruction Sets for
+//! Quantum Computing"*: **NuOp**, a flexible compilation pass that decomposes
+//! arbitrary two-qubit application unitaries into sequences of *any* hardware
+//! two-qubit gate type, using numerical optimization over template circuits.
+//!
+//! The pass supports three operating modes, mirroring §V of the paper:
+//!
+//! 1. **Exact decomposition** ([`decompose::decompose_fixed`]): grow the
+//!    template one layer at a time and accept the first layer count whose
+//!    decomposition fidelity `F_d` (Eq. 1) exceeds a threshold (e.g. 99.999%).
+//! 2. **Approximate, hardware-aware decomposition**
+//!    ([`decompose::decompose_approx`]): maximize the product
+//!    `F_d · F_h` (Eq. 2) of decomposition fidelity and hardware fidelity, so a
+//!    slightly inexact decomposition with fewer noisy gates can win.
+//! 3. **Noise-adaptive gate-type selection**
+//!    ([`noise_adaptive::decompose_with_gate_choice`]): when the instruction
+//!    set exposes several gate types with per-qubit-pair calibrated fidelities,
+//!    pick, per application operation, the type and layer count with the best
+//!    overall fidelity `F_u`.
+//!
+//! [`pass::NuOpPass`] applies these modes to whole circuits (optionally in
+//! parallel across operations) and is what the `compiler` crate invokes after
+//! routing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gates::GateType;
+//! use nuop_core::{decompose_fixed, DecomposeConfig};
+//! use qmath::{haar_random_su4, RngSeed};
+//!
+//! let mut rng = RngSeed(7).rng();
+//! let target = haar_random_su4(&mut rng);
+//! let result = decompose_fixed(&target, &GateType::cz(), &DecomposeConfig::default());
+//! // Any SU(4) needs at most 3 CZ layers.
+//! assert!(result.layers <= 3);
+//! assert!(result.decomposition_fidelity > 0.9999);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod noise_adaptive;
+pub mod pass;
+pub mod template;
+
+pub use decompose::{
+    decompose_approx, decompose_continuous, decompose_fixed, DecomposeConfig, Decomposition,
+};
+pub use noise_adaptive::{decompose_with_gate_choice, GateChoice, HardwareGate};
+pub use pass::{HardwareFidelityProvider, NuOpPass, PassStats, UniformFidelity};
+pub use template::Template;

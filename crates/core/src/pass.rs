@@ -1,0 +1,426 @@
+//! The circuit-level NuOp pass (paper §V, last paragraph).
+//!
+//! [`NuOpPass`] walks a routed circuit and replaces every two-qubit application
+//! unitary with its best decomposition under the target instruction set:
+//!
+//! * discrete sets use noise-adaptive selection across their gate types,
+//! * continuous sets (`FullXY` / `FullfSim`) optimize the family angles per
+//!   layer.
+//!
+//! Decompositions of distinct operations are independent, so the pass can run
+//! them in parallel across worker threads, mirroring the paper's parallel
+//! implementation ("with 32 threads, decomposing a circuit with 1000 2-qubit
+//! gates ... requires around 220 seconds").
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use circuit::{Circuit, OpKind, Operation, QubitId};
+use gates::{GateSetKind, InstructionSet};
+use parking_lot::Mutex;
+use qmath::CMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::decompose::{decompose_continuous, DecomposeConfig, Decomposition};
+use crate::noise_adaptive::{decompose_with_gate_choice, HardwareGate};
+
+/// Supplies calibrated hardware fidelities to the pass.
+///
+/// Implementations are typically backed by a device model's calibration table
+/// (see the `device` crate). Gate types are identified by name so that
+/// continuous families (which have no fixed `GateType`) can also be priced.
+pub trait HardwareFidelityProvider: Sync {
+    /// Calibrated fidelity of gate type `gate_name` on the physical pair
+    /// `(q0, q1)`.
+    fn two_qubit_fidelity(&self, q0: QubitId, q1: QubitId, gate_name: &str) -> f64;
+
+    /// Calibrated single-qubit gate fidelity on qubit `q` (defaults to 1.0,
+    /// matching the paper's focus on two-qubit errors).
+    fn one_qubit_fidelity(&self, _q: QubitId) -> f64 {
+        1.0
+    }
+}
+
+/// A provider that reports the same fidelity for every pair and gate type.
+/// Useful for tests and for the "no noise variation" ablation (Fig. 10e).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformFidelity(pub f64);
+
+impl HardwareFidelityProvider for UniformFidelity {
+    fn two_qubit_fidelity(&self, _q0: QubitId, _q1: QubitId, _gate_name: &str) -> f64 {
+        self.0
+    }
+}
+
+/// Statistics gathered while running the pass over a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PassStats {
+    /// Two-qubit application operations in the input circuit.
+    pub input_two_qubit_gates: usize,
+    /// Two-qubit hardware gates in the output circuit.
+    pub output_two_qubit_gates: usize,
+    /// Mean decomposition fidelity `F_d` across operations.
+    pub mean_decomposition_fidelity: f64,
+    /// Mean overall fidelity `F_u = F_d · F_h` across operations.
+    pub mean_overall_fidelity: f64,
+    /// Estimated whole-circuit fidelity: the product of per-operation `F_u`.
+    pub estimated_circuit_fidelity: f64,
+    /// How many operations chose each hardware gate type.
+    pub gate_type_histogram: BTreeMap<String, usize>,
+}
+
+/// The NuOp circuit pass.
+pub struct NuOpPass {
+    instruction_set: InstructionSet,
+    config: DecomposeConfig,
+    threads: usize,
+    cache: Mutex<HashMap<String, (Decomposition, String)>>,
+}
+
+impl NuOpPass {
+    /// Creates a pass targeting `instruction_set` with the given decomposition
+    /// configuration.
+    pub fn new(instruction_set: InstructionSet, config: DecomposeConfig) -> Self {
+        NuOpPass {
+            instruction_set,
+            config,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the number of worker threads (1 disables parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The instruction set this pass targets.
+    pub fn instruction_set(&self) -> &InstructionSet {
+        &self.instruction_set
+    }
+
+    /// Decomposes a single two-qubit unitary for the physical pair `(q0, q1)`,
+    /// returning the decomposition and the chosen gate-type name.
+    pub fn decompose_operation(
+        &self,
+        target: &CMatrix,
+        q0: QubitId,
+        q1: QubitId,
+        provider: &dyn HardwareFidelityProvider,
+    ) -> (Decomposition, String) {
+        let key = cache_key(target, &self.instruction_set, q0, q1, provider);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let result = match self.instruction_set.kind() {
+            GateSetKind::Discrete(types) => {
+                let candidates: Vec<HardwareGate> = types
+                    .iter()
+                    .map(|t| {
+                        HardwareGate::new(
+                            t.clone(),
+                            provider.two_qubit_fidelity(q0, q1, t.name()).clamp(0.0, 1.0),
+                        )
+                    })
+                    .collect();
+                let choice = decompose_with_gate_choice(target, &candidates, &self.config);
+                (choice.decomposition, choice.chosen_gate)
+            }
+            GateSetKind::Continuous(family) => {
+                let mut d = decompose_continuous(target, *family, &self.config);
+                // Price the continuous decomposition with the provider's
+                // fidelity for the family name (device models fall back to
+                // their mean two-qubit fidelity for unknown names).
+                let f2q = provider
+                    .two_qubit_fidelity(q0, q1, family.name())
+                    .clamp(0.0, 1.0);
+                d.hardware_fidelity = f2q.powi(d.layers as i32);
+                d.overall_fidelity = d.decomposition_fidelity * d.hardware_fidelity;
+                let label = family.name().to_string();
+                (d, label)
+            }
+        };
+        self.cache.lock().insert(key, result.clone());
+        result
+    }
+
+    /// Runs the pass over a circuit whose two-qubit operations act on
+    /// *physical* qubits (i.e. after routing). Single-qubit operations,
+    /// measurements and barriers are copied through unchanged.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        provider: &dyn HardwareFidelityProvider,
+    ) -> (Circuit, PassStats) {
+        // Collect the two-qubit operations that need decomposition.
+        let work: Vec<(usize, &Operation)> = circuit
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_two_qubit_unitary())
+            .collect();
+
+        let results: Vec<(usize, Decomposition, String)> = if self.threads <= 1 || work.len() <= 1 {
+            work.iter()
+                .map(|(idx, op)| {
+                    let (d, g) = self.decompose_operation(
+                        op.matrix().expect("two-qubit unitary has a matrix"),
+                        op.qubits()[0],
+                        op.qubits()[1],
+                        provider,
+                    );
+                    (*idx, d, g)
+                })
+                .collect()
+        } else {
+            self.run_parallel(&work, provider)
+        };
+
+        let mut by_index: HashMap<usize, (Decomposition, String)> = results
+            .into_iter()
+            .map(|(idx, d, g)| (idx, (d, g)))
+            .collect();
+
+        let mut out = Circuit::new(circuit.num_qubits());
+        let mut stats = PassStats {
+            estimated_circuit_fidelity: 1.0,
+            ..PassStats::default()
+        };
+        let mut fd_sum = 0.0;
+        let mut fu_sum = 0.0;
+        for (idx, op) in circuit.iter().enumerate() {
+            match op.kind() {
+                OpKind::Unitary2Q { .. } => {
+                    let (d, gate_name) = by_index.remove(&idx).expect("decomposed above");
+                    stats.input_two_qubit_gates += 1;
+                    stats.output_two_qubit_gates += d.layers;
+                    fd_sum += d.decomposition_fidelity;
+                    fu_sum += d.overall_fidelity;
+                    stats.estimated_circuit_fidelity *= d.overall_fidelity;
+                    *stats.gate_type_histogram.entry(gate_name).or_insert(0) += d.layers;
+                    for new_op in d.to_operations(op.qubits()[0], op.qubits()[1]) {
+                        out.push(new_op);
+                    }
+                }
+                _ => out.push(op.clone()),
+            }
+        }
+        if stats.input_two_qubit_gates > 0 {
+            stats.mean_decomposition_fidelity = fd_sum / stats.input_two_qubit_gates as f64;
+            stats.mean_overall_fidelity = fu_sum / stats.input_two_qubit_gates as f64;
+        } else {
+            stats.mean_decomposition_fidelity = 1.0;
+            stats.mean_overall_fidelity = 1.0;
+        }
+        (out, stats)
+    }
+
+    fn run_parallel(
+        &self,
+        work: &[(usize, &Operation)],
+        provider: &dyn HardwareFidelityProvider,
+    ) -> Vec<(usize, Decomposition, String)> {
+        let chunk = work.len().div_ceil(self.threads);
+        let results = Mutex::new(Vec::with_capacity(work.len()));
+        let results_ref = &results;
+        std::thread::scope(|scope| {
+            for piece in work.chunks(chunk.max(1)) {
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(piece.len());
+                    for (idx, op) in piece {
+                        let (d, g) = self.decompose_operation(
+                            op.matrix().expect("two-qubit unitary has a matrix"),
+                            op.qubits()[0],
+                            op.qubits()[1],
+                            provider,
+                        );
+                        local.push((*idx, d, g));
+                    }
+                    results_ref.lock().extend(local);
+                });
+            }
+        });
+        results.into_inner()
+    }
+}
+
+/// Builds a cache key from the quantized target matrix, the instruction set
+/// name and the (quantized) calibrated fidelities of the pair.
+fn cache_key(
+    target: &CMatrix,
+    set: &InstructionSet,
+    q0: QubitId,
+    q1: QubitId,
+    provider: &dyn HardwareFidelityProvider,
+) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::with_capacity(64 + 16 * 16);
+    let _ = write!(key, "{}|", set.name());
+    for z in target.as_slice() {
+        let _ = write!(key, "{:.9},{:.9};", z.re, z.im);
+    }
+    match set.kind() {
+        GateSetKind::Discrete(types) => {
+            for t in types {
+                let _ = write!(key, "{:.4},", provider.two_qubit_fidelity(q0, q1, t.name()));
+            }
+        }
+        GateSetKind::Continuous(f) => {
+            let _ = write!(key, "{:.4},", provider.two_qubit_fidelity(q0, q1, f.name()));
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::standard;
+    use qmath::{haar_random_su4, RngSeed};
+
+    fn quick_config() -> DecomposeConfig {
+        DecomposeConfig {
+            restarts: 3,
+            max_layers: 4,
+            ..DecomposeConfig::default()
+        }
+    }
+
+    fn small_qv_circuit(seed: u64) -> Circuit {
+        let mut rng = RngSeed(seed).rng();
+        let mut c = Circuit::new(3);
+        c.push(Operation::unitary2q("SU4", haar_random_su4(&mut rng), 0, 1));
+        c.push(Operation::unitary2q("SU4", haar_random_su4(&mut rng), 1, 2));
+        c
+    }
+
+    #[test]
+    fn pass_replaces_two_qubit_ops_with_hardware_gates() {
+        let pass = NuOpPass::new(InstructionSet::s(3), quick_config()).with_threads(1);
+        let circ = small_qv_circuit(1);
+        let (out, stats) = pass.run(&circ, &UniformFidelity(0.999));
+        assert_eq!(stats.input_two_qubit_gates, 2);
+        // Each SU(4) costs 3 CZs with a high-fidelity device.
+        assert_eq!(stats.output_two_qubit_gates, 6);
+        assert_eq!(out.two_qubit_gate_count(), 6);
+        // All emitted two-qubit gates are the CZ type.
+        for (label, count) in out.two_qubit_counts_by_label() {
+            assert_eq!(label, "CZ");
+            assert_eq!(count, 6);
+        }
+        assert!(stats.mean_decomposition_fidelity > 0.9999);
+        assert!(stats.estimated_circuit_fidelity > 0.98);
+    }
+
+    #[test]
+    fn pass_preserves_circuit_semantics_up_to_phase() {
+        let pass = NuOpPass::new(InstructionSet::s(3), quick_config()).with_threads(1);
+        let circ = small_qv_circuit(2);
+        let (out, _) = pass.run(&circ, &UniformFidelity(1.0));
+        let original = circ.unitary();
+        let compiled = out.unitary();
+        let fidelity = qmath::hilbert_schmidt_fidelity(&original, &compiled);
+        assert!(fidelity > 0.999, "fidelity = {fidelity}");
+    }
+
+    #[test]
+    fn multi_type_set_reduces_gate_count_for_mixed_workload() {
+        // A circuit containing a ZZ interaction (cheap with CZ) and an
+        // XX+YY interaction (cheap with iSWAP-family gates): the multi-type set
+        // should use no more gates than either single-type set.
+        let mut circ = Circuit::new(2);
+        circ.push(Operation::zz(0, 1, 0.5));
+        circ.push(Operation::xx_plus_yy(0, 1, 0.7));
+
+        let provider = UniformFidelity(0.995);
+        let single_cz = NuOpPass::new(InstructionSet::s(3), quick_config()).with_threads(1);
+        let single_iswap = NuOpPass::new(InstructionSet::s(4), quick_config()).with_threads(1);
+        let multi = NuOpPass::new(InstructionSet::r(1), quick_config()).with_threads(1);
+
+        let (_, s_cz) = single_cz.run(&circ, &provider);
+        let (_, s_is) = single_iswap.run(&circ, &provider);
+        let (_, s_multi) = multi.run(&circ, &provider);
+        assert!(s_multi.output_two_qubit_gates <= s_cz.output_two_qubit_gates);
+        assert!(s_multi.output_two_qubit_gates <= s_is.output_two_qubit_gates);
+        assert!(s_multi.estimated_circuit_fidelity >= s_cz.estimated_circuit_fidelity - 1e-9);
+    }
+
+    #[test]
+    fn measurements_and_1q_gates_pass_through() {
+        let pass = NuOpPass::new(InstructionSet::s(3), quick_config()).with_threads(1);
+        let mut circ = Circuit::new(2);
+        circ.push(Operation::h(0));
+        circ.push(Operation::cz(0, 1));
+        circ.measure_all();
+        let (out, stats) = pass.run(&circ, &UniformFidelity(0.999));
+        assert!(out.has_measurements());
+        assert!(out.one_qubit_gate_count() >= 1);
+        assert_eq!(stats.input_two_qubit_gates, 1);
+        assert_eq!(stats.output_two_qubit_gates, 1);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let circ = small_qv_circuit(3);
+        let serial = NuOpPass::new(InstructionSet::g(1), quick_config()).with_threads(1);
+        let parallel = NuOpPass::new(InstructionSet::g(1), quick_config()).with_threads(4);
+        let (out_s, stats_s) = serial.run(&circ, &UniformFidelity(0.994));
+        let (out_p, stats_p) = parallel.run(&circ, &UniformFidelity(0.994));
+        assert_eq!(stats_s.output_two_qubit_gates, stats_p.output_two_qubit_gates);
+        assert_eq!(out_s.two_qubit_gate_count(), out_p.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn cache_hits_for_repeated_operations() {
+        let pass = NuOpPass::new(InstructionSet::s(3), quick_config()).with_threads(1);
+        let mut circ = Circuit::new(2);
+        // The same ZZ interaction three times: only one real decomposition.
+        for _ in 0..3 {
+            circ.push(Operation::zz(0, 1, 0.25));
+        }
+        let (out, stats) = pass.run(&circ, &UniformFidelity(0.999));
+        assert_eq!(stats.input_two_qubit_gates, 3);
+        assert_eq!(out.two_qubit_gate_count(), stats.output_two_qubit_gates);
+        assert_eq!(pass.cache.lock().len(), 1);
+    }
+
+    #[test]
+    fn continuous_set_uses_fewer_gates_than_single_type() {
+        let mut rng = RngSeed(9).rng();
+        let target = haar_random_su4(&mut rng);
+        let mut circ = Circuit::new(2);
+        circ.push(Operation::unitary2q("SU4", target, 0, 1));
+        let provider = UniformFidelity(0.995);
+        let cfg = quick_config();
+        let continuous = NuOpPass::new(InstructionSet::full_fsim(), cfg.clone()).with_threads(1);
+        let single = NuOpPass::new(InstructionSet::s(3), cfg).with_threads(1);
+        let (_, c_stats) = continuous.run(&circ, &provider);
+        let (_, s_stats) = single.run(&circ, &provider);
+        assert!(c_stats.output_two_qubit_gates <= s_stats.output_two_qubit_gates);
+        assert!(c_stats.output_two_qubit_gates >= 1);
+    }
+
+    #[test]
+    fn stats_for_trivial_circuit() {
+        let pass = NuOpPass::new(InstructionSet::s(1), quick_config());
+        let mut circ = Circuit::new(2);
+        circ.push(Operation::h(0));
+        let (_, stats) = pass.run(&circ, &UniformFidelity(0.99));
+        assert_eq!(stats.input_two_qubit_gates, 0);
+        assert_eq!(stats.mean_overall_fidelity, 1.0);
+        assert_eq!(stats.estimated_circuit_fidelity, 1.0);
+    }
+
+    #[test]
+    fn zz_interaction_is_direct_with_matching_cphase_type() {
+        // CZ can express a ZZ(β) only with 2 applications, but a single layer
+        // suffices when the target is CZ itself; check the histogram is kept.
+        let pass = NuOpPass::new(InstructionSet::s(3), quick_config()).with_threads(1);
+        let mut circ = Circuit::new(2);
+        circ.push(Operation::cz(0, 1));
+        let (_, stats) = pass.run(&circ, &UniformFidelity(0.999));
+        assert_eq!(stats.gate_type_histogram.get("CZ"), Some(&1));
+        let unused = standard::swap();
+        assert_eq!(unused.rows(), 4);
+    }
+}

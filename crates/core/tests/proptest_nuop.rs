@@ -1,0 +1,62 @@
+//! Property-based tests for the NuOp decomposition pass.
+
+use gates::{standard, GateType};
+use nuop_core::{decompose_fixed, DecomposeConfig, Template};
+use proptest::prelude::*;
+use qmath::hilbert_schmidt_fidelity;
+
+fn quick() -> DecomposeConfig {
+    DecomposeConfig {
+        restarts: 2,
+        max_layers: 3,
+        ..DecomposeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn template_evaluation_is_unitary_for_random_parameters(
+        layers in 0usize..3,
+        seed_angles in proptest::collection::vec(-3.0f64..3.0, 24),
+    ) {
+        let t = Template::fixed(GateType::syc().unitary().clone(), layers);
+        let params: Vec<f64> = seed_angles.into_iter().take(t.parameter_count()).collect();
+        if params.len() == t.parameter_count() {
+            prop_assert!(t.unitary(&params).is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn zz_interactions_need_at_most_two_cz(beta in 0.05f64..1.5) {
+        let d = decompose_fixed(&standard::zz_interaction(beta), &GateType::cz(), &quick());
+        prop_assert!(d.layers <= 2, "beta={beta}, layers={}", d.layers);
+        prop_assert!(d.decomposition_fidelity > 0.999);
+    }
+
+    #[test]
+    fn cphase_needs_at_most_two_of_any_cphase_like_gate(phi in 0.1f64..3.0) {
+        let d = decompose_fixed(&standard::cphase(phi), &GateType::cz(), &quick());
+        prop_assert!(d.layers <= 2);
+        // Emitted circuit reproduces the target.
+        let realized = d.to_circuit(2, 0, 1).unitary();
+        prop_assert!(hilbert_schmidt_fidelity(&realized, &standard::cphase(phi)) > 0.999);
+    }
+
+    #[test]
+    fn hopping_terms_need_at_most_two_sqrt_iswap(t in 0.1f64..0.8) {
+        let target = standard::xx_plus_yy_interaction(t);
+        let d = decompose_fixed(&target, &GateType::sqrt_iswap(), &quick());
+        prop_assert!(d.layers <= 2, "t={t}, layers={}", d.layers);
+        prop_assert!(d.decomposition_fidelity > 0.999);
+    }
+
+    #[test]
+    fn decomposition_gate_count_never_exceeds_the_layer_budget(theta in 0.0f64..1.5, phi in 0.0f64..3.1) {
+        let gate = GateType::from_fsim("probe", theta, phi);
+        let d = decompose_fixed(&standard::cnot(), &gate, &quick());
+        prop_assert!(d.layers <= 3);
+        prop_assert_eq!(d.to_operations(0, 1).iter().filter(|o| o.is_two_qubit_unitary()).count(), d.layers);
+    }
+}

@@ -1,0 +1,180 @@
+//! Calibration records: per-edge gate fidelities, per-qubit coherence and
+//! readout, and gate durations.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Calibration data for one qubit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QubitCalibration {
+    /// Energy-relaxation time T1 in microseconds.
+    pub t1_us: f64,
+    /// Dephasing time T2 in microseconds.
+    pub t2_us: f64,
+    /// Readout (measurement) error probability.
+    pub readout_error: f64,
+    /// Average single-qubit gate fidelity.
+    pub one_qubit_fidelity: f64,
+}
+
+impl QubitCalibration {
+    /// Creates a record, validating that probabilities and times are sane.
+    ///
+    /// # Panics
+    /// Panics if fidelity/readout error are outside `[0, 1]` or times are
+    /// non-positive.
+    pub fn new(t1_us: f64, t2_us: f64, readout_error: f64, one_qubit_fidelity: f64) -> Self {
+        assert!(t1_us > 0.0 && t2_us > 0.0, "coherence times must be positive");
+        assert!((0.0..=1.0).contains(&readout_error), "readout error out of range");
+        assert!((0.0..=1.0).contains(&one_qubit_fidelity), "fidelity out of range");
+        QubitCalibration {
+            t1_us,
+            t2_us,
+            readout_error,
+            one_qubit_fidelity,
+        }
+    }
+}
+
+impl Default for QubitCalibration {
+    fn default() -> Self {
+        // Representative superconducting-qubit values.
+        QubitCalibration::new(20.0, 15.0, 0.03, 0.999)
+    }
+}
+
+/// Calibration data for one edge (qubit pair): fidelity per calibrated
+/// two-qubit gate type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EdgeCalibration {
+    fidelity_by_gate: BTreeMap<String, f64>,
+    default_fidelity: f64,
+}
+
+impl EdgeCalibration {
+    /// Creates an edge record with a fallback fidelity for gate types that
+    /// have no explicit entry.
+    pub fn new(default_fidelity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&default_fidelity), "fidelity out of range");
+        EdgeCalibration {
+            fidelity_by_gate: BTreeMap::new(),
+            default_fidelity,
+        }
+    }
+
+    /// Records the fidelity of `gate_name` on this edge.
+    pub fn set(&mut self, gate_name: impl Into<String>, fidelity: f64) {
+        assert!((0.0..=1.0).contains(&fidelity), "fidelity out of range");
+        self.fidelity_by_gate.insert(gate_name.into(), fidelity);
+    }
+
+    /// Fidelity of `gate_name` on this edge, falling back to the edge default.
+    pub fn fidelity(&self, gate_name: &str) -> f64 {
+        *self
+            .fidelity_by_gate
+            .get(gate_name)
+            .unwrap_or(&self.default_fidelity)
+    }
+
+    /// The fallback fidelity.
+    pub fn default_fidelity(&self) -> f64 {
+        self.default_fidelity
+    }
+
+    /// Gate names with explicit calibration entries.
+    pub fn calibrated_gates(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.fidelity_by_gate.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Applies `f` to every stored fidelity (and the default), clamping the
+    /// result into `[0, 1]`. Used to inflate/deflate error rates for the
+    /// noise-level sweeps of Fig. 10f.
+    pub fn map_fidelities(&self, f: impl Fn(f64) -> f64) -> EdgeCalibration {
+        let mut out = EdgeCalibration::new(f(self.default_fidelity).clamp(0.0, 1.0));
+        for (name, fid) in &self.fidelity_by_gate {
+            out.set(name.clone(), f(*fid).clamp(0.0, 1.0));
+        }
+        out
+    }
+}
+
+/// Gate durations in nanoseconds, used by the decoherence model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateDurations {
+    /// Single-qubit gate duration.
+    pub one_qubit_ns: f64,
+    /// Two-qubit gate duration.
+    pub two_qubit_ns: f64,
+    /// Measurement duration.
+    pub measurement_ns: f64,
+}
+
+impl Default for GateDurations {
+    fn default() -> Self {
+        GateDurations {
+            one_qubit_ns: 25.0,
+            two_qubit_ns: 32.0,
+            measurement_ns: 1000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_calibration_validation() {
+        let q = QubitCalibration::new(20.0, 25.0, 0.02, 0.9995);
+        assert!((q.t1_us - 20.0).abs() < 1e-12);
+        assert!((q.one_qubit_fidelity - 0.9995).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence times")]
+    fn negative_t1_panics() {
+        let _ = QubitCalibration::new(-1.0, 10.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn edge_lookup_and_fallback() {
+        let mut e = EdgeCalibration::new(0.99);
+        e.set("CZ", 0.94);
+        e.set("XY(pi)", 0.97);
+        assert!((e.fidelity("CZ") - 0.94).abs() < 1e-12);
+        assert!((e.fidelity("XY(pi)") - 0.97).abs() < 1e-12);
+        assert!((e.fidelity("SYC") - 0.99).abs() < 1e-12);
+        assert_eq!(e.calibrated_gates().count(), 2);
+    }
+
+    #[test]
+    fn map_fidelities_scales_errors() {
+        let mut e = EdgeCalibration::new(0.99);
+        e.set("CZ", 0.98);
+        // Double the error rate.
+        let scaled = e.map_fidelities(|f| 1.0 - 2.0 * (1.0 - f));
+        assert!((scaled.fidelity("CZ") - 0.96).abs() < 1e-12);
+        assert!((scaled.default_fidelity() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_fidelities_clamps() {
+        let e = EdgeCalibration::new(0.5);
+        let worse = e.map_fidelities(|f| f - 0.9);
+        assert_eq!(worse.default_fidelity(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity out of range")]
+    fn out_of_range_fidelity_panics() {
+        let mut e = EdgeCalibration::new(0.9);
+        e.set("CZ", 1.2);
+    }
+
+    #[test]
+    fn default_durations_are_positive() {
+        let d = GateDurations::default();
+        assert!(d.one_qubit_ns > 0.0 && d.two_qubit_ns > 0.0 && d.measurement_ns > 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Device models for the instruction-set design study.
+//!
+//! The paper evaluates instruction sets on two real machines:
+//!
+//! * **Rigetti Aspen-8** — 30 usable qubits arranged as four connected
+//!   octagonal rings, calibrated for CZ and XY(π) gates (Fig. 3 shows the
+//!   first ring's measured fidelities, which are reproduced verbatim here).
+//! * **Google Sycamore** — 54 qubits on a grid, calibrated for the SYC gate
+//!   with ≈0.62% mean two-qubit error.
+//!
+//! Since the real calibration feeds are not available offline, this crate
+//! synthesizes calibration tables from the distributions the paper reports
+//! (§VI): Aspen-8 XY(θ) fidelities uniform in 95–99%, Sycamore non-SYC
+//! two-qubit error normal with μ=0.62%, σ=0.24%. All sampling is seeded so
+//! every experiment is reproducible.
+//!
+//! [`DeviceModel`] implements [`nuop_core::HardwareFidelityProvider`], so it
+//! can be handed directly to the NuOp pass, and exposes the coherence times,
+//! durations and readout errors the `sim` crate needs to build its noise
+//! model.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod model;
+pub mod topology;
+
+pub use calibration::{EdgeCalibration, GateDurations, QubitCalibration};
+pub use model::DeviceModel;
+pub use topology::Topology;

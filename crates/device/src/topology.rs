@@ -1,0 +1,287 @@
+//! Device connectivity graphs.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use circuit::QubitId;
+use serde::{Deserialize, Serialize};
+
+/// An undirected connectivity graph over physical qubits.
+///
+/// ```
+/// use device::Topology;
+/// let ring = Topology::ring(8);
+/// assert_eq!(ring.num_qubits(), 8);
+/// assert!(ring.has_edge(0, 7));
+/// assert_eq!(ring.shortest_path(0, 4).unwrap().len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    num_qubits: usize,
+    edges: BTreeSet<(QubitId, QubitId)>,
+}
+
+impl Topology {
+    /// Creates a topology with `num_qubits` qubits and no edges.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "a topology needs at least one qubit");
+        Topology {
+            num_qubits,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Adds an undirected edge between two distinct qubits.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or the endpoints are equal.
+    pub fn add_edge(&mut self, a: QubitId, b: QubitId) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "edge endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        self.edges.insert((a.min(b), a.max(b)));
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// All edges, with endpoints ordered `(low, high)`.
+    pub fn edges(&self) -> impl Iterator<Item = (QubitId, QubitId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when qubits `a` and `b` are connected by an edge.
+    pub fn has_edge(&self, a: QubitId, b: QubitId) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Neighbors of a qubit.
+    pub fn neighbors(&self, q: QubitId) -> Vec<QubitId> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Breadth-first shortest path between two qubits (inclusive of both
+    /// endpoints), or `None` if they are disconnected.
+    pub fn shortest_path(&self, from: QubitId, to: QubitId) -> Option<Vec<QubitId>> {
+        assert!(from < self.num_qubits && to < self.num_qubits, "qubit out of range");
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        prev[from] = from;
+        while let Some(q) = queue.pop_front() {
+            for n in self.neighbors(q) {
+                if prev[n] == usize::MAX {
+                    prev[n] = q;
+                    if n == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Hop distance between two qubits (0 for identical qubits), or `None` if
+    /// disconnected.
+    pub fn distance(&self, from: QubitId, to: QubitId) -> Option<usize> {
+        self.shortest_path(from, to).map(|p| p.len() - 1)
+    }
+
+    /// True when every qubit can reach every other qubit.
+    pub fn is_connected(&self) -> bool {
+        (1..self.num_qubits).all(|q| self.distance(0, q).is_some())
+    }
+
+    /// A line of `n` qubits (`0–1–2–…`).
+    pub fn line(n: usize) -> Self {
+        let mut t = Topology::new(n);
+        for i in 0..n.saturating_sub(1) {
+            t.add_edge(i, i + 1);
+        }
+        t
+    }
+
+    /// A ring of `n` qubits.
+    pub fn ring(n: usize) -> Self {
+        let mut t = Topology::line(n);
+        if n > 2 {
+            t.add_edge(n - 1, 0);
+        }
+        t
+    }
+
+    /// A `rows × cols` rectangular grid with nearest-neighbor edges.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut t = Topology::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    t.add_edge(q, q + 1);
+                }
+                if r + 1 < rows {
+                    t.add_edge(q, q + cols);
+                }
+            }
+        }
+        t
+    }
+
+    /// Rigetti Aspen-8 connectivity: four octagonal rings of 8 qubits, with
+    /// adjacent rings joined by two bridge edges (qubits 1–2 and 6–5 of the
+    /// neighboring octagons), 32 sites in total. The real chip has two
+    /// non-functional qubits; we keep all 32 sites and let the calibration
+    /// table assign them very low fidelity instead, which has the same effect
+    /// on mapping.
+    pub fn aspen8() -> Self {
+        let rings = 4;
+        let per_ring = 8;
+        let mut t = Topology::new(rings * per_ring);
+        for r in 0..rings {
+            let base = r * per_ring;
+            for i in 0..per_ring {
+                t.add_edge(base + i, base + (i + 1) % per_ring);
+            }
+        }
+        // Bridges between consecutive octagons (Aspen chips connect rings via
+        // two parallel edges).
+        for r in 0..rings - 1 {
+            let a = r * per_ring;
+            let b = (r + 1) * per_ring;
+            t.add_edge(a + 1, b + 6);
+            t.add_edge(a + 2, b + 5);
+        }
+        t
+    }
+
+    /// Google Sycamore connectivity, modelled as a 6×9 nearest-neighbor grid
+    /// (54 qubits). The physical chip uses a diagonal square lattice with the
+    /// same degree-≤4 connectivity; a rectangular grid preserves the routing
+    /// distances that matter for the study.
+    pub fn sycamore() -> Self {
+        Topology::grid(6, 9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let line = Topology::line(5);
+        assert_eq!(line.num_edges(), 4);
+        assert!(!line.has_edge(0, 4));
+        let ring = Topology::ring(5);
+        assert_eq!(ring.num_edges(), 5);
+        assert!(ring.has_edge(0, 4));
+        assert!(ring.is_connected());
+    }
+
+    #[test]
+    fn grid_shape_and_distances() {
+        let g = Topology::grid(3, 4);
+        assert_eq!(g.num_qubits(), 12);
+        // Edges: 3*(4-1) horizontal + 4*(3-1) vertical = 9 + 8 = 17.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.distance(0, 11), Some(5));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let g = Topology::grid(3, 3);
+        let p = g.shortest_path(0, 8).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&8));
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_reports_none() {
+        let mut t = Topology::new(4);
+        t.add_edge(0, 1);
+        t.add_edge(2, 3);
+        assert!(t.shortest_path(0, 3).is_none());
+        assert!(!t.is_connected());
+        assert_eq!(t.distance(0, 1), Some(1));
+    }
+
+    #[test]
+    fn aspen8_structure() {
+        let a = Topology::aspen8();
+        assert_eq!(a.num_qubits(), 32);
+        // 4 rings x 8 edges + 3 x 2 bridges = 38 edges.
+        assert_eq!(a.num_edges(), 38);
+        assert!(a.is_connected());
+        assert!(a.has_edge(0, 7));
+        assert!(a.has_edge(1, 14));
+        // Degree never exceeds 3 on Aspen.
+        for q in 0..32 {
+            assert!(a.neighbors(q).len() <= 3, "qubit {q} has too many neighbors");
+        }
+    }
+
+    #[test]
+    fn sycamore_structure() {
+        let s = Topology::sycamore();
+        assert_eq!(s.num_qubits(), 54);
+        assert!(s.is_connected());
+        for q in 0..54 {
+            assert!(s.neighbors(q).len() <= 4);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = Topology::grid(3, 3);
+        for q in 0..9 {
+            for n in g.neighbors(q) {
+                assert!(g.neighbors(n).contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut t = Topology::new(2);
+        t.add_edge(1, 1);
+    }
+
+    #[test]
+    fn single_qubit_path() {
+        let t = Topology::line(3);
+        assert_eq!(t.shortest_path(1, 1).unwrap(), vec![1]);
+        assert_eq!(t.distance(1, 1), Some(0));
+    }
+}

@@ -1,0 +1,270 @@
+//! Named two-qubit gate *types*: fixed parameter points of a gate family.
+//!
+//! The paper selects seven expressive types `S1..S7` from the fSim plane
+//! (Fig. 8 / Table II) plus the hardware `SWAP` gate, and also uses the fixed
+//! gates already deployed on Rigetti (CZ, XY(π)) and Google (SYC, √iSWAP)
+//! hardware.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_3, FRAC_PI_4, FRAC_PI_6, PI};
+use std::fmt;
+
+use qmath::CMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::fsim::{fsim, FsimPoint};
+use crate::standard;
+
+/// A named two-qubit gate type: a fixed unitary that hardware can calibrate.
+///
+/// A `GateType` optionally records its coordinates in the fSim parameter plane
+/// (all types studied in the paper have such coordinates except the plain
+/// `SWAP`, which is fSim(π/2, π) up to single-qubit rotations and is tracked
+/// with those coordinates too).
+///
+/// ```
+/// use gates::GateType;
+/// let g = GateType::sqrt_iswap();
+/// assert_eq!(g.name(), "sqrt_iSWAP");
+/// assert!(g.unitary().is_unitary(1e-12));
+/// assert!(g.fsim_coords().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateType {
+    name: String,
+    unitary: CMatrix,
+    fsim_coords: Option<FsimPoint>,
+}
+
+impl GateType {
+    /// Creates a gate type from a name and an explicit 4×4 unitary.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not a 4×4 unitary.
+    pub fn new(name: impl Into<String>, unitary: CMatrix) -> Self {
+        assert_eq!(unitary.rows(), 4, "two-qubit gate types are 4x4");
+        assert!(unitary.is_unitary(1e-9), "gate type matrix must be unitary");
+        GateType {
+            name: name.into(),
+            unitary,
+            fsim_coords: None,
+        }
+    }
+
+    /// Creates a gate type located at `fSim(θ, φ)`.
+    pub fn from_fsim(name: impl Into<String>, theta: f64, phi: f64) -> Self {
+        GateType {
+            name: name.into(),
+            unitary: fsim(theta, phi),
+            fsim_coords: Some(FsimPoint::new(theta, phi)),
+        }
+    }
+
+    /// Gate-type name (e.g. `"SYC"`, `"CZ"`, `"fSim(pi/3,0)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The 4×4 unitary implemented by this gate type.
+    pub fn unitary(&self) -> &CMatrix {
+        &self.unitary
+    }
+
+    /// Coordinates in the fSim(θ, φ) plane, when known.
+    pub fn fsim_coords(&self) -> Option<FsimPoint> {
+        self.fsim_coords
+    }
+
+    // ----- The named gate types of the paper (Tables I & II) -----
+
+    /// `S1` = Google's Sycamore gate, `SYC = fSim(π/2, π/6)`.
+    pub fn syc() -> Self {
+        GateType::from_fsim("SYC", FRAC_PI_2, FRAC_PI_6)
+    }
+
+    /// `S2` = `√iSWAP = fSim(π/4, 0)`.
+    pub fn sqrt_iswap() -> Self {
+        GateType::from_fsim("sqrt_iSWAP", FRAC_PI_4, 0.0)
+    }
+
+    /// `S3` = `CZ = fSim(0, π)`.
+    pub fn cz() -> Self {
+        GateType::from_fsim("CZ", 0.0, PI)
+    }
+
+    /// `S4` = `iSWAP = fSim(π/2, 0)` (equivalently `XY(π)` up to 1Q rotations).
+    pub fn iswap() -> Self {
+        GateType::from_fsim("iSWAP", FRAC_PI_2, 0.0)
+    }
+
+    /// `S5` = `fSim(π/3, 0)`.
+    pub fn s5() -> Self {
+        GateType::from_fsim("fSim(pi/3,0)", FRAC_PI_3, 0.0)
+    }
+
+    /// `S6` = `fSim(3π/8, 0)`.
+    pub fn s6() -> Self {
+        GateType::from_fsim("fSim(3pi/8,0)", 3.0 * PI / 8.0, 0.0)
+    }
+
+    /// `S7` = `fSim(π/6, π)`.
+    pub fn s7() -> Self {
+        GateType::from_fsim("fSim(pi/6,pi)", FRAC_PI_6, PI)
+    }
+
+    /// Hardware SWAP gate. Up to single-qubit rotations `SWAP = fSim(π/2, π)`,
+    /// and those are the coordinates recorded here; the unitary stored is the
+    /// textbook SWAP matrix.
+    pub fn swap() -> Self {
+        GateType {
+            name: "SWAP".to_string(),
+            unitary: standard::swap(),
+            fsim_coords: Some(FsimPoint::new(FRAC_PI_2, PI)),
+        }
+    }
+
+    /// Rigetti's `XY(π)` gate type (equals iSWAP up to single-qubit rotations).
+    pub fn xy_pi() -> Self {
+        GateType {
+            name: "XY(pi)".to_string(),
+            unitary: crate::fsim::xy(PI),
+            fsim_coords: Some(FsimPoint::new(FRAC_PI_2, 0.0)),
+        }
+    }
+
+    /// CNOT gate type (not part of Table II, used by the KAK baseline tests).
+    pub fn cnot() -> Self {
+        GateType {
+            name: "CNOT".to_string(),
+            unitary: standard::cnot(),
+            fsim_coords: None,
+        }
+    }
+
+    /// The paper's baseline types `S1..S7` in order.
+    pub fn paper_singles() -> Vec<GateType> {
+        vec![
+            GateType::syc(),
+            GateType::sqrt_iswap(),
+            GateType::cz(),
+            GateType::iswap(),
+            GateType::s5(),
+            GateType::s6(),
+            GateType::s7(),
+        ]
+    }
+
+    /// The named single-type set `Sk` for `k` in `1..=7`.
+    ///
+    /// # Panics
+    /// Panics for `k` outside `1..=7`.
+    pub fn s(k: usize) -> GateType {
+        match k {
+            1 => GateType::syc(),
+            2 => GateType::sqrt_iswap(),
+            3 => GateType::cz(),
+            4 => GateType::iswap(),
+            5 => GateType::s5(),
+            6 => GateType::s6(),
+            7 => GateType::s7(),
+            _ => panic!("S{k} is not defined; valid types are S1..S7"),
+        }
+    }
+}
+
+impl fmt::Display for GateType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::Complex;
+
+    #[test]
+    fn all_paper_types_are_unitary() {
+        for g in GateType::paper_singles() {
+            assert!(g.unitary().is_unitary(1e-12), "{} not unitary", g.name());
+            assert!(g.fsim_coords().is_some());
+        }
+        assert!(GateType::swap().unitary().is_unitary(1e-12));
+        assert!(GateType::xy_pi().unitary().is_unitary(1e-12));
+        assert!(GateType::cnot().unitary().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn s_indexing_matches_named_constructors() {
+        assert_eq!(GateType::s(1), GateType::syc());
+        assert_eq!(GateType::s(2), GateType::sqrt_iswap());
+        assert_eq!(GateType::s(3), GateType::cz());
+        assert_eq!(GateType::s(4), GateType::iswap());
+        assert_eq!(GateType::s(7), GateType::s7());
+    }
+
+    #[test]
+    #[should_panic(expected = "S8 is not defined")]
+    fn s_indexing_out_of_range_panics() {
+        let _ = GateType::s(8);
+    }
+
+    #[test]
+    fn cz_matches_standard_cz() {
+        assert!(GateType::cz().unitary().approx_eq(&standard::cz(), 1e-12));
+    }
+
+    #[test]
+    fn syc_diagonal_phase() {
+        let syc = GateType::syc();
+        assert!((syc.unitary()[(3, 3)] - Complex::cis(-FRAC_PI_6)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_iswap_squares_to_iswap_block() {
+        // (fSim(pi/4,0))^2 = fSim(pi/2,0)
+        let s = GateType::sqrt_iswap();
+        let sq = s.unitary().pow(2);
+        assert!(sq.approx_eq(GateType::iswap().unitary(), 1e-12));
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(format!("{}", GateType::syc()), "SYC");
+    }
+
+    #[test]
+    fn gate_type_new_validates_unitarity() {
+        let good = GateType::new("custom", standard::swap());
+        assert_eq!(good.name(), "custom");
+        assert!(good.fsim_coords().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be unitary")]
+    fn gate_type_new_rejects_non_unitary() {
+        let m = CMatrix::from_real(4, &[1.0; 16]);
+        let _ = GateType::new("bad", m);
+    }
+
+    #[test]
+    fn swap_coords_are_pi_over_2_pi() {
+        let c = GateType::swap().fsim_coords().unwrap();
+        assert!((c.theta - FRAC_PI_2).abs() < 1e-12);
+        assert!((c.phi - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_singles_are_distinct() {
+        let singles = GateType::paper_singles();
+        for i in 0..singles.len() {
+            for j in (i + 1)..singles.len() {
+                assert!(
+                    !singles[i].unitary().approx_eq(singles[j].unitary(), 1e-9),
+                    "{} and {} have the same unitary",
+                    singles[i].name(),
+                    singles[j].name()
+                );
+            }
+        }
+    }
+}

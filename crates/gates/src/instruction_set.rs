@@ -1,0 +1,327 @@
+//! Instruction sets (Table II of the paper).
+//!
+//! An instruction set is the collection of two-qubit gate types a device
+//! exposes to the compiler (arbitrary single-qubit rotations are always
+//! included and are not represented explicitly). The paper studies:
+//!
+//! * single-type sets `S1..S7`,
+//! * Google multi-type sets `G1..G7` (nested combinations of `S1..S7` plus
+//!   SWAP in `G7`),
+//! * Rigetti multi-type sets `R1..R5` (subsets realizable with the XY family
+//!   plus CZ, plus SWAP in `R5`),
+//! * the continuous `FullXY` and `FullfSim` families.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fsim::ContinuousFamily;
+use crate::gate_type::GateType;
+
+/// Whether an instruction set is a finite list of calibrated types or a full
+/// continuous family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GateSetKind {
+    /// A finite set of calibrated gate types.
+    Discrete(Vec<GateType>),
+    /// A continuous gate family (every parameter value available).
+    Continuous(ContinuousFamily),
+}
+
+/// A named instruction set from Table II.
+///
+/// ```
+/// use gates::InstructionSet;
+/// let g2 = InstructionSet::g(2);
+/// assert_eq!(g2.name(), "G2");
+/// assert_eq!(g2.gate_types().len(), 3); // {SYC, sqrt_iSWAP, CZ}
+/// assert!(!g2.is_continuous());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstructionSet {
+    name: String,
+    kind: GateSetKind,
+}
+
+impl InstructionSet {
+    /// Creates a discrete instruction set from gate types.
+    ///
+    /// # Panics
+    /// Panics if `types` is empty.
+    pub fn discrete(name: impl Into<String>, types: Vec<GateType>) -> Self {
+        assert!(!types.is_empty(), "an instruction set needs at least one gate type");
+        InstructionSet {
+            name: name.into(),
+            kind: GateSetKind::Discrete(types),
+        }
+    }
+
+    /// Creates a continuous instruction set.
+    pub fn continuous(family: ContinuousFamily) -> Self {
+        InstructionSet {
+            name: family.name().to_string(),
+            kind: GateSetKind::Continuous(family),
+        }
+    }
+
+    /// Instruction-set name as used in the paper (e.g. `"S3"`, `"G7"`, `"FullfSim"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The set's kind (discrete list or continuous family).
+    pub fn kind(&self) -> &GateSetKind {
+        &self.kind
+    }
+
+    /// True for `FullXY` / `FullfSim`.
+    pub fn is_continuous(&self) -> bool {
+        matches!(self.kind, GateSetKind::Continuous(_))
+    }
+
+    /// The discrete gate types of the set (empty slice for continuous sets).
+    pub fn gate_types(&self) -> &[GateType] {
+        match &self.kind {
+            GateSetKind::Discrete(v) => v,
+            GateSetKind::Continuous(_) => &[],
+        }
+    }
+
+    /// The continuous family, if this is a continuous set.
+    pub fn family(&self) -> Option<ContinuousFamily> {
+        match &self.kind {
+            GateSetKind::Discrete(_) => None,
+            GateSetKind::Continuous(f) => Some(*f),
+        }
+    }
+
+    /// Number of distinct two-qubit gate types that must be calibrated.
+    /// Continuous sets report `usize::MAX` as a sentinel ("infinite").
+    pub fn num_gate_types(&self) -> usize {
+        match &self.kind {
+            GateSetKind::Discrete(v) => v.len(),
+            GateSetKind::Continuous(_) => usize::MAX,
+        }
+    }
+
+    /// True when the set contains a native SWAP gate type (the paper's R5/G7).
+    pub fn has_native_swap(&self) -> bool {
+        self.gate_types().iter().any(|g| g.name() == "SWAP")
+    }
+
+    // ----- Table II constructors -----
+
+    /// Single-type instruction set `Sk`, `k ∈ 1..=7`.
+    pub fn s(k: usize) -> InstructionSet {
+        InstructionSet::discrete(format!("S{k}"), vec![GateType::s(k)])
+    }
+
+    /// Google multi-type instruction set `Gk`, `k ∈ 1..=7`:
+    /// `G1 = {S1,S2}`, `G2 = {S1,S2,S3}`, …, `G6 = {S1..S7}`, `G7 = G6 ∪ {SWAP}`.
+    pub fn g(k: usize) -> InstructionSet {
+        assert!((1..=7).contains(&k), "G{k} is not defined; valid sets are G1..G7");
+        let mut types: Vec<GateType> = (1..=(k + 1).min(7)).map(GateType::s).collect();
+        if k == 7 {
+            types.push(GateType::swap());
+        }
+        InstructionSet::discrete(format!("G{k}"), types)
+    }
+
+    /// Rigetti multi-type instruction set `Rk`, `k ∈ 1..=5`:
+    /// `R1 = {S3,S4}`, `R2 = {S2,S3,S4}`, `R3 = {S2,S3,S4,S5}`,
+    /// `R4 = {S2,S3,S4,S5,S6}`, `R5 = R4 ∪ {SWAP}`.
+    pub fn r(k: usize) -> InstructionSet {
+        let types = match k {
+            1 => vec![GateType::s(3), GateType::s(4)],
+            2 => vec![GateType::s(2), GateType::s(3), GateType::s(4)],
+            3 => vec![GateType::s(2), GateType::s(3), GateType::s(4), GateType::s(5)],
+            4 => vec![
+                GateType::s(2),
+                GateType::s(3),
+                GateType::s(4),
+                GateType::s(5),
+                GateType::s(6),
+            ],
+            5 => vec![
+                GateType::s(2),
+                GateType::s(3),
+                GateType::s(4),
+                GateType::s(5),
+                GateType::s(6),
+                GateType::swap(),
+            ],
+            _ => panic!("R{k} is not defined; valid sets are R1..R5"),
+        };
+        InstructionSet::discrete(format!("R{k}"), types)
+    }
+
+    /// Rigetti's continuous `FullXY` set.
+    pub fn full_xy() -> InstructionSet {
+        InstructionSet::continuous(ContinuousFamily::FullXy)
+    }
+
+    /// Google's continuous `FullfSim` set.
+    pub fn full_fsim() -> InstructionSet {
+        InstructionSet::continuous(ContinuousFamily::FullFsim)
+    }
+
+    /// All single-type sets `S1..S7` (Table II row 1).
+    pub fn all_singles() -> Vec<InstructionSet> {
+        (1..=7).map(InstructionSet::s).collect()
+    }
+
+    /// All Google sets `G1..G7` (Table II row 2).
+    pub fn all_google() -> Vec<InstructionSet> {
+        (1..=7).map(InstructionSet::g).collect()
+    }
+
+    /// All Rigetti sets `R1..R5` (Table II row 3).
+    pub fn all_rigetti() -> Vec<InstructionSet> {
+        (1..=5).map(InstructionSet::r).collect()
+    }
+
+    /// The complete Table II: S1–S7, G1–G7, R1–R5, FullXY, FullfSim.
+    pub fn table2() -> Vec<InstructionSet> {
+        let mut all = InstructionSet::all_singles();
+        all.extend(InstructionSet::all_google());
+        all.extend(InstructionSet::all_rigetti());
+        all.push(InstructionSet::full_xy());
+        all.push(InstructionSet::full_fsim());
+        all
+    }
+
+    /// Looks up a Table II set by its paper name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<InstructionSet> {
+        let lower = name.to_ascii_lowercase();
+        InstructionSet::table2()
+            .into_iter()
+            .find(|s| s.name().to_ascii_lowercase() == lower)
+    }
+}
+
+impl fmt::Display for InstructionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            GateSetKind::Discrete(types) => {
+                let names: Vec<&str> = types.iter().map(|t| t.name()).collect();
+                write!(f, "{} = {{{}}}", self.name, names.join(", "))
+            }
+            GateSetKind::Continuous(fam) => write!(f, "{} (continuous)", fam.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sets_have_one_type() {
+        for k in 1..=7 {
+            let s = InstructionSet::s(k);
+            assert_eq!(s.gate_types().len(), 1);
+            assert_eq!(s.name(), format!("S{k}"));
+            assert!(!s.is_continuous());
+            assert!(!s.has_native_swap());
+        }
+    }
+
+    #[test]
+    fn google_sets_match_table2_sizes() {
+        // G1 has 2 types, G2 has 3, ..., G6 has 7, G7 has 8 (adds SWAP).
+        let expected = [2usize, 3, 4, 5, 6, 7, 8];
+        for (k, &want) in (1..=7).zip(expected.iter()) {
+            let g = InstructionSet::g(k);
+            assert_eq!(g.gate_types().len(), want, "G{k}");
+        }
+        assert!(InstructionSet::g(7).has_native_swap());
+        assert!(!InstructionSet::g(6).has_native_swap());
+    }
+
+    #[test]
+    fn rigetti_sets_match_table2_sizes() {
+        let expected = [2usize, 3, 4, 5, 6];
+        for (k, &want) in (1..=5).zip(expected.iter()) {
+            let r = InstructionSet::r(k);
+            assert_eq!(r.gate_types().len(), want, "R{k}");
+        }
+        assert!(InstructionSet::r(5).has_native_swap());
+        assert!(!InstructionSet::r(4).has_native_swap());
+    }
+
+    #[test]
+    fn rigetti_sets_only_use_xy_family_plus_cz_and_swap() {
+        // Every Rigetti gate type must lie on the XY line (phi = 0) or be CZ or SWAP.
+        for k in 1..=5 {
+            for t in InstructionSet::r(k).gate_types() {
+                let ok = t.name() == "CZ"
+                    || t.name() == "SWAP"
+                    || t.fsim_coords().map(|c| c.phi.abs() < 1e-12).unwrap_or(false);
+                assert!(ok, "R{k} contains non-XY-family type {}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_sets() {
+        let xy = InstructionSet::full_xy();
+        let fsim = InstructionSet::full_fsim();
+        assert!(xy.is_continuous());
+        assert!(fsim.is_continuous());
+        assert_eq!(xy.num_gate_types(), usize::MAX);
+        assert!(xy.gate_types().is_empty());
+        assert_eq!(xy.family(), Some(ContinuousFamily::FullXy));
+        assert_eq!(fsim.family(), Some(ContinuousFamily::FullFsim));
+    }
+
+    #[test]
+    fn table2_has_21_sets() {
+        // 7 singles + 7 Google + 5 Rigetti + 2 continuous.
+        assert_eq!(InstructionSet::table2().len(), 21);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(InstructionSet::by_name("g3").unwrap().name(), "G3");
+        assert_eq!(InstructionSet::by_name("FULLFSIM").unwrap().name(), "FullfSim");
+        assert!(InstructionSet::by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn google_sets_are_nested() {
+        for k in 1..=6usize {
+            let smaller = InstructionSet::g(k);
+            let larger = InstructionSet::g(k + 1);
+            for t in smaller.gate_types() {
+                assert!(
+                    larger.gate_types().iter().any(|u| u.name() == t.name()),
+                    "G{} missing {} from G{}",
+                    k + 1,
+                    t.name(),
+                    k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let shown = format!("{}", InstructionSet::g(1));
+        assert!(shown.contains("SYC"));
+        assert!(shown.contains("sqrt_iSWAP"));
+        let cont = format!("{}", InstructionSet::full_fsim());
+        assert!(cont.contains("continuous"));
+    }
+
+    #[test]
+    #[should_panic(expected = "G8 is not defined")]
+    fn invalid_google_set_panics() {
+        let _ = InstructionSet::g(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "R6 is not defined")]
+    fn invalid_rigetti_set_panics() {
+        let _ = InstructionSet::r(6);
+    }
+}

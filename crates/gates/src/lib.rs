@@ -1,0 +1,47 @@
+//! Quantum gate definitions and instruction sets.
+//!
+//! This crate encodes the gate-level vocabulary of the ISCA'21 paper
+//! *"Designing Calibration and Expressivity-Efficient Instruction Sets for
+//! Quantum Computing"*:
+//!
+//! * Standard fixed gates (Pauli, Hadamard, CZ, CNOT, SWAP, iSWAP, …) and the
+//!   arbitrary single-qubit rotation `U3(α, β, λ)` used by NuOp templates
+//!   ([`standard`]).
+//! * The continuous two-qubit **gate families** proposed by Rigetti and Google —
+//!   `XY(θ)`, `CPHASE(φ)` and `fSim(θ, φ)` (Table I) — in [`fsim`].
+//! * Named two-qubit **gate types** (fixed points of a family) such as `SYC`,
+//!   `√iSWAP` and the `S1..S7` types the paper selects ([`gate_type`]).
+//! * The **instruction sets** studied by the paper (Table II): single-type sets
+//!   `S1`–`S7`, the Google combinations `G1`–`G7`, the Rigetti combinations
+//!   `R1`–`R5`, and the continuous `FullXY` / `FullfSim` sets
+//!   ([`instruction_set`]).
+//!
+//! The terminology follows §II of the paper: a gate *family* is a
+//! continuously-parameterized set of unitaries; a gate *type* is one fixed
+//! parameter choice in a family.
+//!
+//! # Example
+//!
+//! ```
+//! use gates::{fsim, standard, GateType};
+//!
+//! // CZ is fSim(0, pi) (Table I identity).
+//! let cz = standard::cz();
+//! let as_fsim = fsim::fsim(0.0, std::f64::consts::PI);
+//! assert!(cz.approx_eq(&as_fsim, 1e-12));
+//!
+//! // A named gate type carries its fSim coordinates.
+//! let syc = GateType::syc();
+//! assert_eq!(syc.name(), "SYC");
+//! assert!(syc.unitary().is_unitary(1e-12));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fsim;
+pub mod gate_type;
+pub mod instruction_set;
+pub mod standard;
+
+pub use gate_type::GateType;
+pub use instruction_set::{GateSetKind, InstructionSet};

@@ -1,0 +1,85 @@
+//! Property-based tests for gate families and instruction sets.
+
+use gates::fsim::{fsim, xy, ContinuousFamily, FsimPoint};
+use gates::{standard, GateType, InstructionSet};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fsim_is_unitary_for_all_angles(theta in 0.0f64..std::f64::consts::PI, phi in 0.0f64..(2.0 * std::f64::consts::PI)) {
+        prop_assert!(fsim(theta, phi).is_unitary(1e-10));
+    }
+
+    #[test]
+    fn xy_is_unitary_and_periodic(theta in -10.0f64..10.0) {
+        let u = xy(theta);
+        prop_assert!(u.is_unitary(1e-10));
+        // XY is 4π-periodic in matrix form (2π flips the sign of the block).
+        let shifted = xy(theta + 4.0 * std::f64::consts::PI);
+        prop_assert!(u.approx_eq(&shifted, 1e-9));
+    }
+
+    #[test]
+    fn fsim_composes_additively_in_theta_on_the_xy_line(a in 0.0f64..1.5, b in 0.0f64..1.5) {
+        // fSim(a,0)·fSim(b,0) = fSim(a+b,0): the iSWAP-like rotations commute.
+        let lhs = &fsim(a, 0.0) * &fsim(b, 0.0);
+        prop_assert!(lhs.approx_eq(&fsim(a + b, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn cphase_composes_additively(a in 0.0f64..3.0, b in 0.0f64..3.0) {
+        let lhs = &standard::cphase(a) * &standard::cphase(b);
+        prop_assert!(lhs.approx_eq(&standard::cphase(a + b), 1e-9));
+    }
+
+    #[test]
+    fn u3_is_always_unitary(alpha in -7.0f64..7.0, beta in -7.0f64..7.0, lambda in -7.0f64..7.0) {
+        prop_assert!(standard::u3(alpha, beta, lambda).is_unitary(1e-10));
+    }
+
+    #[test]
+    fn zz_and_hopping_interactions_are_unitary(angle in -3.0f64..3.0) {
+        prop_assert!(standard::zz_interaction(angle).is_unitary(1e-10));
+        prop_assert!(standard::xx_plus_yy_interaction(angle).is_unitary(1e-10));
+    }
+
+    #[test]
+    fn continuous_family_unitaries_are_unitary(theta in 0.0f64..1.57, phi in 0.0f64..3.14) {
+        prop_assert!(ContinuousFamily::FullFsim.unitary(&[theta, phi]).is_unitary(1e-10));
+        prop_assert!(ContinuousFamily::FullXy.unitary(&[theta]).is_unitary(1e-10));
+    }
+
+    #[test]
+    fn fsim_point_distance_is_a_metric(a in 0.0f64..1.5, b in 0.0f64..3.1, c in 0.0f64..1.5, d in 0.0f64..3.1) {
+        let p = FsimPoint::new(a, b);
+        let q = FsimPoint::new(c, d);
+        prop_assert!(p.distance(&q) >= 0.0);
+        prop_assert!((p.distance(&q) - q.distance(&p)).abs() < 1e-12);
+        prop_assert!(p.distance(&p) < 1e-12);
+    }
+
+    #[test]
+    fn gate_type_from_fsim_records_coordinates(theta in 0.0f64..1.57, phi in 0.0f64..3.14) {
+        let g = GateType::from_fsim("probe", theta, phi);
+        let coords = g.fsim_coords().unwrap();
+        prop_assert!((coords.theta - theta).abs() < 1e-12);
+        prop_assert!((coords.phi - phi).abs() < 1e-12);
+        prop_assert!(g.unitary().approx_eq(&fsim(theta, phi), 1e-12));
+    }
+}
+
+#[test]
+fn every_table2_set_is_well_formed() {
+    for set in InstructionSet::table2() {
+        if set.is_continuous() {
+            assert!(set.family().is_some());
+        } else {
+            assert!(!set.gate_types().is_empty());
+            for g in set.gate_types() {
+                assert!(g.unitary().is_unitary(1e-10), "{} in {}", g.name(), set.name());
+            }
+        }
+        // Round-trip through the by-name lookup.
+        assert_eq!(InstructionSet::by_name(set.name()).unwrap().name(), set.name());
+    }
+}

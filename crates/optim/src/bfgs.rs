@@ -1,0 +1,411 @@
+//! BFGS quasi-Newton minimization with a strong-Wolfe line search.
+//!
+//! This is the workhorse behind NuOp template optimization. The implementation
+//! follows Nocedal & Wright, *Numerical Optimization*, Algorithms 6.1 (BFGS)
+//! and 3.5/3.6 (line search satisfying the strong Wolfe conditions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{dot, norm, numerical_gradient};
+
+/// Options controlling a BFGS run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BfgsOptions {
+    /// Maximum number of quasi-Newton iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the gradient infinity norm.
+    pub grad_tol: f64,
+    /// Convergence threshold on the decrease of the objective between iterations.
+    pub f_tol: f64,
+    /// Finite-difference step for the numerical gradient.
+    pub fd_step: f64,
+    /// Armijo (sufficient decrease) constant `c1` of the Wolfe conditions.
+    pub c1: f64,
+    /// Curvature constant `c2` of the Wolfe conditions.
+    pub c2: f64,
+    /// Maximum number of function evaluations inside one line search.
+    pub max_line_search_steps: usize,
+}
+
+impl Default for BfgsOptions {
+    fn default() -> Self {
+        BfgsOptions {
+            max_iters: 200,
+            grad_tol: 1e-8,
+            f_tol: 1e-12,
+            fd_step: 1e-6,
+            c1: 1e-4,
+            c2: 0.9,
+            max_line_search_steps: 30,
+        }
+    }
+}
+
+impl BfgsOptions {
+    /// A cheaper option set used when the caller only needs a coarse optimum
+    /// (e.g. NuOp's approximate decomposition mode).
+    pub fn fast() -> Self {
+        BfgsOptions {
+            max_iters: 80,
+            grad_tol: 1e-6,
+            ..BfgsOptions::default()
+        }
+    }
+}
+
+/// The result of an optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimResult {
+    /// Location of the best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Number of objective evaluations (including gradient probes).
+    pub evaluations: usize,
+    /// Whether a convergence criterion (gradient or f-decrease) was met.
+    pub converged: bool,
+    /// Final gradient norm.
+    pub gradient_norm: f64,
+}
+
+/// Minimizes `f` starting from `x0` using BFGS with numerical gradients.
+///
+/// The function must be smooth in the region explored; this holds for the
+/// trigonometric fidelity objectives used in gate decomposition.
+///
+/// ```
+/// use optim::{minimize_bfgs, BfgsOptions};
+/// let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+/// let r = minimize_bfgs(&sphere, &[1.0, -2.0, 3.0], &BfgsOptions::default());
+/// assert!(r.value < 1e-12);
+/// assert!(r.converged);
+/// ```
+pub fn minimize_bfgs<F>(f: &F, x0: &[f64], opts: &BfgsOptions) -> OptimResult
+where
+    F: Fn(&[f64]) -> f64 + ?Sized,
+{
+    let n = x0.len();
+    assert!(n > 0, "cannot optimize a zero-dimensional problem");
+    let mut evaluations = 0usize;
+    let eval = |x: &[f64], evaluations: &mut usize| {
+        *evaluations += 1;
+        f(x)
+    };
+
+    let mut x = x0.to_vec();
+    let mut fx = eval(&x, &mut evaluations);
+    let mut grad = numerical_gradient(f, &x, opts.fd_step);
+    evaluations += 2 * n;
+
+    // Inverse Hessian approximation, initialized to the identity.
+    let mut h_inv = identity(n);
+
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..opts.max_iters {
+        iterations = iter + 1;
+        let gnorm = norm(&grad);
+        if gnorm < opts.grad_tol {
+            converged = true;
+            break;
+        }
+
+        // Search direction p = -H_inv * grad.
+        let mut p = mat_vec(&h_inv, &grad);
+        for v in &mut p {
+            *v = -*v;
+        }
+        // Safeguard: if the direction is not a descent direction (numerical
+        // breakdown), restart from steepest descent.
+        if dot(&p, &grad) >= 0.0 {
+            h_inv = identity(n);
+            p = grad.iter().map(|g| -g).collect();
+        }
+
+        // Strong-Wolfe line search for step length alpha.
+        let (alpha, f_new, ls_evals) = wolfe_line_search(f, &x, fx, &grad, &p, opts);
+        evaluations += ls_evals;
+        if alpha == 0.0 {
+            // Line search failed to make progress; treat as converged to avoid
+            // spinning.
+            break;
+        }
+
+        let x_new: Vec<f64> = x.iter().zip(p.iter()).map(|(xi, pi)| xi + alpha * pi).collect();
+        let grad_new = numerical_gradient(f, &x_new, opts.fd_step);
+        evaluations += 2 * n;
+
+        // BFGS update of the inverse Hessian.
+        let s: Vec<f64> = x_new.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = grad_new.iter().zip(grad.iter()).map(|(a, b)| a - b).collect();
+        let sy = dot(&s, &y);
+        if sy > 1e-12 {
+            let rho = 1.0 / sy;
+            h_inv = bfgs_update(&h_inv, &s, &y, rho);
+        }
+
+        let f_decrease = fx - f_new;
+        x = x_new;
+        fx = f_new;
+        grad = grad_new;
+
+        if f_decrease.abs() < opts.f_tol && f_decrease >= 0.0 {
+            converged = true;
+            break;
+        }
+    }
+
+    OptimResult {
+        gradient_norm: norm(&grad),
+        x,
+        value: fx,
+        iterations,
+        evaluations,
+        converged,
+    }
+}
+
+fn identity(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect()
+}
+
+fn mat_vec(m: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    m.iter().map(|row| dot(row, v)).collect()
+}
+
+/// BFGS inverse-Hessian update:
+/// `H' = (I - rho s y^T) H (I - rho y s^T) + rho s s^T`.
+fn bfgs_update(h: &[Vec<f64>], s: &[f64], y: &[f64], rho: f64) -> Vec<Vec<f64>> {
+    let n = s.len();
+    // A = I - rho * s y^T
+    let mut a = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = if i == j { 1.0 } else { 0.0 } - rho * s[i] * y[j];
+        }
+    }
+    // H' = A H A^T + rho s s^T
+    let mut ah = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a[i][k] * h[k][j];
+            }
+            ah[i][j] = acc;
+        }
+    }
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += ah[i][k] * a[j][k];
+            }
+            out[i][j] = acc + rho * s[i] * s[j];
+        }
+    }
+    out
+}
+
+/// A bracketing + zoom line search enforcing the strong Wolfe conditions.
+/// Returns `(alpha, f(x + alpha p), evaluations)`; `alpha == 0` signals failure.
+fn wolfe_line_search<F>(
+    f: &F,
+    x: &[f64],
+    fx: f64,
+    grad: &[f64],
+    p: &[f64],
+    opts: &BfgsOptions,
+) -> (f64, f64, usize)
+where
+    F: Fn(&[f64]) -> f64 + ?Sized,
+{
+    let mut evals = 0usize;
+    let phi0 = fx;
+    let dphi0 = dot(grad, p);
+    if dphi0 >= 0.0 {
+        return (0.0, fx, evals);
+    }
+    let phi = |alpha: f64, evals: &mut usize| {
+        *evals += 1;
+        let probe: Vec<f64> = x.iter().zip(p.iter()).map(|(xi, pi)| xi + alpha * pi).collect();
+        f(&probe)
+    };
+    let dphi = |alpha: f64, evals: &mut usize| {
+        // Directional derivative by central difference along p.
+        let h = opts.fd_step;
+        *evals += 2;
+        let plus: Vec<f64> = x
+            .iter()
+            .zip(p.iter())
+            .map(|(xi, pi)| xi + (alpha + h) * pi)
+            .collect();
+        let minus: Vec<f64> = x
+            .iter()
+            .zip(p.iter())
+            .map(|(xi, pi)| xi + (alpha - h) * pi)
+            .collect();
+        (f(&plus) - f(&minus)) / (2.0 * h)
+    };
+
+    let mut alpha_prev = 0.0;
+    let mut phi_prev = phi0;
+    let mut alpha = 1.0;
+    let alpha_max = 10.0;
+
+    for i in 0..opts.max_line_search_steps {
+        let phi_alpha = phi(alpha, &mut evals);
+        if phi_alpha > phi0 + opts.c1 * alpha * dphi0 || (i > 0 && phi_alpha >= phi_prev) {
+            let (a, fa) = zoom(
+                &phi, &dphi, phi0, dphi0, alpha_prev, phi_prev, alpha, opts, &mut evals,
+            );
+            return (a, fa, evals);
+        }
+        let dphi_alpha = dphi(alpha, &mut evals);
+        if dphi_alpha.abs() <= -opts.c2 * dphi0 {
+            return (alpha, phi_alpha, evals);
+        }
+        if dphi_alpha >= 0.0 {
+            let (a, fa) = zoom(
+                &phi, &dphi, phi0, dphi0, alpha, phi_alpha, alpha_prev, opts, &mut evals,
+            );
+            return (a, fa, evals);
+        }
+        alpha_prev = alpha;
+        phi_prev = phi_alpha;
+        alpha = (alpha * 2.0).min(alpha_max);
+    }
+    // Fall back to a simple backtracking result.
+    let phi_alpha = phi(alpha, &mut evals);
+    if phi_alpha < phi0 {
+        (alpha, phi_alpha, evals)
+    } else {
+        (0.0, phi0, evals)
+    }
+}
+
+/// The `zoom` procedure of Nocedal & Wright Algorithm 3.6, expressed on the
+/// one-dimensional restriction `phi(alpha) = f(x + alpha p)`.
+#[allow(clippy::too_many_arguments)]
+fn zoom<P, D>(
+    phi: &P,
+    dphi: &D,
+    phi0: f64,
+    dphi0: f64,
+    mut alpha_lo: f64,
+    mut phi_lo: f64,
+    mut alpha_hi: f64,
+    opts: &BfgsOptions,
+    evals: &mut usize,
+) -> (f64, f64)
+where
+    P: Fn(f64, &mut usize) -> f64,
+    D: Fn(f64, &mut usize) -> f64,
+{
+    let mut best = (alpha_lo, phi_lo);
+    for _ in 0..opts.max_line_search_steps {
+        // Bisection is robust for the smooth objectives we optimize.
+        let alpha = 0.5 * (alpha_lo + alpha_hi);
+        if (alpha_hi - alpha_lo).abs() < 1e-14 {
+            break;
+        }
+        let phi_alpha = phi(alpha, evals);
+        if phi_alpha > phi0 + opts.c1 * alpha * dphi0 || phi_alpha >= phi_lo {
+            alpha_hi = alpha;
+        } else {
+            if phi_alpha < best.1 {
+                best = (alpha, phi_alpha);
+            }
+            let dphi_alpha = dphi(alpha, evals);
+            if dphi_alpha.abs() <= -opts.c2 * dphi0 {
+                return (alpha, phi_alpha);
+            }
+            if dphi_alpha * (alpha_hi - alpha_lo) >= 0.0 {
+                alpha_hi = alpha_lo;
+            }
+            alpha_lo = alpha;
+            phi_lo = phi_alpha;
+        }
+    }
+    if best.1 < phi0 {
+        best
+    } else {
+        (0.0, phi0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_sphere() {
+        let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = minimize_bfgs(&sphere, &[3.0, -4.0], &BfgsOptions::default());
+        assert!(r.value < 1e-10, "value = {}", r.value);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = minimize_bfgs(&rosen, &[-1.2, 1.0], &BfgsOptions::default());
+        assert!(r.value < 1e-6, "value = {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+        assert!((r.x[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn minimizes_trig_objective() {
+        // Shaped like a decomposition-fidelity landscape.
+        let f = |x: &[f64]| 1.0 - (x[0].cos() * x[1].sin()).powi(2);
+        let r = minimize_bfgs(&f, &[0.3, 1.0], &BfgsOptions::default());
+        assert!(r.value < 1e-8, "value = {}", r.value);
+    }
+
+    #[test]
+    fn already_at_minimum_converges_immediately() {
+        let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = minimize_bfgs(&sphere, &[0.0, 0.0, 0.0], &BfgsOptions::default());
+        assert!(r.converged);
+        assert!(r.iterations <= 2);
+        assert!(r.value < 1e-15);
+    }
+
+    #[test]
+    fn fast_options_still_work() {
+        let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = minimize_bfgs(&sphere, &[1.0, 1.0], &BfgsOptions::fast());
+        assert!(r.value < 1e-8);
+    }
+
+    #[test]
+    fn high_dimensional_quadratic() {
+        let f = |x: &[f64]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (i as f64 + 1.0) * (v - 1.0) * (v - 1.0))
+                .sum::<f64>()
+        };
+        let x0 = vec![0.0; 12];
+        let r = minimize_bfgs(&f, &x0, &BfgsOptions::default());
+        assert!(r.value < 1e-8, "value = {}", r.value);
+        for v in &r.x {
+            assert!((v - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn zero_dimensional_panics() {
+        let f = |_: &[f64]| 0.0;
+        let _ = minimize_bfgs(&f, &[], &BfgsOptions::default());
+    }
+}

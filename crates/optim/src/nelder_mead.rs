@@ -1,0 +1,178 @@
+//! Derivative-free Nelder–Mead simplex minimization.
+//!
+//! Used as a fallback/sanity-check for the BFGS path: the gate-decomposition
+//! objective is smooth, so BFGS should always win, but a derivative-free method
+//! is valuable when verifying that BFGS did not get stuck due to a line-search
+//! failure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bfgs::OptimResult;
+use crate::norm;
+
+/// Options controlling a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NelderMeadOptions {
+    /// Maximum number of iterations (simplex updates).
+    pub max_iters: usize,
+    /// Convergence threshold on the simplex function-value spread.
+    pub f_tol: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_iters: 2000,
+            f_tol: 1e-12,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Minimizes `f` from `x0` with the Nelder–Mead simplex algorithm.
+///
+/// ```
+/// use optim::{minimize_nelder_mead, NelderMeadOptions};
+/// let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+/// let r = minimize_nelder_mead(&sphere, &[1.0, 2.0], &NelderMeadOptions::default());
+/// assert!(r.value < 1e-8);
+/// ```
+pub fn minimize_nelder_mead<F>(f: &F, x0: &[f64], opts: &NelderMeadOptions) -> OptimResult
+where
+    F: Fn(&[f64]) -> f64 + ?Sized,
+{
+    let n = x0.len();
+    assert!(n > 0, "cannot optimize a zero-dimensional problem");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut evaluations = 0usize;
+    let eval = |x: &[f64], e: &mut usize| {
+        *e += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evaluations);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += opts.initial_step;
+        let fp = eval(&p, &mut evaluations);
+        simplex.push((p, fp));
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    for iter in 0..opts.max_iters {
+        iterations = iter + 1;
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN objective"));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.f_tol {
+            converged = true;
+            break;
+        }
+        // Centroid of all but worst.
+        let mut centroid = vec![0.0; n];
+        for (p, _) in simplex.iter().take(n) {
+            for i in 0..n {
+                centroid[i] += p[i] / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = (0..n)
+            .map(|i| centroid[i] + alpha * (centroid[i] - worst.0[i]))
+            .collect();
+        let f_reflect = eval(&reflect, &mut evaluations);
+
+        if f_reflect < simplex[0].1 {
+            // Expansion.
+            let expand: Vec<f64> = (0..n)
+                .map(|i| centroid[i] + gamma * (reflect[i] - centroid[i]))
+                .collect();
+            let f_expand = eval(&expand, &mut evaluations);
+            simplex[n] = if f_expand < f_reflect {
+                (expand, f_expand)
+            } else {
+                (reflect, f_reflect)
+            };
+        } else if f_reflect < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_reflect);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = (0..n)
+                .map(|i| centroid[i] + rho * (worst.0[i] - centroid[i]))
+                .collect();
+            let f_contract = eval(&contract, &mut evaluations);
+            if f_contract < worst.1 {
+                simplex[n] = (contract, f_contract);
+            } else {
+                // Shrink towards best.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = (0..n)
+                        .map(|i| best[i] + sigma * (entry.0[i] - best[i]))
+                        .collect();
+                    let fs = eval(&shrunk, &mut evaluations);
+                    *entry = (shrunk, fs);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN objective"));
+    let best = simplex.swap_remove(0);
+    OptimResult {
+        gradient_norm: norm(&crate::numerical_gradient(f, &best.0, 1e-6)),
+        x: best.0,
+        value: best.1,
+        iterations,
+        evaluations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_sphere() {
+        let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = minimize_nelder_mead(&sphere, &[2.0, -1.0, 0.5], &NelderMeadOptions::default());
+        assert!(r.value < 1e-8, "value = {}", r.value);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = minimize_nelder_mead(&rosen, &[-1.2, 1.0], &NelderMeadOptions::default());
+        assert!(r.value < 1e-6, "value = {}", r.value);
+    }
+
+    #[test]
+    fn agrees_with_bfgs_on_smooth_problem() {
+        let f = |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] + 0.7).powi(2) + 1.5;
+        let nm = minimize_nelder_mead(&f, &[0.0, 0.0], &NelderMeadOptions::default());
+        let bf = crate::minimize_bfgs(&f, &[0.0, 0.0], &crate::BfgsOptions::default());
+        assert!((nm.value - bf.value).abs() < 1e-6);
+        assert!((nm.value - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_dimensional_problem() {
+        let f = |x: &[f64]| (x[0] - 2.0).powi(4);
+        let r = minimize_nelder_mead(&f, &[10.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn zero_dimensional_panics() {
+        let f = |_: &[f64]| 0.0;
+        let _ = minimize_nelder_mead(&f, &[], &NelderMeadOptions::default());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fidelity measures between unitaries.
+//!
+//! NuOp's objective (paper Eq. 1) is the Hilbert–Schmidt overlap between the
+//! unitary realised by a template circuit and the target application unitary.
+//! This module provides that overlap plus the standard average-gate-fidelity
+//! conversion used when mixing decomposition error with hardware error
+//! (paper Eq. 2).
+
+use crate::complex::Complex;
+use crate::matrix::CMatrix;
+
+/// Hilbert–Schmidt inner product `Tr(A† B)`.
+///
+/// # Panics
+/// Panics if the two matrices have different shapes or are not square.
+pub fn hilbert_schmidt_inner(a: &CMatrix, b: &CMatrix) -> Complex {
+    assert!(a.is_square() && b.is_square(), "HS inner product needs square matrices");
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
+    let n = a.rows();
+    let mut acc = Complex::ZERO;
+    for r in 0..n {
+        for c in 0..n {
+            acc += a[(r, c)].conj() * b[(r, c)];
+        }
+    }
+    acc
+}
+
+/// Phase-insensitive Hilbert–Schmidt fidelity `|Tr(A† B)| / dim`.
+///
+/// Equals 1 exactly when `A` and `B` implement the same operation up to a global
+/// phase, and decays towards 0 as they diverge. This is the decomposition
+/// fidelity `F_d` of paper Eq. 1 (made phase-insensitive, which is standard
+/// because global phase is unobservable).
+///
+/// ```
+/// use qmath::{hilbert_schmidt_fidelity, CMatrix};
+/// let id = CMatrix::identity(4);
+/// assert!((hilbert_schmidt_fidelity(&id, &id) - 1.0).abs() < 1e-12);
+/// ```
+pub fn hilbert_schmidt_fidelity(a: &CMatrix, b: &CMatrix) -> f64 {
+    let dim = a.rows() as f64;
+    hilbert_schmidt_inner(a, b).norm() / dim
+}
+
+/// Average gate fidelity between two unitaries of dimension `d`:
+/// `F_avg = (|Tr(A† B)|^2 + d) / (d^2 + d)`.
+///
+/// This is the quantity a randomized-benchmarking experiment estimates and is
+/// the natural scale on which to combine decomposition and hardware error.
+pub fn average_gate_fidelity(a: &CMatrix, b: &CMatrix) -> f64 {
+    let d = a.rows() as f64;
+    let overlap = hilbert_schmidt_inner(a, b).norm();
+    (overlap * overlap + d) / (d * d + d)
+}
+
+/// Process infidelity `1 - F_avg` between two unitaries.
+pub fn process_infidelity(a: &CMatrix, b: &CMatrix) -> f64 {
+    1.0 - average_gate_fidelity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{haar_random_unitary, RngSeed};
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn identical_unitaries_have_unit_fidelity() {
+        let mut rng = RngSeed(5).rng();
+        for n in [2usize, 4] {
+            let u = haar_random_unitary(n, &mut rng);
+            assert!((hilbert_schmidt_fidelity(&u, &u) - 1.0).abs() < 1e-10);
+            assert!((average_gate_fidelity(&u, &u) - 1.0).abs() < 1e-10);
+            assert!(process_infidelity(&u, &u) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn global_phase_does_not_change_fidelity() {
+        let mut rng = RngSeed(6).rng();
+        let u = haar_random_unitary(4, &mut rng);
+        let phased = u.scale_complex(Complex::cis(1.234));
+        assert!((hilbert_schmidt_fidelity(&u, &phased) - 1.0).abs() < 1e-10);
+        assert!((average_gate_fidelity(&u, &phased) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn orthogonal_unitaries_have_low_fidelity() {
+        let id = CMatrix::identity(2);
+        let x = pauli_x();
+        // Tr(I† X) = 0.
+        assert!(hilbert_schmidt_fidelity(&id, &x) < 1e-12);
+        // Average gate fidelity floor is d/(d^2+d) = 1/(d+1).
+        assert!((average_gate_fidelity(&id, &x) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_symmetric() {
+        let mut rng = RngSeed(8).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let b = haar_random_unitary(4, &mut rng);
+        assert!(
+            (hilbert_schmidt_fidelity(&a, &b) - hilbert_schmidt_fidelity(&b, &a)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn fidelity_bounded_in_unit_interval() {
+        let mut rng = RngSeed(9).rng();
+        for _ in 0..20 {
+            let a = haar_random_unitary(4, &mut rng);
+            let b = haar_random_unitary(4, &mut rng);
+            let f = hilbert_schmidt_fidelity(&a, &b);
+            assert!((0.0..=1.0 + 1e-12).contains(&f));
+            let g = average_gate_fidelity(&a, &b);
+            assert!((0.0..=1.0 + 1e-12).contains(&g));
+        }
+    }
+
+    #[test]
+    fn hs_inner_of_identity_is_dimension() {
+        let id = CMatrix::identity(4);
+        let inner = hilbert_schmidt_inner(&id, &id);
+        assert!((inner - Complex::from_real(4.0)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,51 @@
+//! Complex linear algebra primitives for quantum-gate synthesis and simulation.
+//!
+//! This crate is the numerical foundation of the workspace. It provides:
+//!
+//! * [`Complex`] — a `f64`-based complex scalar (the workspace does not depend on
+//!   external numerics crates).
+//! * [`CMatrix`] — a dense, heap-allocated complex matrix with the operations the
+//!   rest of the toolkit needs: multiplication, adjoint, Kronecker product, trace,
+//!   QR decomposition, matrix norms and unitarity checks.
+//! * Fixed-size convenience constructors for the ubiquitous 2×2 and 4×4 unitaries.
+//! * Haar-random unitary sampling (used by Quantum Volume workloads).
+//! * Fidelity measures between unitaries (Hilbert–Schmidt overlap, average gate
+//!   fidelity) used by the NuOp objective function.
+//!
+//! # Example
+//!
+//! ```
+//! use qmath::{CMatrix, Complex};
+//!
+//! let x = CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]);
+//! let id = &x * &x;
+//! assert!(id.approx_eq(&CMatrix::identity(2), 1e-12));
+//! let tr = id.trace();
+//! assert!((tr - Complex::new(2.0, 0.0)).norm() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod fidelity;
+pub mod matrix;
+pub mod random;
+
+pub use complex::Complex;
+pub use fidelity::{
+    average_gate_fidelity, hilbert_schmidt_fidelity, hilbert_schmidt_inner, process_infidelity,
+};
+pub use matrix::CMatrix;
+pub use random::{haar_random_su4, haar_random_unitary, random_special_unitary, RngSeed};
+
+/// Machine-precision-ish tolerance used across the workspace for unitary checks.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// The imaginary unit as a [`Complex`] constant.
+pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+/// Complex one.
+pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+/// Complex zero.
+pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };

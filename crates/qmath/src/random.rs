@@ -1,0 +1,167 @@
+//! Random unitary sampling.
+//!
+//! Quantum Volume circuits sample two-qubit gates Haar-uniformly from SU(4)
+//! (Cross et al., "Validating quantum computers using randomized model
+//! circuits"). The sampler here uses the standard Ginibre + QR construction:
+//! draw an n×n matrix of i.i.d. complex Gaussians, QR-factorize it and fix the
+//! phases of R's diagonal, which yields a Haar-distributed unitary.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::complex::Complex;
+use crate::matrix::CMatrix;
+
+/// A seed wrapper for reproducible experiment streams.
+///
+/// All workloads in the workspace derive their randomness from a `RngSeed` so
+/// that every figure and table is exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RngSeed(pub u64);
+
+impl RngSeed {
+    /// Builds a deterministic ChaCha RNG from this seed.
+    pub fn rng(self) -> ChaCha8Rng {
+        use rand::SeedableRng;
+        ChaCha8Rng::seed_from_u64(self.0)
+    }
+
+    /// Derives a child seed for an independent stream, e.g. per circuit index.
+    pub fn child(self, index: u64) -> RngSeed {
+        // SplitMix64-style mixing keeps child streams decorrelated.
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        RngSeed(z ^ (z >> 31))
+    }
+}
+
+impl Default for RngSeed {
+    fn default() -> Self {
+        RngSeed(0xC0FFEE)
+    }
+}
+
+/// Samples a standard complex Gaussian (mean 0, unit variance per component).
+fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R) -> Complex {
+    // Box–Muller transform.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    Complex::new(r * theta.cos(), r * theta.sin())
+}
+
+/// Samples an `n`×`n` Haar-random unitary matrix.
+///
+/// ```
+/// use qmath::{haar_random_unitary, RngSeed};
+/// let mut rng = RngSeed(42).rng();
+/// let u = haar_random_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-9));
+/// ```
+pub fn haar_random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
+    assert!(n > 0, "dimension must be positive");
+    let mut g = CMatrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            g[(r, c)] = complex_gaussian(rng);
+        }
+    }
+    let (q, r) = g.qr();
+    // Fix phases: multiply column j of Q by phase(R_jj)/|R_jj| so the
+    // distribution is exactly Haar (Mezzadri 2007).
+    let mut u = q;
+    for j in 0..n {
+        let d = r[(j, j)];
+        let phase = if d.norm() > 0.0 { d / d.norm() } else { Complex::ONE };
+        for row in 0..n {
+            u[(row, j)] = u[(row, j)] * phase;
+        }
+    }
+    u
+}
+
+/// Samples a Haar-random element of SU(4): a 4×4 unitary with determinant one.
+///
+/// Quantum-Volume layers apply such matrices to random qubit pairs.
+pub fn haar_random_su4<R: Rng + ?Sized>(rng: &mut R) -> CMatrix {
+    random_special_unitary(4, rng)
+}
+
+/// Samples a Haar-random special unitary (determinant 1) of dimension `n`.
+pub fn random_special_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
+    let u = haar_random_unitary(n, rng);
+    let det = u.determinant();
+    // Divide by the n-th root of the determinant phase so that det == 1.
+    let phase = Complex::cis(-det.arg() / n as f64);
+    u.scale_complex(phase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_unitary_is_unitary_for_several_dims() {
+        let mut rng = RngSeed(1).rng();
+        for n in [2usize, 3, 4, 8, 16] {
+            let u = haar_random_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-8), "not unitary for n={n}");
+        }
+    }
+
+    #[test]
+    fn su4_has_unit_determinant() {
+        let mut rng = RngSeed(2).rng();
+        for _ in 0..10 {
+            let u = haar_random_su4(&mut rng);
+            assert!(u.is_unitary(1e-8));
+            let det = u.determinant();
+            assert!((det - Complex::ONE).norm() < 1e-7, "det = {det}");
+        }
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = RngSeed(99).rng();
+        let mut b = RngSeed(99).rng();
+        let ua = haar_random_unitary(4, &mut a);
+        let ub = haar_random_unitary(4, &mut b);
+        assert!(ua.approx_eq(&ub, 0.0));
+    }
+
+    #[test]
+    fn different_seeds_give_different_unitaries() {
+        let mut a = RngSeed(1).rng();
+        let mut b = RngSeed(2).rng();
+        let ua = haar_random_unitary(4, &mut a);
+        let ub = haar_random_unitary(4, &mut b);
+        assert!(ua.max_abs_diff(&ub) > 1e-3);
+    }
+
+    #[test]
+    fn child_seeds_are_decorrelated() {
+        let root = RngSeed(7);
+        let c0 = root.child(0);
+        let c1 = root.child(1);
+        assert_ne!(c0.0, c1.0);
+        assert_ne!(c0.0, root.0);
+    }
+
+    #[test]
+    fn haar_moments_roughly_correct() {
+        // E[|U_ij|^2] = 1/n for a Haar unitary. Check the empirical mean over a
+        // handful of samples is within loose bounds.
+        let mut rng = RngSeed(11).rng();
+        let n = 4;
+        let samples = 200;
+        let mut acc = 0.0;
+        for _ in 0..samples {
+            let u = haar_random_unitary(n, &mut rng);
+            acc += u[(0, 0)].norm_sqr();
+        }
+        let mean = acc / samples as f64;
+        assert!((mean - 1.0 / n as f64).abs() < 0.05, "mean = {mean}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the qmath crate.
+
+use proptest::prelude::*;
+use qmath::{haar_random_unitary, hilbert_schmidt_fidelity, CMatrix, Complex, RngSeed};
+
+fn arb_complex() -> impl Strategy<Value = Complex> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+proptest! {
+    #[test]
+    fn complex_addition_commutes(a in arb_complex(), b in arb_complex()) {
+        prop_assert!(((a + b) - (b + a)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn complex_multiplication_commutes(a in arb_complex(), b in arb_complex()) {
+        prop_assert!(((a * b) - (b * a)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn complex_distributivity(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
+        prop_assert!(((a * (b + c)) - (a * b + a * c)).norm() < 1e-7);
+    }
+
+    #[test]
+    fn conjugation_is_involutive(a in arb_complex()) {
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in arb_complex(), b in arb_complex()) {
+        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn polar_roundtrip(r in 0.01f64..100.0, theta in -3.14f64..3.14) {
+        let z = Complex::from_polar(r, theta);
+        prop_assert!((z.norm() - r).abs() < 1e-8);
+        prop_assert!((z.arg() - theta).abs() < 1e-8);
+    }
+
+    #[test]
+    fn haar_unitaries_stay_unitary_under_products(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let b = haar_random_unitary(4, &mut rng);
+        let prod = &a * &b;
+        prop_assert!(prod.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn dagger_reverses_products(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let b = haar_random_unitary(4, &mut rng);
+        let lhs = (&a * &b).dagger();
+        let rhs = &b.dagger() * &a.dagger();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(2, &mut rng);
+        let b = haar_random_unitary(2, &mut rng);
+        prop_assert!(a.kron(&b).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn fidelity_invariant_under_common_rotation(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let b = haar_random_unitary(4, &mut rng);
+        let w = haar_random_unitary(4, &mut rng);
+        let f1 = hilbert_schmidt_fidelity(&a, &b);
+        let f2 = hilbert_schmidt_fidelity(&(&w * &a), &(&w * &b));
+        prop_assert!((f1 - f2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn trace_cyclicity(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let b = haar_random_unitary(4, &mut rng);
+        let t1 = (&a * &b).trace();
+        let t2 = (&b * &a).trace();
+        prop_assert!((t1 - t2).norm() < 1e-8);
+    }
+
+    #[test]
+    fn determinant_multiplicative(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(3, &mut rng);
+        let b = haar_random_unitary(3, &mut rng);
+        let lhs = (&a * &b).determinant();
+        let rhs = a.determinant() * b.determinant();
+        prop_assert!((lhs - rhs).norm() < 1e-7);
+    }
+}
+
+#[test]
+fn identity_block_structure() {
+    let id = CMatrix::identity(4);
+    let block = id.block(0, 0, 2, 2);
+    assert!(block.approx_eq(&CMatrix::identity(2), 1e-12));
+}

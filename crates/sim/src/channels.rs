@@ -1,0 +1,248 @@
+//! Noise channels in Kraus-operator form.
+//!
+//! All channels are expressed as a set of Kraus operators `{K_i}` with
+//! `Σ K_i† K_i = I`. The trajectory simulator samples one operator per
+//! application with probability `‖K_i|ψ⟩‖²` and renormalizes, which reproduces
+//! the channel exactly in expectation.
+
+use qmath::{CMatrix, Complex};
+use serde::{Deserialize, Serialize};
+
+/// A quantum channel as a list of Kraus operators (all of the same dimension).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KrausChannel {
+    operators: Vec<CMatrix>,
+}
+
+impl KrausChannel {
+    /// Creates a channel, checking the completeness relation `Σ K† K = I`.
+    ///
+    /// # Panics
+    /// Panics if the operator list is empty, dimensions are inconsistent, or
+    /// the completeness relation is violated beyond `1e-6`.
+    pub fn new(operators: Vec<CMatrix>) -> Self {
+        assert!(!operators.is_empty(), "a channel needs at least one Kraus operator");
+        let dim = operators[0].rows();
+        let mut sum = CMatrix::zeros(dim, dim);
+        for k in &operators {
+            assert_eq!(k.rows(), dim, "inconsistent Kraus operator dimensions");
+            sum = &sum + &(&k.dagger() * k);
+        }
+        assert!(
+            sum.approx_eq(&CMatrix::identity(dim), 1e-6),
+            "Kraus operators do not satisfy the completeness relation"
+        );
+        KrausChannel { operators }
+    }
+
+    /// The identity channel of the given dimension.
+    pub fn identity(dim: usize) -> Self {
+        KrausChannel {
+            operators: vec![CMatrix::identity(dim)],
+        }
+    }
+
+    /// The Kraus operators.
+    pub fn operators(&self) -> &[CMatrix] {
+        &self.operators
+    }
+
+    /// Operator dimension (2 for single-qubit channels, 4 for two-qubit).
+    pub fn dim(&self) -> usize {
+        self.operators[0].rows()
+    }
+
+    /// True when this is (numerically) the identity channel.
+    pub fn is_identity(&self) -> bool {
+        self.operators.len() == 1
+            && self.operators[0].approx_eq(&CMatrix::identity(self.dim()), 1e-12)
+    }
+
+    /// Composes two channels acting on the same space: `other ∘ self`.
+    pub fn then(&self, other: &KrausChannel) -> KrausChannel {
+        assert_eq!(self.dim(), other.dim(), "channel dimension mismatch");
+        let mut ops = Vec::with_capacity(self.operators.len() * other.operators.len());
+        for a in &other.operators {
+            for b in &self.operators {
+                ops.push(a * b);
+            }
+        }
+        KrausChannel::new(ops)
+    }
+}
+
+/// The single-qubit Pauli operators `{I, X, Y, Z}`.
+pub fn pauli_basis_1q() -> [CMatrix; 4] {
+    [
+        CMatrix::identity(2),
+        gates::standard::x(),
+        gates::standard::y(),
+        gates::standard::z(),
+    ]
+}
+
+/// Depolarizing channel on `n` qubits (`n` = 1 or 2) with error probability
+/// `p`: with probability `p` a uniformly random non-identity Pauli is applied.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]` or `n` is not 1 or 2.
+pub fn depolarizing_paulis(n: usize, p: f64) -> KrausChannel {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(n == 1 || n == 2, "depolarizing supported on 1 or 2 qubits");
+    let singles = pauli_basis_1q();
+    let paulis: Vec<CMatrix> = if n == 1 {
+        singles.to_vec()
+    } else {
+        let mut v = Vec::with_capacity(16);
+        for a in &singles {
+            for b in &singles {
+                v.push(a.kron(b));
+            }
+        }
+        v
+    };
+    let num_error_terms = paulis.len() - 1;
+    let mut ops = Vec::with_capacity(paulis.len());
+    for (i, pauli) in paulis.into_iter().enumerate() {
+        let weight = if i == 0 {
+            (1.0 - p).sqrt()
+        } else {
+            (p / num_error_terms as f64).sqrt()
+        };
+        ops.push(pauli.scale(weight));
+    }
+    KrausChannel::new(ops)
+}
+
+/// Amplitude-damping channel with decay probability
+/// `γ = 1 − exp(−t/T1)` for an operation of duration `t`.
+pub fn amplitude_damping_kraus(gamma: f64) -> KrausChannel {
+    assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+    let k0 = CMatrix::from_rows(
+        2,
+        &[
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_real((1.0 - gamma).sqrt()),
+        ],
+    );
+    let k1 = CMatrix::from_rows(
+        2,
+        &[
+            Complex::ZERO,
+            Complex::from_real(gamma.sqrt()),
+            Complex::ZERO,
+            Complex::ZERO,
+        ],
+    );
+    KrausChannel::new(vec![k0, k1])
+}
+
+/// Pure-dephasing channel with phase-flip probability `p`.
+///
+/// For an operation of duration `t` on a qubit with times `(T1, T2)`, the pure
+/// dephasing rate is `1/Tφ = 1/T2 − 1/(2 T1)` and `p = (1 − exp(−t/Tφ)) / 2`.
+pub fn dephasing_kraus(p: f64) -> KrausChannel {
+    assert!((0.0..=0.5 + 1e-12).contains(&p), "dephasing probability out of range");
+    let k0 = CMatrix::identity(2).scale((1.0 - p).sqrt());
+    let k1 = gates::standard::z().scale(p.sqrt());
+    KrausChannel::new(vec![k0, k1])
+}
+
+/// The combined thermal-relaxation channel for an idle/gate window of
+/// `duration_ns` on a qubit with `t1_us` / `t2_us`.
+pub fn thermal_relaxation(duration_ns: f64, t1_us: f64, t2_us: f64) -> KrausChannel {
+    assert!(duration_ns >= 0.0 && t1_us > 0.0 && t2_us > 0.0, "invalid relaxation parameters");
+    let t = duration_ns * 1e-3; // microseconds
+    let gamma = 1.0 - (-t / t1_us).exp();
+    // Pure dephasing rate; T2 <= 2 T1 physically, clamp otherwise.
+    let inv_tphi = (1.0 / t2_us - 1.0 / (2.0 * t1_us)).max(0.0);
+    let p_phi = 0.5 * (1.0 - (-t * inv_tphi).exp());
+    amplitude_damping_kraus(gamma).then(&dephasing_kraus(p_phi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depolarizing_channel_is_complete() {
+        for p in [0.0, 0.01, 0.3, 1.0] {
+            let c1 = depolarizing_paulis(1, p);
+            assert_eq!(c1.operators().len(), 4);
+            let c2 = depolarizing_paulis(2, p);
+            assert_eq!(c2.operators().len(), 16);
+            assert_eq!(c2.dim(), 4);
+        }
+    }
+
+    #[test]
+    fn zero_error_depolarizing_is_identity_in_effect() {
+        let c = depolarizing_paulis(1, 0.0);
+        // The non-identity Kraus terms have zero weight.
+        for k in &c.operators()[1..] {
+            assert!(k.frobenius_norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_completeness_and_action() {
+        for gamma in [0.0, 0.1, 0.5, 1.0] {
+            let c = amplitude_damping_kraus(gamma);
+            assert_eq!(c.operators().len(), 2);
+        }
+        // gamma = 1 maps |1> to |0> with certainty: K1|1> = |0>.
+        let c = amplitude_damping_kraus(1.0);
+        let k1 = &c.operators()[1];
+        assert!((k1[(0, 1)] - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_completeness() {
+        for p in [0.0, 0.2, 0.5] {
+            let c = dephasing_kraus(p);
+            assert_eq!(c.operators().len(), 2);
+        }
+    }
+
+    #[test]
+    fn thermal_relaxation_composes() {
+        let c = thermal_relaxation(100.0, 20.0, 15.0);
+        assert_eq!(c.dim(), 2);
+        assert!(c.operators().len() >= 2);
+        // Zero duration is the identity channel in effect.
+        let id = thermal_relaxation(0.0, 20.0, 15.0);
+        let mut total_offdiag = 0.0;
+        for k in id.operators() {
+            total_offdiag += k[(0, 1)].norm() + k[(1, 0)].norm();
+        }
+        assert!(total_offdiag < 1e-9);
+    }
+
+    #[test]
+    fn channel_composition_keeps_completeness() {
+        let a = depolarizing_paulis(1, 0.05);
+        let b = dephasing_kraus(0.1);
+        let c = a.then(&b);
+        assert_eq!(c.operators().len(), 8);
+    }
+
+    #[test]
+    fn identity_channel_detection() {
+        assert!(KrausChannel::identity(2).is_identity());
+        assert!(!depolarizing_paulis(1, 0.1).is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness relation")]
+    fn invalid_kraus_set_panics() {
+        let _ = KrausChannel::new(vec![gates::standard::x().scale(0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_probability_panics() {
+        let _ = depolarizing_paulis(1, 1.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Mapping device calibration data to per-operation noise.
+//!
+//! The model mirrors the paper's Qiskit Aer setup (§VI): "it applies
+//! single-qubit and two-qubit depolarizing noises based on single-qubit and
+//! two-qubit gate error rates. It implements amplitude damping and dephasing
+//! noise based on T1 and T2 times as well as gate duration", plus classical
+//! readout error at measurement.
+
+use circuit::{OpKind, Operation, QubitId};
+use device::DeviceModel;
+use serde::{Deserialize, Serialize};
+
+use crate::channels::{depolarizing_paulis, thermal_relaxation, KrausChannel};
+
+/// The noise applied around one circuit operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationNoise {
+    /// Depolarizing channel matched to the operation arity (dimension 2 or 4),
+    /// or `None` for noiseless operations.
+    pub depolarizing: Option<KrausChannel>,
+    /// Per-qubit thermal relaxation channels `(qubit, channel)` applied for the
+    /// operation's duration.
+    pub relaxation: Vec<(QubitId, KrausChannel)>,
+}
+
+/// A device-derived noise model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    device: DeviceModel,
+    /// Globally scales two-qubit error rates (1.0 = calibrated values).
+    pub two_qubit_error_scale: f64,
+    /// Enables/disables thermal relaxation (decoherence) noise.
+    pub with_relaxation: bool,
+    /// Enables/disables readout error.
+    pub with_readout_error: bool,
+}
+
+impl NoiseModel {
+    /// Builds a noise model directly from a device's calibration data.
+    pub fn from_device(device: &DeviceModel) -> Self {
+        NoiseModel {
+            device: device.clone(),
+            two_qubit_error_scale: 1.0,
+            with_relaxation: true,
+            with_readout_error: true,
+        }
+    }
+
+    /// A noiseless model over the same device (useful for ideal baselines).
+    pub fn noiseless(device: &DeviceModel) -> Self {
+        NoiseModel {
+            device: device.clone(),
+            two_qubit_error_scale: 0.0,
+            with_relaxation: false,
+            with_readout_error: false,
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Readout error probability for qubit `q` (0 when readout error is
+    /// disabled).
+    pub fn readout_error(&self, q: QubitId) -> f64 {
+        if self.with_readout_error {
+            self.device.qubit(q).readout_error
+        } else {
+            0.0
+        }
+    }
+
+    /// Builds the noise to apply after `op`.
+    pub fn noise_for(&self, op: &Operation) -> OperationNoise {
+        use nuop_core::HardwareFidelityProvider as _;
+        let durations = self.device.durations();
+        match op.kind() {
+            OpKind::Unitary1Q { .. } => {
+                let q = op.qubits()[0];
+                let err = (1.0 - self.device.one_qubit_fidelity(q)).clamp(0.0, 1.0);
+                OperationNoise {
+                    depolarizing: if err > 0.0 {
+                        Some(depolarizing_paulis(1, err))
+                    } else {
+                        None
+                    },
+                    relaxation: self.relaxation_for(&[q], durations.one_qubit_ns),
+                }
+            }
+            OpKind::Unitary2Q { label, .. } => {
+                let (q0, q1) = (op.qubits()[0], op.qubits()[1]);
+                let fid = self.device.two_qubit_fidelity(q0, q1, label);
+                let err = ((1.0 - fid) * self.two_qubit_error_scale).clamp(0.0, 1.0);
+                OperationNoise {
+                    depolarizing: if err > 0.0 {
+                        Some(depolarizing_paulis(2, err))
+                    } else {
+                        None
+                    },
+                    relaxation: self.relaxation_for(&[q0, q1], durations.two_qubit_ns),
+                }
+            }
+            OpKind::Measure => OperationNoise {
+                depolarizing: None,
+                relaxation: self.relaxation_for(op.qubits(), durations.measurement_ns),
+            },
+            OpKind::Barrier => OperationNoise {
+                depolarizing: None,
+                relaxation: Vec::new(),
+            },
+        }
+    }
+
+    fn relaxation_for(&self, qubits: &[QubitId], duration_ns: f64) -> Vec<(QubitId, KrausChannel)> {
+        if !self.with_relaxation {
+            return Vec::new();
+        }
+        qubits
+            .iter()
+            .map(|&q| {
+                let cal = self.device.qubit(q);
+                (q, thermal_relaxation(duration_ns, cal.t1_us, cal.t2_us))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::RngSeed;
+
+    #[test]
+    fn two_qubit_noise_uses_gate_specific_fidelity() {
+        let device = DeviceModel::aspen8(RngSeed(1));
+        let model = NoiseModel::from_device(&device);
+        // Edge (2,3): CZ fidelity 0.94, XY(pi) 0.97 (Fig. 3).
+        let cz = Operation::unitary2q("CZ", gates::standard::cz(), 2, 3);
+        let xy = Operation::unitary2q("XY(pi)", gates::fsim::xy(std::f64::consts::PI), 2, 3);
+        let ncz = model.noise_for(&cz);
+        let nxy = model.noise_for(&xy);
+        // Both are depolarizing channels; CZ's error weight should be larger.
+        let weight = |n: &OperationNoise| {
+            n.depolarizing
+                .as_ref()
+                .map(|c| 1.0 - c.operators()[0].frobenius_norm().powi(2) / 4.0)
+                .unwrap_or(0.0)
+        };
+        assert!(weight(&ncz) > weight(&nxy));
+    }
+
+    #[test]
+    fn noiseless_model_has_no_channels() {
+        let device = DeviceModel::sycamore(RngSeed(2));
+        let model = NoiseModel::noiseless(&device);
+        let op = Operation::unitary2q("SYC", gates::GateType::syc().unitary().clone(), 0, 1);
+        let noise = model.noise_for(&op);
+        assert!(noise.depolarizing.is_none());
+        assert!(noise.relaxation.is_empty());
+        assert_eq!(model.readout_error(0), 0.0);
+    }
+
+    #[test]
+    fn one_qubit_noise_is_much_weaker_than_two_qubit() {
+        let device = DeviceModel::sycamore(RngSeed(3));
+        let model = NoiseModel::from_device(&device);
+        let one = model.noise_for(&Operation::h(0));
+        let two = model.noise_for(&Operation::unitary2q(
+            "SYC",
+            gates::GateType::syc().unitary().clone(),
+            0,
+            1,
+        ));
+        let err_weight = |n: &OperationNoise| {
+            n.depolarizing
+                .as_ref()
+                .map(|c| {
+                    let k0 = &c.operators()[0];
+                    1.0 - k0.frobenius_norm().powi(2) / k0.rows() as f64
+                })
+                .unwrap_or(0.0)
+        };
+        assert!(err_weight(&one) < err_weight(&two));
+    }
+
+    #[test]
+    fn error_scale_zero_silences_two_qubit_noise() {
+        let device = DeviceModel::sycamore(RngSeed(4));
+        let mut model = NoiseModel::from_device(&device);
+        model.two_qubit_error_scale = 0.0;
+        let op = Operation::unitary2q("SYC", gates::GateType::syc().unitary().clone(), 0, 1);
+        assert!(model.noise_for(&op).depolarizing.is_none());
+    }
+
+    #[test]
+    fn measurement_noise_is_relaxation_plus_readout() {
+        let device = DeviceModel::aspen8(RngSeed(5));
+        let model = NoiseModel::from_device(&device);
+        let m = Operation::measure(vec![0, 1]);
+        let noise = model.noise_for(&m);
+        assert!(noise.depolarizing.is_none());
+        assert_eq!(noise.relaxation.len(), 2);
+        assert!(model.readout_error(0) > 0.0);
+    }
+
+    #[test]
+    fn barrier_is_noise_free() {
+        let device = DeviceModel::aspen8(RngSeed(6));
+        let model = NoiseModel::from_device(&device);
+        let noise = model.noise_for(&Operation::barrier(vec![0, 1, 2]));
+        assert!(noise.depolarizing.is_none());
+        assert!(noise.relaxation.is_empty());
+    }
+}

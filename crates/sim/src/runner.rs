@@ -1,0 +1,377 @@
+//! Ideal and Monte-Carlo (trajectory) circuit execution.
+
+use std::collections::BTreeMap;
+
+use circuit::{Circuit, OpKind};
+use qmath::RngSeed;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::channels::KrausChannel;
+use crate::noise_model::NoiseModel;
+use crate::statevector::StateVector;
+
+/// Measurement outcome histogram: basis index → number of shots.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counts {
+    counts: BTreeMap<usize, usize>,
+    num_qubits: usize,
+}
+
+impl Counts {
+    /// Creates an empty histogram for an `n`-qubit register.
+    pub fn new(num_qubits: usize) -> Self {
+        Counts {
+            counts: BTreeMap::new(),
+            num_qubits,
+        }
+    }
+
+    /// Records one observation of `basis_index`.
+    pub fn record(&mut self, basis_index: usize) {
+        *self.counts.entry(basis_index).or_insert(0) += 1;
+    }
+
+    /// Number of qubits measured.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total number of shots recorded.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Count for one basis index.
+    pub fn count(&self, basis_index: usize) -> usize {
+        *self.counts.get(&basis_index).unwrap_or(&0)
+    }
+
+    /// Iterates over `(basis_index, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Empirical probability of a basis index.
+    pub fn probability(&self, basis_index: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(basis_index) as f64 / total as f64
+        }
+    }
+
+    /// The big-endian bitstring of a basis index, e.g. `"010"`.
+    pub fn bitstring(&self, basis_index: usize) -> String {
+        (0..self.num_qubits)
+            .map(|q| {
+                if basis_index & (1 << (self.num_qubits - 1 - q)) != 0 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+}
+
+/// Noiseless execution helpers.
+pub struct IdealSimulator;
+
+impl IdealSimulator {
+    /// Runs the circuit on `|0…0⟩` and returns the final state (measurements
+    /// and barriers are ignored).
+    pub fn final_state(circuit: &Circuit) -> StateVector {
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        for op in circuit.iter() {
+            match op.kind() {
+                OpKind::Unitary1Q { matrix, .. } => state.apply_one_qubit(matrix, op.qubits()[0]),
+                OpKind::Unitary2Q { matrix, .. } => {
+                    state.apply_two_qubit(matrix, op.qubits()[0], op.qubits()[1])
+                }
+                OpKind::Measure | OpKind::Barrier => {}
+            }
+        }
+        state
+    }
+
+    /// Ideal output probability distribution of the circuit.
+    pub fn probabilities(circuit: &Circuit) -> Vec<f64> {
+        IdealSimulator::final_state(circuit).probabilities()
+    }
+
+    /// Samples `shots` measurements from the ideal distribution.
+    pub fn sample(circuit: &Circuit, shots: usize, seed: RngSeed) -> Counts {
+        let state = IdealSimulator::final_state(circuit);
+        let mut rng = seed.rng();
+        let mut counts = Counts::new(circuit.num_qubits());
+        for _ in 0..shots {
+            counts.record(state.sample_measurement(&mut rng));
+        }
+        counts
+    }
+}
+
+/// Monte-Carlo trajectory simulator with a device noise model.
+pub struct NoisySimulator {
+    noise: NoiseModel,
+}
+
+impl NoisySimulator {
+    /// Creates a simulator for the given noise model.
+    pub fn new(noise: NoiseModel) -> Self {
+        NoisySimulator { noise }
+    }
+
+    /// The noise model in use.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Runs `shots` noisy trajectories of `circuit` and returns the measured
+    /// counts. Each trajectory applies the circuit's unitaries interleaved with
+    /// sampled Kraus operators, then samples one measurement outcome and
+    /// applies readout error.
+    pub fn run(&self, circuit: &Circuit, shots: usize, seed: RngSeed) -> Counts {
+        let mut counts = Counts::new(circuit.num_qubits());
+        for shot in 0..shots {
+            let mut rng = seed.child(shot as u64).rng();
+            let state = self.run_trajectory(circuit, &mut rng);
+            let mut outcome = state.sample_measurement(&mut rng);
+            outcome = self.apply_readout_error(outcome, circuit.num_qubits(), &mut rng);
+            counts.record(outcome);
+        }
+        counts
+    }
+
+    /// Runs a single noisy trajectory and returns the (normalized) final state.
+    pub fn run_trajectory<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> StateVector {
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        for op in circuit.iter() {
+            match op.kind() {
+                OpKind::Unitary1Q { matrix, .. } => state.apply_one_qubit(matrix, op.qubits()[0]),
+                OpKind::Unitary2Q { matrix, .. } => {
+                    state.apply_two_qubit(matrix, op.qubits()[0], op.qubits()[1])
+                }
+                OpKind::Measure | OpKind::Barrier => {}
+            }
+            let noise = self.noise.noise_for(op);
+            if let Some(channel) = &noise.depolarizing {
+                match op.qubits() {
+                    [q] => apply_channel_1q(&mut state, channel, *q, rng),
+                    [q0, q1] => apply_channel_2q(&mut state, channel, *q0, *q1, rng),
+                    _ => {}
+                }
+            }
+            for (q, channel) in &noise.relaxation {
+                apply_channel_1q(&mut state, channel, *q, rng);
+            }
+        }
+        state
+    }
+
+    /// Flips each measured bit independently with its readout-error probability.
+    fn apply_readout_error<R: Rng + ?Sized>(
+        &self,
+        outcome: usize,
+        num_qubits: usize,
+        rng: &mut R,
+    ) -> usize {
+        let mut noisy = outcome;
+        for q in 0..num_qubits {
+            let p = self.noise.readout_error(q);
+            if p > 0.0 && rng.gen_bool(p) {
+                noisy ^= 1 << (num_qubits - 1 - q);
+            }
+        }
+        noisy
+    }
+}
+
+/// Samples and applies one Kraus operator of a single-qubit channel.
+fn apply_channel_1q<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    channel: &KrausChannel,
+    q: usize,
+    rng: &mut R,
+) {
+    if channel.is_identity() {
+        return;
+    }
+    let mut r: f64 = rng.gen_range(0.0..1.0);
+    let last = channel.operators().len() - 1;
+    for (i, k) in channel.operators().iter().enumerate() {
+        let mut probe = state.clone();
+        probe.apply_one_qubit(k, q);
+        let p = probe.norm_sqr();
+        if r < p || i == last {
+            if p > 1e-300 {
+                probe.normalize();
+                *state = probe;
+            }
+            return;
+        }
+        r -= p;
+    }
+}
+
+/// Samples and applies one Kraus operator of a two-qubit channel.
+fn apply_channel_2q<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    channel: &KrausChannel,
+    q0: usize,
+    q1: usize,
+    rng: &mut R,
+) {
+    if channel.is_identity() {
+        return;
+    }
+    let mut r: f64 = rng.gen_range(0.0..1.0);
+    let last = channel.operators().len() - 1;
+    for (i, k) in channel.operators().iter().enumerate() {
+        let mut probe = state.clone();
+        probe.apply_two_qubit(k, q0, q1);
+        let p = probe.norm_sqr();
+        if r < p || i == last {
+            if p > 1e-300 {
+                probe.normalize();
+                *state = probe;
+            }
+            return;
+        }
+        r -= p;
+    }
+}
+
+/// Total-variation distance between an empirical distribution (counts) and a
+/// reference probability vector.
+pub fn total_variation_distance(counts: &Counts, reference: &[f64]) -> f64 {
+    let mut tv = 0.0;
+    for (idx, p) in reference.iter().enumerate() {
+        tv += (counts.probability(idx) - p).abs();
+    }
+    tv / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Operation;
+    use device::DeviceModel;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(0));
+        c.push(Operation::cnot(0, 1));
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn ideal_bell_probabilities() {
+        let p = IdealSimulator::probabilities(&bell_circuit());
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_sampling_matches_probabilities() {
+        let counts = IdealSimulator::sample(&bell_circuit(), 4000, RngSeed(1));
+        assert_eq!(counts.total(), 4000);
+        assert_eq!(counts.count(1) + counts.count(2), 0);
+        assert!((counts.probability(0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn noiseless_noisy_simulator_equals_ideal() {
+        let device = DeviceModel::ideal(2, 1.0);
+        let noise = NoiseModel::noiseless(&device);
+        let counts = NoisySimulator::new(noise).run(&bell_circuit(), 500, RngSeed(2));
+        assert_eq!(counts.count(1) + counts.count(2), 0);
+    }
+
+    #[test]
+    fn noisy_simulation_degrades_gracefully() {
+        // A moderately noisy device still mostly produces Bell outcomes, but
+        // some leakage into |01>/|10> appears.
+        let device = DeviceModel::ideal(2, 0.95);
+        let mut noise = NoiseModel::from_device(&device);
+        noise.with_readout_error = false;
+        noise.with_relaxation = false;
+        let counts = NoisySimulator::new(noise).run(&bell_circuit(), 2000, RngSeed(3));
+        let good = counts.probability(0) + counts.probability(3);
+        assert!(good > 0.85, "good fraction = {good}");
+        assert!(good < 1.0);
+    }
+
+    #[test]
+    fn readout_error_flips_bits() {
+        // Empty circuit on a device with readout error: outcome should not
+        // always be |00>.
+        let device = DeviceModel::aspen8(RngSeed(1));
+        let noise = NoiseModel::from_device(&device);
+        let mut c = Circuit::new(2);
+        c.measure_all();
+        let counts = NoisySimulator::new(noise).run(&c, 2000, RngSeed(4));
+        assert!(counts.count(0) < 2000);
+        assert!(counts.probability(0) > 0.75);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let device = DeviceModel::ideal(2, 0.97);
+        let noise = NoiseModel::from_device(&device);
+        let sim = NoisySimulator::new(noise);
+        let a = sim.run(&bell_circuit(), 100, RngSeed(9));
+        let b = sim.run(&bell_circuit(), 100, RngSeed(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counts_helpers() {
+        let mut counts = Counts::new(3);
+        counts.record(5);
+        counts.record(5);
+        counts.record(1);
+        assert_eq!(counts.total(), 3);
+        assert_eq!(counts.count(5), 2);
+        assert_eq!(counts.bitstring(5), "101");
+        assert!((counts.probability(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(counts.iter().count(), 2);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        // Prepare |1>, wait through many idle windows (via measurement noise),
+        // and check the excited population decays.
+        let device = DeviceModel::sycamore(RngSeed(11));
+        let noise = NoiseModel::from_device(&device);
+        let sim = NoisySimulator::new(noise);
+        let mut c = Circuit::new(1);
+        c.push(Operation::x(0));
+        // Long idle: emulate with repeated measurement-duration relaxation by
+        // adding many barriers is noise-free; instead add many X pairs (each
+        // contributes gate-duration relaxation).
+        for _ in 0..50 {
+            c.push(Operation::x(0));
+            c.push(Operation::x(0));
+        }
+        c.measure_all();
+        let counts = sim.run(&c, 1000, RngSeed(12));
+        let p1 = counts.probability(1);
+        assert!(p1 < 0.99, "p1 = {p1}");
+        assert!(p1 > 0.5, "p1 = {p1}");
+    }
+
+    #[test]
+    fn total_variation_distance_bounds() {
+        let counts = IdealSimulator::sample(&bell_circuit(), 2000, RngSeed(5));
+        let ideal = IdealSimulator::probabilities(&bell_circuit());
+        let tv = total_variation_distance(&counts, &ideal);
+        assert!(tv < 0.05, "tv = {tv}");
+        let uniform = vec![0.25; 4];
+        let tv_uniform = total_variation_distance(&counts, &uniform);
+        assert!(tv_uniform > 0.4);
+    }
+}

@@ -1,0 +1,299 @@
+//! Dense state-vector representation and gate application.
+
+use circuit::QubitId;
+use qmath::{CMatrix, Complex};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A pure state of an `n`-qubit register, stored as `2^n` amplitudes in
+/// big-endian basis ordering (qubit 0 is the most significant bit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    /// Panics if `num_qubits` is zero or larger than 26 (the dense
+    /// representation would not fit in memory).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "need at least one qubit");
+        assert!(num_qubits <= 26, "dense simulation limited to 26 qubits");
+        let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
+        amplitudes[0] = Complex::ONE;
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// A specific computational basis state.
+    ///
+    /// # Panics
+    /// Panics if `basis_index >= 2^num_qubits`.
+    pub fn basis_state(num_qubits: usize, basis_index: usize) -> Self {
+        let mut s = StateVector::zero_state(num_qubits);
+        assert!(basis_index < s.amplitudes.len(), "basis index out of range");
+        s.amplitudes[0] = Complex::ZERO;
+        s.amplitudes[basis_index] = Complex::ONE;
+        s
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Amplitude of a basis state.
+    pub fn amplitude(&self, basis_index: usize) -> Complex {
+        self.amplitudes[basis_index]
+    }
+
+    /// All amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// Squared norm (should stay 1 for unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalizes the state to unit norm.
+    ///
+    /// # Panics
+    /// Panics if the state has (numerically) zero norm.
+    pub fn normalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        assert!(n > 1e-300, "cannot normalize a zero state");
+        for a in &mut self.amplitudes {
+            *a = *a / n;
+        }
+    }
+
+    /// Probability distribution over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Applies a 2×2 unitary (or Kraus operator) to qubit `q` in place.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range or the matrix is not 2×2.
+    pub fn apply_one_qubit(&mut self, m: &CMatrix, q: QubitId) {
+        assert!(q < self.num_qubits, "qubit out of range");
+        assert_eq!(m.rows(), 2, "expected a 2x2 matrix");
+        let shift = self.num_qubits - 1 - q;
+        let mask = 1usize << shift;
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let dim = self.amplitudes.len();
+        let mut i = 0usize;
+        while i < dim {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amplitudes[i];
+                let a1 = self.amplitudes[j];
+                self.amplitudes[i] = m00 * a0 + m01 * a1;
+                self.amplitudes[j] = m10 * a0 + m11 * a1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Applies a 4×4 unitary (or Kraus operator) to qubits `(q0, q1)` in place;
+    /// `q0` is the most significant qubit of the matrix.
+    ///
+    /// # Panics
+    /// Panics if the qubits are out of range or equal, or the matrix is not 4×4.
+    pub fn apply_two_qubit(&mut self, m: &CMatrix, q0: QubitId, q1: QubitId) {
+        assert!(q0 < self.num_qubits && q1 < self.num_qubits, "qubit out of range");
+        assert_ne!(q0, q1, "qubits must be distinct");
+        assert_eq!(m.rows(), 4, "expected a 4x4 matrix");
+        let s0 = self.num_qubits - 1 - q0;
+        let s1 = self.num_qubits - 1 - q1;
+        let mask0 = 1usize << s0;
+        let mask1 = 1usize << s1;
+        let dim = self.amplitudes.len();
+        for i in 0..dim {
+            if i & mask0 == 0 && i & mask1 == 0 {
+                let i00 = i;
+                let i01 = i | mask1;
+                let i10 = i | mask0;
+                let i11 = i | mask0 | mask1;
+                let a = [
+                    self.amplitudes[i00],
+                    self.amplitudes[i01],
+                    self.amplitudes[i10],
+                    self.amplitudes[i11],
+                ];
+                for (r, &idx) in [i00, i01, i10, i11].iter().enumerate() {
+                    let mut acc = Complex::ZERO;
+                    for (c, &amp) in a.iter().enumerate() {
+                        acc += m[(r, c)] * amp;
+                    }
+                    self.amplitudes[idx] = acc;
+                }
+            }
+        }
+    }
+
+    /// Probability of measuring qubit `q` in state `|1⟩`.
+    pub fn prob_one(&self, q: QubitId) -> f64 {
+        assert!(q < self.num_qubits, "qubit out of range");
+        let shift = self.num_qubits - 1 - q;
+        let mask = 1usize << shift;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Samples a complete computational-basis measurement, returning the basis
+    /// index. The state is *not* collapsed (trajectory shots re-sample from the
+    /// final distribution).
+    pub fn sample_measurement<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut r: f64 = rng.gen_range(0.0..1.0);
+        for (i, a) in self.amplitudes.iter().enumerate() {
+            let p = a.norm_sqr();
+            if r < p {
+                return i;
+            }
+            r -= p;
+        }
+        self.amplitudes.len() - 1
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn inner_product(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits, "dimension mismatch");
+        self.amplitudes
+            .iter()
+            .zip(other.amplitudes.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::standard;
+    use qmath::RngSeed;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero_state(3);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(s.amplitudes().len(), 8);
+        assert!((s.amplitude(0) - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn x_gate_flips_bit() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_one_qubit(&standard::x(), 0);
+        // Qubit 0 is the MSB: |10> = index 2.
+        assert!((s.amplitude(2) - Complex::ONE).norm() < 1e-12);
+        s.apply_one_qubit(&standard::x(), 1);
+        assert!((s.amplitude(3) - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_via_h_and_cnot() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_one_qubit(&standard::h(), 0);
+        s.apply_two_qubit(&standard::cnot(), 0, 1);
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1] < 1e-12 && p[2] < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_gate_matches_circuit_unitary() {
+        // Apply SYC to qubits (2, 0) of a 3-qubit register and compare with the
+        // full-matrix embedding.
+        let syc = gates::GateType::syc();
+        let mut s = StateVector::zero_state(3);
+        // Prepare a non-trivial input state.
+        s.apply_one_qubit(&standard::h(), 0);
+        s.apply_one_qubit(&standard::h(), 1);
+        s.apply_one_qubit(&standard::h(), 2);
+        let mut reference = s.clone();
+        s.apply_two_qubit(syc.unitary(), 2, 0);
+        let full = circuit::embed_two_qubit(syc.unitary(), 2, 0, 3);
+        let expect = full.mul_vec(reference.amplitudes());
+        for (i, e) in expect.iter().enumerate() {
+            assert!((s.amplitude(i) - *e).norm() < 1e-12);
+        }
+        // Norm preserved.
+        reference.normalize();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_one_tracks_rotations() {
+        let mut s = StateVector::zero_state(1);
+        assert!(s.prob_one(0) < 1e-12);
+        s.apply_one_qubit(&standard::ry(std::f64::consts::FRAC_PI_2), 0);
+        assert!((s.prob_one(0) - 0.5).abs() < 1e-12);
+        s.apply_one_qubit(&standard::x(), 0);
+        assert!((s.prob_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_one_qubit(&standard::h(), 0);
+        let mut rng = RngSeed(3).rng();
+        let mut counts = [0usize; 4];
+        for _ in 0..2000 {
+            counts[s.sample_measurement(&mut rng)] += 1;
+        }
+        // Only |00> and |10> should appear, roughly half/half.
+        assert_eq!(counts[1] + counts[3], 0);
+        let frac = counts[0] as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn fidelity_and_inner_product() {
+        let a = StateVector::basis_state(2, 1);
+        let b = StateVector::basis_state(2, 1);
+        let c = StateVector::basis_state(2, 2);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        assert!(a.fidelity(&c) < 1e-12);
+    }
+
+    #[test]
+    fn normalize_after_damping_like_operation() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_one_qubit(&standard::h(), 0);
+        // A non-unitary Kraus-like operator.
+        let k = CMatrix::from_real(2, &[1.0, 0.0, 0.0, 0.5]);
+        s.apply_one_qubit(&k, 0);
+        assert!(s.norm_sqr() < 1.0);
+        s.normalize();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_one_qubit(&standard::x(), 2);
+    }
+}

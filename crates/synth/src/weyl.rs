@@ -1,0 +1,368 @@
+//! Weyl-chamber (KAK) invariants of two-qubit unitaries.
+//!
+//! Every `U ∈ U(4)` is locally equivalent to a *canonical gate*
+//! `exp(i (x·XX + y·YY + z·ZZ))`; the triple `(x, y, z)` (the Weyl
+//! coordinates) is a complete invariant under single-qubit rotations and
+//! therefore determines exactly how many applications of a given hardware
+//! two-qubit gate are needed to synthesize `U`.
+//!
+//! The minimal-CNOT-count rules implemented here follow Shende, Bullock &
+//! Markov, "Recognizing small-circuit structure in two-qubit operators"
+//! (Phys. Rev. A 70, 012310): with `γ(U) = U (Y⊗Y) Uᵀ (Y⊗Y)` computed for the
+//! special-unitary representative of `U`,
+//!
+//! * 0 CNOTs ⇔ `|tr γ| = 4` (U is a local gate),
+//! * 1 CNOT  ⇔ `tr γ = 0`,
+//! * 2 CNOTs ⇔ `tr γ` is real,
+//! * 3 CNOTs otherwise.
+
+use qmath::{CMatrix, Complex};
+use serde::{Deserialize, Serialize};
+
+use gates::standard;
+
+/// The canonical interaction coefficients `(x, y, z)` of a two-qubit unitary,
+/// reduced to a normal form that is identical for locally-equivalent gates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeylCoordinates {
+    /// XX interaction coefficient.
+    pub x: f64,
+    /// YY interaction coefficient.
+    pub y: f64,
+    /// ZZ interaction coefficient.
+    pub z: f64,
+}
+
+impl WeylCoordinates {
+    /// True when all coordinates agree with `other` within `tol`.
+    pub fn approx_eq(&self, other: &WeylCoordinates, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol
+            && (self.y - other.y).abs() <= tol
+            && (self.z - other.z).abs() <= tol
+    }
+
+    /// True when the gate is locally equivalent to the identity.
+    pub fn is_local(&self, tol: f64) -> bool {
+        self.x.abs() <= tol && self.y.abs() <= tol && self.z.abs() <= tol
+    }
+}
+
+/// Returns the special-unitary representative `U / det(U)^{1/4}` of a 4×4 unitary.
+fn to_su4(u: &CMatrix) -> CMatrix {
+    let det = u.determinant();
+    let phase = Complex::cis(-det.arg() / 4.0);
+    u.scale_complex(phase)
+}
+
+/// The Makhlin/SBM invariant `γ(U) = U (Y⊗Y) Uᵀ (Y⊗Y)` of the SU(4)
+/// representative of `u`.
+fn gamma(u: &CMatrix) -> CMatrix {
+    let su = to_su4(u);
+    let yy = standard::y().kron(&standard::y());
+    let ut = su.transpose();
+    &(&(&su * &yy) * &ut) * &yy
+}
+
+/// Trace of the `γ` invariant. This single complex number decides the minimal
+/// CNOT count (see module docs).
+pub fn gamma_trace(u: &CMatrix) -> Complex {
+    gamma(u).trace()
+}
+
+/// Minimal number of CNOT (equivalently CZ) gates required to implement `u`
+/// exactly, according to the Shende–Bullock–Markov criteria.
+///
+/// # Panics
+/// Panics if `u` is not a 4×4 unitary.
+pub fn minimal_cnot_count(u: &CMatrix) -> usize {
+    assert_eq!(u.rows(), 4, "expected a two-qubit unitary");
+    assert!(u.is_unitary(1e-8), "expected a unitary matrix");
+    let tol = 1e-6;
+    let g = gamma(u);
+    let tr = g.trace();
+    // Local gate: γ = ±I (trace ±4 and real).
+    if tr.im.abs() < tol && (tr.re.abs() - 4.0).abs() < tol {
+        return 0;
+    }
+    // One CNOT: tr γ = 0 and γ² = −I.
+    if tr.norm() < tol {
+        let g2 = &g * &g;
+        let minus_id = CMatrix::identity(4).scale(-1.0);
+        if g2.approx_eq(&minus_id, 1e-6) {
+            return 1;
+        }
+    }
+    // Two CNOTs: tr γ is real.
+    if tr.im.abs() < tol {
+        return 2;
+    }
+    3
+}
+
+/// Computes the Weyl coordinates of a two-qubit unitary.
+///
+/// The coordinates are extracted from the eigenphases of `mᵀ m`, where `m` is
+/// the SU(4) representative expressed in the magic (Bell) basis, and then
+/// reduced to a normal form: each coordinate is folded into `[0, π/4]` (with
+/// the usual Weyl-chamber reflection at `π/4`) and the triple is sorted in
+/// decreasing order. Locally-equivalent unitaries map to the same normal form.
+///
+/// # Panics
+/// Panics if `u` is not a 4×4 unitary.
+pub fn weyl_coordinates(u: &CMatrix) -> WeylCoordinates {
+    assert_eq!(u.rows(), 4, "expected a two-qubit unitary");
+    assert!(u.is_unitary(1e-8), "expected a unitary matrix");
+    let su = to_su4(u);
+    let b = magic_basis();
+    let m = &(&b.dagger() * &su) * &b;
+    let mm = &m.transpose() * &m;
+    // Eigenvalues of the (unitary, symmetric) matrix mᵀm are e^{2iθ_k} with
+    // Σθ_k ≡ 0 (mod π).
+    let eigenvalues = unitary_eigenvalues_4x4(&mm);
+    let mut thetas: Vec<f64> = eigenvalues.iter().map(|l| l.arg() / 2.0).collect();
+    // Fix the branch so that the phases sum to (approximately) a multiple of π,
+    // shifting one phase by π if needed.
+    let sum: f64 = thetas.iter().sum();
+    let residue = sum - (sum / std::f64::consts::PI).round() * std::f64::consts::PI;
+    thetas[0] -= residue;
+    thetas.sort_by(|a, b| b.partial_cmp(a).expect("finite phases"));
+    // Candidate coefficients from pairwise sums (θ = ±x±y±z combinations).
+    let raw = [
+        (thetas[0] + thetas[1]) / 2.0,
+        (thetas[0] + thetas[2]) / 2.0,
+        (thetas[1] + thetas[2]) / 2.0,
+    ];
+    let mut coords: Vec<f64> = raw.iter().map(|c| fold_coordinate(*c)).collect();
+    coords.sort_by(|a, b| b.partial_cmp(a).expect("finite coords"));
+    WeylCoordinates {
+        x: coords[0],
+        y: coords[1],
+        z: coords[2],
+    }
+}
+
+/// Folds an interaction coefficient into the normal-form interval `[0, π/4]`:
+/// coefficients are π/2-periodic, sign-symmetric, and reflected about π/4.
+fn fold_coordinate(c: f64) -> f64 {
+    let period = std::f64::consts::FRAC_PI_2;
+    let mut v = c.rem_euclid(period);
+    if v > period / 2.0 {
+        v = period - v;
+    }
+    if v.abs() < 1e-9 {
+        v = 0.0;
+    }
+    v
+}
+
+/// The magic (Bell) basis change matrix.
+fn magic_basis() -> CMatrix {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    CMatrix::from_rows(
+        4,
+        &[
+            Complex::new(s, 0.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::new(0.0, s),
+            //
+            Complex::ZERO,
+            Complex::new(0.0, s),
+            Complex::new(s, 0.0),
+            Complex::ZERO,
+            //
+            Complex::ZERO,
+            Complex::new(0.0, s),
+            Complex::new(-s, 0.0),
+            Complex::ZERO,
+            //
+            Complex::new(s, 0.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::new(0.0, -s),
+        ],
+    )
+}
+
+/// Eigenvalues of a 4×4 unitary matrix via its characteristic polynomial
+/// (coefficients from the Faddeev–LeVerrier recursion) and Durand–Kerner
+/// root iteration. Adequate for matrices whose eigenvalues lie on the unit
+/// circle, which is all this module needs.
+fn unitary_eigenvalues_4x4(m: &CMatrix) -> [Complex; 4] {
+    assert_eq!(m.rows(), 4);
+    // Faddeev–LeVerrier: p(λ) = λ^4 + c3 λ^3 + c2 λ^2 + c1 λ + c0
+    let id = CMatrix::identity(4);
+    let mut mk = m.clone();
+    let c3 = -mk.trace();
+    let mut aux = &mk + &id.scale_complex(c3);
+    mk = m * &aux;
+    let c2 = mk.trace().scale(-0.5);
+    aux = &mk + &id.scale_complex(c2);
+    mk = m * &aux;
+    let c1 = mk.trace().scale(-1.0 / 3.0);
+    aux = &mk + &id.scale_complex(c1);
+    mk = m * &aux;
+    let c0 = mk.trace().scale(-0.25);
+
+    let poly = move |z: Complex| {
+        let z2 = z * z;
+        let z3 = z2 * z;
+        let z4 = z3 * z;
+        z4 + c3 * z3 + c2 * z2 + c1 * z + c0
+    };
+
+    // Durand–Kerner with the usual rotating initial guesses.
+    let mut roots = [
+        Complex::from_polar(1.0, 0.4),
+        Complex::from_polar(1.0, 0.4 + std::f64::consts::FRAC_PI_2),
+        Complex::from_polar(1.0, 0.4 + std::f64::consts::PI),
+        Complex::from_polar(1.0, 0.4 + 1.5 * std::f64::consts::PI),
+    ];
+    for _ in 0..200 {
+        let mut max_step = 0.0f64;
+        for i in 0..4 {
+            let mut denom = Complex::ONE;
+            for j in 0..4 {
+                if i != j {
+                    denom *= roots[i] - roots[j];
+                }
+            }
+            let delta = poly(roots[i]) / denom;
+            roots[i] -= delta;
+            max_step = max_step.max(delta.norm());
+        }
+        if max_step < 1e-14 {
+            break;
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::fsim::{fsim, xy};
+    use gates::GateType;
+    use qmath::{haar_random_su4, haar_random_unitary, RngSeed};
+
+    #[test]
+    fn identity_and_local_gates_need_zero_cnots() {
+        assert_eq!(minimal_cnot_count(&CMatrix::identity(4)), 0);
+        let local = standard::h().kron(&standard::t());
+        assert_eq!(minimal_cnot_count(&local), 0);
+        assert!(weyl_coordinates(&local).is_local(1e-3));
+    }
+
+    #[test]
+    fn cnot_and_cz_need_one() {
+        assert_eq!(minimal_cnot_count(&standard::cnot()), 1);
+        assert_eq!(minimal_cnot_count(&standard::cz()), 1);
+    }
+
+    #[test]
+    fn controlled_phase_and_zz_need_two() {
+        assert_eq!(minimal_cnot_count(&standard::cphase(0.7)), 2);
+        assert_eq!(minimal_cnot_count(&standard::zz_interaction(0.0303)), 2);
+        assert_eq!(minimal_cnot_count(&fsim(0.3, 0.0)), 2);
+    }
+
+    #[test]
+    fn swap_and_generic_su4_need_three() {
+        assert_eq!(minimal_cnot_count(&standard::swap()), 3);
+        let mut rng = RngSeed(123).rng();
+        for _ in 0..5 {
+            let u = haar_random_su4(&mut rng);
+            assert_eq!(minimal_cnot_count(&u), 3);
+        }
+    }
+
+    #[test]
+    fn iswap_needs_two() {
+        assert_eq!(minimal_cnot_count(&standard::iswap()), 2);
+        assert_eq!(minimal_cnot_count(GateType::iswap().unitary()), 2);
+    }
+
+    #[test]
+    fn weyl_coordinates_are_local_invariants() {
+        let mut rng = RngSeed(5).rng();
+        for _ in 0..5 {
+            let u = haar_random_su4(&mut rng);
+            let a = haar_random_unitary(2, &mut rng);
+            let b = haar_random_unitary(2, &mut rng);
+            let c = haar_random_unitary(2, &mut rng);
+            let d = haar_random_unitary(2, &mut rng);
+            let dressed = &(&a.kron(&b) * &u) * &c.kron(&d);
+            let w1 = weyl_coordinates(&u);
+            let w2 = weyl_coordinates(&dressed);
+            assert!(w1.approx_eq(&w2, 1e-5), "w1={w1:?} w2={w2:?}");
+        }
+    }
+
+    #[test]
+    fn locally_equivalent_named_gates_share_coordinates() {
+        // CZ and CNOT are locally equivalent.
+        let cz = weyl_coordinates(&standard::cz());
+        let cnot = weyl_coordinates(&standard::cnot());
+        assert!(cz.approx_eq(&cnot, 1e-4));
+        // iSWAP and XY(pi) are locally equivalent.
+        let isw = weyl_coordinates(&standard::iswap());
+        let xypi = weyl_coordinates(&xy(std::f64::consts::PI));
+        assert!(isw.approx_eq(&xypi, 1e-4));
+        // fSim(theta, 0) and XY(2*theta) are locally equivalent.
+        let a = weyl_coordinates(&fsim(0.37, 0.0));
+        let b = weyl_coordinates(&xy(0.74));
+        assert!(a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    fn distinct_classes_have_distinct_coordinates() {
+        let id = weyl_coordinates(&CMatrix::identity(4));
+        let cz = weyl_coordinates(&standard::cz());
+        let swap = weyl_coordinates(&standard::swap());
+        let iswap = weyl_coordinates(&standard::iswap());
+        assert!(!id.approx_eq(&cz, 1e-3));
+        assert!(!cz.approx_eq(&swap, 1e-3));
+        assert!(!iswap.approx_eq(&swap, 1e-3));
+        assert!(!cz.approx_eq(&iswap, 1e-3));
+    }
+
+    #[test]
+    fn cnot_has_quarter_pi_interaction() {
+        let w = weyl_coordinates(&standard::cnot());
+        assert!((w.x - std::f64::consts::FRAC_PI_4).abs() < 1e-4, "{w:?}");
+        assert!(w.y.abs() < 1e-4);
+        assert!(w.z.abs() < 1e-4);
+    }
+
+    #[test]
+    fn swap_is_the_chamber_corner() {
+        let w = weyl_coordinates(&standard::swap());
+        // The eigenphase extraction loses a few digits on the 4-fold degenerate
+        // SWAP spectrum, so compare with a millirad tolerance.
+        let q = std::f64::consts::FRAC_PI_4;
+        assert!((w.x - q).abs() < 2e-3 && (w.y - q).abs() < 2e-3 && (w.z - q).abs() < 2e-3, "{w:?}");
+    }
+
+    #[test]
+    fn gamma_trace_of_identity_is_four() {
+        let tr = gamma_trace(&CMatrix::identity(4));
+        assert!((tr.norm() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalue_solver_matches_diagonal_matrix() {
+        let d = CMatrix::diagonal(&[
+            Complex::cis(0.1),
+            Complex::cis(1.2),
+            Complex::cis(-2.0),
+            Complex::cis(3.0),
+        ]);
+        let mut got: Vec<f64> = unitary_eigenvalues_4x4(&d).iter().map(|z| z.arg()).collect();
+        let mut want = [0.1, 1.2, -2.0, 3.0];
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: decompose an application operation with NuOp, compare gate
+//! types, and compile + simulate a small circuit end to end.
+//!
+//! Run with `cargo run --release -p bench --example quickstart`.
+
+use circuit::{Circuit, Operation};
+use compiler::{compile, CompilerOptions};
+use device::DeviceModel;
+use gates::{standard, GateType, InstructionSet};
+use nuop_core::{decompose_fixed, DecomposeConfig};
+use qmath::RngSeed;
+use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+
+fn main() {
+    // 1. Decompose a single application unitary into a hardware gate type.
+    let target = standard::zz_interaction(0.3); // a QAOA cost term
+    let decomposition = decompose_fixed(&target, &GateType::cz(), &DecomposeConfig::default());
+    println!(
+        "ZZ(0.3) needs {} CZ gates (decomposition fidelity {:.6})",
+        decomposition.layers, decomposition.decomposition_fidelity
+    );
+
+    // 2. Compare hardware gate types for the same operation.
+    for gate in [GateType::cz(), GateType::sqrt_iswap(), GateType::syc()] {
+        let d = decompose_fixed(&target, &gate, &DecomposeConfig::default());
+        println!("  with {:<12} -> {} gates", gate.name(), d.layers);
+    }
+
+    // 3. Compile a small circuit for Rigetti Aspen-8 with the R2 instruction
+    //    set and simulate it with realistic noise.
+    let mut circuit = Circuit::new(3);
+    circuit.push(Operation::h(0));
+    circuit.push(Operation::zz(0, 1, 0.3));
+    circuit.push(Operation::zz(1, 2, 0.3));
+    circuit.push(Operation::rx(0, 0.7));
+    circuit.push(Operation::rx(1, 0.7));
+    circuit.push(Operation::rx(2, 0.7));
+    circuit.measure_all();
+
+    let device = DeviceModel::aspen8(RngSeed(1));
+    let compiled = compile(&circuit, &device, &InstructionSet::r(2), &CompilerOptions::default());
+    println!(
+        "\nCompiled onto Aspen-8 qubits {:?}: {} two-qubit gates ({} routing SWAPs before decomposition)",
+        compiled.region,
+        compiled.two_qubit_gate_count(),
+        compiled.swap_count
+    );
+    println!("Gate-type histogram: {:?}", compiled.pass_stats.gate_type_histogram);
+
+    let noise = NoiseModel::from_device(&compiled.subdevice);
+    let counts = NoisySimulator::new(noise).run(&compiled.circuit, 2000, RngSeed(2));
+    let logical = compiled.logical_counts(&counts);
+    let ideal = IdealSimulator::probabilities(&circuit.without_measurements());
+    let xed = apps::cross_entropy_difference(&logical, &ideal);
+    println!("Noisy execution cross-entropy difference: {xed:.3} (1 = ideal, 0 = useless)");
+}

@@ -1,0 +1,75 @@
+//! Validation of the Monte-Carlo trajectory simulator against the exact
+//! density-matrix evolution for small circuits (the DESIGN.md "trajectory vs
+//! density-matrix agreement" ablation).
+
+use circuit::{Circuit, Operation};
+use device::DeviceModel;
+use qmath::RngSeed;
+use sim::{DensityMatrix, NoiseModel, NoisySimulator};
+
+fn bell_plus_rotation() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.push(Operation::h(0));
+    c.push(Operation::cnot(0, 1));
+    c.push(Operation::rx(1, 0.6));
+    c.measure_all();
+    c
+}
+
+fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0
+}
+
+#[test]
+fn trajectories_converge_to_the_density_matrix_distribution() {
+    let device = DeviceModel::ideal(2, 0.93);
+    let mut noise = NoiseModel::from_device(&device);
+    noise.with_readout_error = false; // readout acts classically, not on rho
+    let circuit = bell_plus_rotation();
+
+    let dm = DensityMatrix::evolve(&circuit, &noise);
+    let exact = dm.probabilities();
+
+    let counts = NoisySimulator::new(noise).run(&circuit, 6000, RngSeed(1));
+    let empirical: Vec<f64> = (0..4).map(|i| counts.probability(i)).collect();
+
+    let tv = total_variation(&exact, &empirical);
+    assert!(tv < 0.03, "total variation distance {tv}, exact {exact:?}, empirical {empirical:?}");
+}
+
+#[test]
+fn relaxation_noise_also_agrees() {
+    let device = DeviceModel::sycamore(RngSeed(2));
+    let region: Vec<usize> = vec![0, 1];
+    let sub = device.subdevice(&region);
+    let mut noise = NoiseModel::from_device(&sub);
+    noise.with_readout_error = false;
+    let mut circuit = Circuit::new(2);
+    circuit.push(Operation::x(0));
+    for _ in 0..10 {
+        circuit.push(Operation::x(1));
+        circuit.push(Operation::x(1));
+    }
+    circuit.measure_all();
+
+    let exact = DensityMatrix::evolve(&circuit, &noise).probabilities();
+    let counts = NoisySimulator::new(noise).run(&circuit, 6000, RngSeed(3));
+    let empirical: Vec<f64> = (0..4).map(|i| counts.probability(i)).collect();
+    let tv = total_variation(&exact, &empirical);
+    assert!(tv < 0.03, "total variation distance {tv}");
+}
+
+#[test]
+fn purity_decreases_monotonically_with_error_rate() {
+    let circuit = bell_plus_rotation();
+    let mut last_purity = 1.1;
+    for fidelity in [1.0, 0.99, 0.95, 0.90] {
+        let device = DeviceModel::ideal(2, fidelity);
+        let mut noise = NoiseModel::from_device(&device);
+        noise.with_readout_error = false;
+        let dm = DensityMatrix::evolve(&circuit, &noise);
+        assert!(dm.purity() <= last_purity + 1e-9, "fidelity {fidelity}");
+        assert!((dm.trace() - 1.0).abs() < 1e-9);
+        last_purity = dm.purity();
+    }
+}
