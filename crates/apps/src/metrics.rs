@@ -22,7 +22,10 @@ const PROB_FLOOR: f64 = 1e-12;
 /// Panics if `ideal_probabilities` is empty or its length does not cover the
 /// measured outcomes.
 pub fn heavy_output_probability(counts: &Counts, ideal_probabilities: &[f64]) -> f64 {
-    assert!(!ideal_probabilities.is_empty(), "ideal distribution must not be empty");
+    assert!(
+        !ideal_probabilities.is_empty(),
+        "ideal distribution must not be empty"
+    );
     let median = median(ideal_probabilities);
     let total = counts.total();
     if total == 0 {
@@ -30,7 +33,10 @@ pub fn heavy_output_probability(counts: &Counts, ideal_probabilities: &[f64]) ->
     }
     let mut heavy_shots = 0usize;
     for (idx, count) in counts.iter() {
-        assert!(idx < ideal_probabilities.len(), "outcome outside ideal distribution");
+        assert!(
+            idx < ideal_probabilities.len(),
+            "outcome outside ideal distribution"
+        );
         if ideal_probabilities[idx] > median {
             heavy_shots += count;
         }
@@ -66,7 +72,11 @@ pub fn cross_entropy_difference(counts: &Counts, ideal_probabilities: &[f64]) ->
     let h_measured: f64 = counts
         .iter()
         .map(|(idx, count)| {
-            let p = ideal_probabilities.get(idx).copied().unwrap_or(0.0).max(PROB_FLOOR);
+            let p = ideal_probabilities
+                .get(idx)
+                .copied()
+                .unwrap_or(0.0)
+                .max(PROB_FLOOR);
             -(count as f64 / total as f64) * p.ln()
         })
         .sum();
@@ -97,9 +107,7 @@ pub fn linear_xeb_fidelity(counts: &Counts, ideal_probabilities: &[f64]) -> f64 
     }
     let mean_p: f64 = counts
         .iter()
-        .map(|(idx, count)| {
-            ideal_probabilities.get(idx).copied().unwrap_or(0.0) * count as f64
-        })
+        .map(|(idx, count)| ideal_probabilities.get(idx).copied().unwrap_or(0.0) * count as f64)
         .sum::<f64>()
         / total as f64;
     let numerator = d * mean_p - 1.0;

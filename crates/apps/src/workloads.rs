@@ -96,7 +96,11 @@ pub fn qaoa_circuit(n: usize, seed: RngSeed) -> Circuit {
 }
 
 /// Chooses `count` distinct edges of the complete graph on `n` vertices.
-fn random_graph_edges<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Vec<(QubitId, QubitId)> {
+fn random_graph_edges<R: Rng + ?Sized>(
+    n: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<(QubitId, QubitId)> {
     let mut all: Vec<(QubitId, QubitId)> = Vec::new();
     for a in 0..n {
         for b in (a + 1)..n {
@@ -273,7 +277,7 @@ mod tests {
         let n = 4;
         let c = qaoa_circuit(n, RngSeed(3));
         assert_eq!(c.two_qubit_gate_count(), 3); // ceil(3*4/4) = 3 edges
-        // H wall + RX mixers.
+                                                 // H wall + RX mixers.
         assert!(c.one_qubit_gate_count() >= 2 * n);
         assert!(c.has_measurements());
     }
@@ -294,7 +298,10 @@ mod tests {
                 .map(|(_, v)| *v)
                 .sum();
             assert_eq!(zz, 2 * (n - 1), "n={n}");
-            assert!(hop >= 4 * (n - 1) - 4 && hop <= 4 * (n - 1), "n={n}, hop={hop}");
+            assert!(
+                hop >= 4 * (n - 1) - 4 && hop <= 4 * (n - 1),
+                "n={n}, hop={hop}"
+            );
         }
     }
 
@@ -321,7 +328,11 @@ mod tests {
         for seed in 0..5u64 {
             let (c, x) = qft_echo_circuit(3, RngSeed(seed));
             let probs = IdealSimulator::probabilities(&c);
-            assert!((probs[x] - 1.0).abs() < 1e-9, "seed {seed}: prob = {}", probs[x]);
+            assert!(
+                (probs[x] - 1.0).abs() < 1e-9,
+                "seed {seed}: prob = {}",
+                probs[x]
+            );
         }
     }
 

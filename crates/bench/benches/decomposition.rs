@@ -22,9 +22,11 @@ fn bench_fig6_nuop_vs_cirq(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_decomposition");
     group.sample_size(10);
     for gate in [GateType::cz(), GateType::syc(), GateType::sqrt_iswap()] {
-        group.bench_with_input(BenchmarkId::new("nuop_exact", gate.name()), &gate, |b, g| {
-            b.iter(|| decompose_fixed(&target, g, &sweep_config()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nuop_exact", gate.name()),
+            &gate,
+            |b, g| b.iter(|| decompose_fixed(&target, g, &sweep_config())),
+        );
     }
     group.bench_function("cirq_kak_count", |b| {
         b.iter(|| cirq_gate_count(&target, CirqTargetGate::Cz))
@@ -75,7 +77,7 @@ fn bench_nuop_layers(c: &mut Criterion) {
 fn bench_noise_adaptive(c: &mut Criterion) {
     let mut rng = RngSeed(4).rng();
     let target = haar_random_su4(&mut rng);
-    let candidates = vec![
+    let candidates = [
         HardwareGate::new(GateType::syc(), 0.994),
         HardwareGate::new(GateType::sqrt_iswap(), 0.992),
         HardwareGate::new(GateType::cz(), 0.99),

@@ -2,7 +2,10 @@
 //! S1-S7, G1-G7 and FullfSim, including the error-inflated continuous set
 //! (1.5x/2x/2.5x/3x) and the no-noise-variation ablation.
 
-use bench::{evaluate_set, print_results, qaoa_suite, qft_suite, qv_suite, fh_suite, Metric, Scale, SetResult};
+use bench::{
+    evaluate_set, fh_suite, print_results, qaoa_suite, qft_suite, qv_suite, Metric, Scale,
+    SetResult,
+};
 use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
@@ -27,10 +30,26 @@ fn main() {
     let options = scale.compiler_options();
 
     let experiments = [
-        ("(a) QV on Sycamore", Metric::Hop, qv_suite(qv_n, circuits, seed.child(1))),
-        ("(b) QAOA on Sycamore", Metric::Xed, qaoa_suite(qaoa_n, circuits, seed.child(2))),
-        ("(c) QFT on Sycamore", Metric::SuccessRate, qft_suite(qft_n, circuits.min(2), seed.child(3))),
-        ("(d) Fermi-Hubbard on Sycamore", Metric::Xeb, fh_suite(fh_n, circuits.min(2), seed.child(4))),
+        (
+            "(a) QV on Sycamore",
+            Metric::Hop,
+            qv_suite(qv_n, circuits, seed.child(1)),
+        ),
+        (
+            "(b) QAOA on Sycamore",
+            Metric::Xed,
+            qaoa_suite(qaoa_n, circuits, seed.child(2)),
+        ),
+        (
+            "(c) QFT on Sycamore",
+            Metric::SuccessRate,
+            qft_suite(qft_n, circuits.min(2), seed.child(3)),
+        ),
+        (
+            "(d) Fermi-Hubbard on Sycamore",
+            Metric::Xeb,
+            fh_suite(fh_n, circuits.min(2), seed.child(4)),
+        ),
     ];
     for (title, metric, suite) in &experiments {
         let mut results: Vec<SetResult> = google_sets()
@@ -40,7 +59,14 @@ fn main() {
         // Error-inflated continuous set (the 1.5x-3x bars of Fig. 10a-c).
         for factor in [1.5, 2.0, 2.5, 3.0] {
             let inflated = device.with_error_scale(factor);
-            let mut r = evaluate_set(suite, &inflated, &InstructionSet::full_fsim(), &options, shots, seed.child(8));
+            let mut r = evaluate_set(
+                suite,
+                &inflated,
+                &InstructionSet::full_fsim(),
+                &options,
+                shots,
+                seed.child(8),
+            );
             r.set = format!("Full x{factor}");
             results.push(r);
         }
@@ -54,7 +80,11 @@ fn main() {
         .iter()
         .map(|set| evaluate_set(&suite, &flat, set, &options, shots, seed.child(9)))
         .collect();
-    print_results("(e) QAOA, no noise variation across gate types", Metric::Xed, &results);
+    print_results(
+        "(e) QAOA, no noise variation across gate types",
+        Metric::Xed,
+        &results,
+    );
 
     println!("\nExpected shape (paper Fig. 10): G1-G7 beat S1-S7; G7 (native SWAP)");
     println!("matches FullfSim; the continuous set loses its edge once its average");

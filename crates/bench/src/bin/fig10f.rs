@@ -21,13 +21,30 @@ fn main() {
     let options = scale.compiler_options();
 
     println!("Figure 10f: FH fidelity vs mean two-qubit error rate");
-    println!("{:<10} {:>22} {:>12} {:>12}", "qubits", "mean 2q error (%)", "G7", "S2");
+    println!(
+        "{:<10} {:>22} {:>12} {:>12}",
+        "qubits", "mean 2q error (%)", "G7", "S2"
+    );
     for &n in &sizes {
         let suite = fh_suite(n, circuits, seed.child(n as u64));
         for target_error in [0.0036, 0.0018, 0.0009, 0.00045, 0.000225] {
             let device = base.with_error_scale(target_error / base_error);
-            let g7 = evaluate_set(&suite, &device, &InstructionSet::g(7), &options, shots, seed.child(1));
-            let s2 = evaluate_set(&suite, &device, &InstructionSet::s(2), &options, shots, seed.child(2));
+            let g7 = evaluate_set(
+                &suite,
+                &device,
+                &InstructionSet::g(7),
+                &options,
+                shots,
+                seed.child(1),
+            );
+            let s2 = evaluate_set(
+                &suite,
+                &device,
+                &InstructionSet::s(2),
+                &options,
+                shots,
+                seed.child(2),
+            );
             println!(
                 "{:<10} {:>22.4} {:>12.4} {:>12.4}",
                 n,

@@ -15,8 +15,21 @@ fn main() {
     let model = CalibrationModel::default();
 
     println!("Figure 11a: calibration circuits vs number of fSim parameter combinations");
-    println!("{:<14} {:>14} {:>14} {:>14}", "combinations", "2 qubits", "54 qubits", "1000 qubits");
-    for combos in [2usize, 4, 8, 16, 32, 64, 128, 256, CONTINUOUS_FAMILY_COMBINATIONS] {
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "combinations", "2 qubits", "54 qubits", "1000 qubits"
+    );
+    for combos in [
+        2usize,
+        4,
+        8,
+        16,
+        32,
+        64,
+        128,
+        256,
+        CONTINUOUS_FAMILY_COMBINATIONS,
+    ] {
         println!(
             "{:<14} {:>14.3e} {:>14.3e} {:>14.3e}",
             combos,
@@ -37,10 +50,38 @@ fn main() {
     let qaoa = qaoa_suite(3, circuits, seed.child(3));
 
     // Baselines: the best single-type set per vendor.
-    let google_base = evaluate_set(&qv, &sycamore, &InstructionSet::s(1), &options, shots, seed.child(4));
-    let rigetti_base = evaluate_set(&qv, &aspen, &InstructionSet::s(3), &options, shots, seed.child(5));
-    let google_base_qaoa = evaluate_set(&qaoa, &sycamore, &InstructionSet::s(1), &options, shots, seed.child(6));
-    let rigetti_base_qaoa = evaluate_set(&qaoa, &aspen, &InstructionSet::s(3), &options, shots, seed.child(7));
+    let google_base = evaluate_set(
+        &qv,
+        &sycamore,
+        &InstructionSet::s(1),
+        &options,
+        shots,
+        seed.child(4),
+    );
+    let rigetti_base = evaluate_set(
+        &qv,
+        &aspen,
+        &InstructionSet::s(3),
+        &options,
+        shots,
+        seed.child(5),
+    );
+    let google_base_qaoa = evaluate_set(
+        &qaoa,
+        &sycamore,
+        &InstructionSet::s(1),
+        &options,
+        shots,
+        seed.child(6),
+    );
+    let rigetti_base_qaoa = evaluate_set(
+        &qaoa,
+        &aspen,
+        &InstructionSet::s(3),
+        &options,
+        shots,
+        seed.child(7),
+    );
 
     println!(
         "{:<12} {:>12} {:>16} {:>16} {:>16} {:>16}",
@@ -55,8 +96,20 @@ fn main() {
         rigetti_base.mean_metric,
         rigetti_base_qaoa.mean_metric
     );
-    let google_sets = [InstructionSet::g(1), InstructionSet::g(2), InstructionSet::g(3), InstructionSet::g(5), InstructionSet::g(7)];
-    let rigetti_sets = [InstructionSet::r(1), InstructionSet::r(2), InstructionSet::r(3), InstructionSet::r(4), InstructionSet::r(5)];
+    let google_sets = [
+        InstructionSet::g(1),
+        InstructionSet::g(2),
+        InstructionSet::g(3),
+        InstructionSet::g(5),
+        InstructionSet::g(7),
+    ];
+    let rigetti_sets = [
+        InstructionSet::r(1),
+        InstructionSet::r(2),
+        InstructionSet::r(3),
+        InstructionSet::r(4),
+        InstructionSet::r(5),
+    ];
     for (g, r) in google_sets.iter().zip(rigetti_sets.iter()) {
         let types = g.gate_types().len();
         let hours = model.hours(types);
@@ -66,16 +119,14 @@ fn main() {
         let ra = evaluate_set(&qaoa, &aspen, r, &options, shots, seed.child(13));
         println!(
             "{:<12} {:>12.1} {:>16.3} {:>16.3} {:>16.3} {:>16.3}",
-            types,
-            hours,
-            gq.mean_metric,
-            ga.mean_metric,
-            rq.mean_metric,
-            ra.mean_metric,
+            types, hours, gq.mean_metric, ga.mean_metric, rq.mean_metric, ra.mean_metric,
         );
     }
     let continuous_hours = model.hours_for_set(&InstructionSet::full_fsim());
-    println!("{:<12} {:>12.1}  (continuous family, priced as {} combinations)", "Inf", continuous_hours, CONTINUOUS_FAMILY_COMBINATIONS);
+    println!(
+        "{:<12} {:>12.1}  (continuous family, priced as {} combinations)",
+        "Inf", continuous_hours, CONTINUOUS_FAMILY_COMBINATIONS
+    );
     println!("\nExpected shape (paper Fig. 11): circuits and hours grow linearly with the");
     println!("number of gate types; reliability improves with diminishing returns after");
     println!("~5 types; 4-8 calibrated types give two orders of magnitude less");

@@ -28,9 +28,19 @@ fn main() {
 
     println!("Figure 2: decomposition examples (paper Fig. 2)");
     report("(c) QV unitary", &qv, &GateType::cz(), &cfg);
-    report("(d) QAOA unitary exp(-0.0303 i ZZ)", &qaoa, &GateType::cz(), &cfg);
+    report(
+        "(d) QAOA unitary exp(-0.0303 i ZZ)",
+        &qaoa,
+        &GateType::cz(),
+        &cfg,
+    );
     report("(e) QV unitary", &qv, &GateType::sqrt_iswap(), &cfg);
-    report("(f) QAOA unitary exp(-0.0303 i ZZ)", &qaoa, &GateType::sqrt_iswap(), &cfg);
+    report(
+        "(f) QAOA unitary exp(-0.0303 i ZZ)",
+        &qaoa,
+        &GateType::sqrt_iswap(),
+        &cfg,
+    );
     println!("\nExpected shape (paper): QV needs 3 gates with either type; the QAOA");
     println!("interaction needs 2 CZ but 3 sqrt_iSWAP gates -- CZ is the more");
     println!("expressive type for QAOA, sqrt_iSWAP-family types for QV.");

@@ -14,10 +14,19 @@ fn main() {
         let b = (i + 1) % 8;
         let edge = device.edge(a, b).expect("ring edge");
         let has_xy = edge.calibrated_gates().any(|(name, _)| name == "XY(pi)");
-        let xy = if has_xy { device.two_qubit_fidelity(a, b, "XY(pi)") } else { 0.0 };
+        let xy = if has_xy {
+            device.two_qubit_fidelity(a, b, "XY(pi)")
+        } else {
+            0.0
+        };
         let cz = device.two_qubit_fidelity(a, b, "CZ");
         let best = if xy > cz { "XY(pi)" } else { "CZ" };
-        println!("{:<8} {:>10.2} {:>10.2}  {best}", format!("({a},{b})"), xy, cz);
+        println!(
+            "{:<8} {:>10.2} {:>10.2}  {best}",
+            format!("({a},{b})"),
+            xy,
+            cz
+        );
     }
     println!("\nThe best gate type varies across qubit pairs, which is what makes");
     println!("noise-adaptive gate-type selection (Section V.B) profitable.");

@@ -30,7 +30,10 @@ fn main() {
             choice.decomposition.hardware_fidelity,
             choice.decomposition.overall_fidelity,
         );
-        println!("   candidate overall fidelities: {:?}", choice.candidate_fidelities);
+        println!(
+            "   candidate overall fidelities: {:?}",
+            choice.candidate_fidelities
+        );
     }
     println!("\nExpected shape (paper Fig. 5): whichever gate type is better calibrated on");
     println!("a pair wins on that pair -- CZ on the pair where CZ is stronger, the");

@@ -30,7 +30,11 @@ fn mean_counts(
     }
     let n = unitaries.len() as f64;
     (
-        if cirq_supported { Some(cirq_total as f64 / n) } else { None },
+        if cirq_supported {
+            Some(cirq_total as f64 / n)
+        } else {
+            None
+        },
         [nuop[0] / n, nuop[1] / n, nuop[2] / n, nuop[3] / n],
     )
 }
@@ -49,7 +53,10 @@ fn main() {
     pool.extend(qaoa_unitaries(per_app, seed.child(2)));
     pool.extend(qft_unitaries(6).into_iter().take(per_app));
 
-    println!("Figure 6: Cirq baseline vs NuOp gate counts ({} unitaries)", pool.len());
+    println!(
+        "Figure 6: Cirq baseline vs NuOp gate counts ({} unitaries)",
+        pool.len()
+    );
     println!(
         "{:<12} {:>8} {:>10} {:>11} {:>10} {:>10}",
         "target", "Cirq", "NuOp-100%", "NuOp-99.9%", "NuOp-99%", "NuOp-95%"
@@ -61,7 +68,9 @@ fn main() {
         (GateType::sqrt_iswap(), CirqTargetGate::SqrtIswap),
     ] {
         let (cirq, nuop) = mean_counts(&pool, &gate, cirq_gate, &cfg);
-        let cirq_str = cirq.map(|c| format!("{c:.2}")).unwrap_or_else(|| "n/a".to_string());
+        let cirq_str = cirq
+            .map(|c| format!("{c:.2}"))
+            .unwrap_or_else(|| "n/a".to_string());
         println!(
             "{:<12} {:>8} {:>10.2} {:>11.2} {:>10.2} {:>10.2}",
             gate.name(),

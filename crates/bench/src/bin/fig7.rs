@@ -39,8 +39,22 @@ fn main() {
     for factor in [0.5, 1.0, 2.0, 4.0] {
         let device = DeviceModel::sycamore(seed.child(3)).with_error_scale(factor);
         // Approximate mode (Eq. 2): the default pipeline.
-        let qv_a = evaluate_set(&qv, &device, &set, &scale.compiler_options(), shots, seed.child(10));
-        let qaoa_a = evaluate_set(&qaoa, &device, &set, &scale.compiler_options(), shots, seed.child(11));
+        let qv_a = evaluate_set(
+            &qv,
+            &device,
+            &set,
+            &scale.compiler_options(),
+            shots,
+            seed.child(10),
+        );
+        let qaoa_a = evaluate_set(
+            &qaoa,
+            &device,
+            &set,
+            &scale.compiler_options(),
+            shots,
+            seed.child(11),
+        );
         // Exact mode: compile against a perfect-fidelity view of the device so
         // the decomposition never trades accuracy for gate count, then run on
         // the noisy device.
@@ -67,7 +81,9 @@ fn evaluate_exact(
     shots: usize,
     seed: RngSeed,
 ) -> f64 {
-    use apps::{cross_entropy_difference, heavy_output_probability, linear_xeb_fidelity, success_rate};
+    use apps::{
+        cross_entropy_difference, heavy_output_probability, linear_xeb_fidelity, success_rate,
+    };
     use sim::{IdealSimulator, NoiseModel, NoisySimulator};
     let mut total = 0.0;
     for (i, bench_circuit) in suite.iter().enumerate() {

@@ -44,7 +44,13 @@ fn main() {
                 })
                 .sum::<f64>()
                 / pool.len() as f64;
-            println!("{},{:.4},{:.4},{:.3}", workload.name(), point.theta, point.phi, mean);
+            println!(
+                "{},{:.4},{:.4},{:.3}",
+                workload.name(),
+                point.theta,
+                point.phi,
+                mean
+            );
         }
     }
     eprintln!("\nExpected shape (paper Fig. 8): QV unitaries are cheapest near");

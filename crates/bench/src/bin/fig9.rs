@@ -24,8 +24,16 @@ fn main() {
     let options = scale.compiler_options();
 
     let experiments = [
-        ("(a) 3-qubit QV on Aspen-8", Metric::Hop, qv_suite(3, circuits, seed.child(1))),
-        ("(b) 4-qubit QAOA on Aspen-8", Metric::Xed, qaoa_suite(4, circuits, seed.child(2))),
+        (
+            "(a) 3-qubit QV on Aspen-8",
+            Metric::Hop,
+            qv_suite(3, circuits, seed.child(1)),
+        ),
+        (
+            "(b) 4-qubit QAOA on Aspen-8",
+            Metric::Xed,
+            qaoa_suite(4, circuits, seed.child(2)),
+        ),
         (
             "(c) 3-qubit QFT on Aspen-8",
             Metric::SuccessRate,

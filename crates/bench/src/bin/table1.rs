@@ -7,18 +7,32 @@ use gates::GateType;
 fn print_gate(name: &str, m: &qmath::CMatrix) {
     println!("\n{name}:");
     for r in 0..4 {
-        let row: Vec<String> = (0..4).map(|c| format!("{:>18}", format!("{}", m[(r, c)]))).collect();
+        let row: Vec<String> = (0..4)
+            .map(|c| format!("{:>18}", format!("{}", m[(r, c)])))
+            .collect();
         println!("  [{}]", row.join(" "));
     }
 }
 
 fn main() {
     println!("Table I: two-qubit gate types (see paper Table I)");
-    print_gate("CZ (Rigetti current / Google current)", GateType::cz().unitary());
+    print_gate(
+        "CZ (Rigetti current / Google current)",
+        GateType::cz().unitary(),
+    );
     print_gate("XY(pi) (Rigetti current)", &xy(std::f64::consts::PI));
-    print_gate("XY(theta=pi/2) (Rigetti anticipated family sample)", &xy(std::f64::consts::FRAC_PI_2));
-    print_gate("SYC = fSim(pi/2, pi/6) (Google current)", GateType::syc().unitary());
-    print_gate("sqrt_iSWAP = fSim(pi/4, 0) (Google current)", GateType::sqrt_iswap().unitary());
+    print_gate(
+        "XY(theta=pi/2) (Rigetti anticipated family sample)",
+        &xy(std::f64::consts::FRAC_PI_2),
+    );
+    print_gate(
+        "SYC = fSim(pi/2, pi/6) (Google current)",
+        GateType::syc().unitary(),
+    );
+    print_gate(
+        "sqrt_iSWAP = fSim(pi/4, 0) (Google current)",
+        GateType::sqrt_iswap().unitary(),
+    );
     print_gate(
         "fSim(theta=pi/5, phi=pi/3) (Google anticipated family sample)",
         &fsim(std::f64::consts::PI / 5.0, std::f64::consts::PI / 3.0),

@@ -7,7 +7,10 @@ use gates::InstructionSet;
 fn main() {
     let model = CalibrationModel::default();
     println!("Table II: instruction sets studied (see paper Table II)");
-    println!("{:<10} {:>6} {:>18} {:>16}  members", "set", "types", "cal. circuits(54q)", "cal. hours");
+    println!(
+        "{:<10} {:>6} {:>18} {:>16}  members",
+        "set", "types", "cal. circuits(54q)", "cal. hours"
+    );
     for set in InstructionSet::table2() {
         let types = if set.is_continuous() {
             "inf".to_string()
@@ -17,10 +20,22 @@ fn main() {
         let circuits = model.circuits_for_set(&set, 54);
         let hours = model.hours_for_set(&set);
         let members = if set.is_continuous() {
-            set.family().map(|f| f.name().to_string()).unwrap_or_default()
+            set.family()
+                .map(|f| f.name().to_string())
+                .unwrap_or_default()
         } else {
-            set.gate_types().iter().map(|g| g.name().to_string()).collect::<Vec<_>>().join(", ")
+            set.gate_types()
+                .iter()
+                .map(|g| g.name().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         };
-        println!("{:<10} {:>6} {:>18.2e} {:>16.1}  {{{members}}}", set.name(), types, circuits, hours);
+        println!(
+            "{:<10} {:>6} {:>18.2e} {:>16.1}  {{{members}}}",
+            set.name(),
+            types,
+            circuits,
+            hours
+        );
     }
 }

@@ -186,9 +186,10 @@ pub fn run_circuit(
         Metric::Hop => heavy_output_probability(&logical, &ideal),
         Metric::Xed => cross_entropy_difference(&logical, &ideal),
         Metric::Xeb => linear_xeb_fidelity(&logical, &ideal),
-        Metric::SuccessRate => {
-            success_rate(&logical, bench.expected_outcome.expect("expected outcome set"))
-        }
+        Metric::SuccessRate => success_rate(
+            &logical,
+            bench.expected_outcome.expect("expected outcome set"),
+        ),
     };
     (metric, compiled)
 }
@@ -208,7 +209,8 @@ pub fn evaluate_set(
     let mut swap_sum = 0.0;
     let mut fid_sum = 0.0;
     for (i, bench) in suite.iter().enumerate() {
-        let (metric, compiled) = run_circuit(bench, device, set, options, shots, seed.child(i as u64));
+        let (metric, compiled) =
+            run_circuit(bench, device, set, options, shots, seed.child(i as u64));
         metric_sum += metric;
         gate_sum += compiled.two_qubit_gate_count() as f64;
         swap_sum += compiled.swap_count as f64;
@@ -246,7 +248,10 @@ pub fn print_results(title: &str, metric: Metric, results: &[SetResult]) {
 
 /// Prints results as CSV (for plotting).
 pub fn print_csv(metric: Metric, results: &[SetResult]) {
-    println!("set,{},two_qubit_gates,swaps,estimated_fidelity", metric.name().replace(' ', "_"));
+    println!(
+        "set,{},two_qubit_gates,swaps,estimated_fidelity",
+        metric.name().replace(' ', "_")
+    );
     for r in results {
         println!(
             "{},{:.6},{:.3},{:.3},{:.6}",

@@ -151,13 +151,22 @@ mod tests {
         let m = CalibrationModel::default();
         assert!(m.hours(2) < m.hours(8));
         // 2-8 gate types: single-digit to ~20 hours (Fig. 11b's y-axis).
-        assert!(m.hours(2) >= 4.0 && m.hours(8) <= 20.0, "{} {}", m.hours(2), m.hours(8));
+        assert!(
+            m.hours(2) >= 4.0 && m.hours(8) <= 20.0,
+            "{} {}",
+            m.hours(2),
+            m.hours(8)
+        );
     }
 
     #[test]
     fn discrete_sets_save_two_orders_of_magnitude() {
         let m = CalibrationModel::default();
-        for set in [InstructionSet::r(5), InstructionSet::g(7), InstructionSet::g(4)] {
+        for set in [
+            InstructionSet::r(5),
+            InstructionSet::g(7),
+            InstructionSet::g(4),
+        ] {
             let saving = m.saving_versus_continuous(&set);
             assert!(saving >= 65.0, "{}: saving = {saving}", set.name());
             let circuits_discrete = m.circuits_for_set(&set, 54);

@@ -60,7 +60,11 @@ impl Circuit {
     /// Panics if the operation references a qubit outside the register.
     pub fn push(&mut self, op: Operation) {
         for &q in op.qubits() {
-            assert!(q < self.num_qubits, "operation qubit {q} out of range (n={})", self.num_qubits);
+            assert!(
+                q < self.num_qubits,
+                "operation qubit {q} out of range (n={})",
+                self.num_qubits
+            );
         }
         self.ops.push(op);
     }
@@ -118,7 +122,12 @@ impl Circuit {
             if !op.is_two_qubit_unitary() {
                 continue;
             }
-            let start = op.qubits().iter().map(|&q| layer_of_qubit[q]).max().unwrap_or(0);
+            let start = op
+                .qubits()
+                .iter()
+                .map(|&q| layer_of_qubit[q])
+                .max()
+                .unwrap_or(0);
             let layer = start + 1;
             for &q in op.qubits() {
                 layer_of_qubit[q] = layer;
@@ -213,7 +222,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit({} qubits, {} ops)", self.num_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "Circuit({} qubits, {} ops)",
+            self.num_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             writeln!(f, "  {op}")?;
         }

@@ -19,7 +19,10 @@ pub struct Moment {
 impl Moment {
     /// Operations of the moment resolved against a circuit.
     pub fn resolve<'c>(&self, circuit: &'c Circuit) -> Vec<&'c Operation> {
-        self.op_indices.iter().map(|&i| &circuit.operations()[i]).collect()
+        self.op_indices
+            .iter()
+            .map(|&i| &circuit.operations()[i])
+            .collect()
     }
 }
 

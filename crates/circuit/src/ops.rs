@@ -60,7 +60,10 @@ impl Operation {
                 assert_eq!(matrix.rows(), 4, "2Q unitary must be 4x4");
             }
             OpKind::Measure | OpKind::Barrier => {
-                assert!(!qubits.is_empty(), "measure/barrier needs at least one qubit");
+                assert!(
+                    !qubits.is_empty(),
+                    "measure/barrier needs at least one qubit"
+                );
             }
         }
         Operation { kind, qubits }
@@ -144,7 +147,12 @@ impl Operation {
 
     /// ZZ interaction `exp(-i β Z⊗Z)` (QAOA cost term).
     pub fn zz(q0: QubitId, q1: QubitId, beta: f64) -> Self {
-        Operation::unitary2q(format!("ZZ({beta:.3})"), standard::zz_interaction(beta), q0, q1)
+        Operation::unitary2q(
+            format!("ZZ({beta:.3})"),
+            standard::zz_interaction(beta),
+            q0,
+            q1,
+        )
     }
 
     /// XX+YY interaction (Fermi–Hubbard hopping term).
@@ -215,7 +223,11 @@ impl Operation {
     /// # Panics
     /// Panics if `new_qubits.len()` differs from the current arity.
     pub fn retargeted(&self, new_qubits: Vec<QubitId>) -> Operation {
-        assert_eq!(new_qubits.len(), self.qubits.len(), "arity mismatch in retarget");
+        assert_eq!(
+            new_qubits.len(),
+            self.qubits.len(),
+            "arity mismatch in retarget"
+        );
         Operation::new(self.kind.clone(), new_qubits)
     }
 

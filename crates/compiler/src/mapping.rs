@@ -57,8 +57,8 @@ pub fn initial_mapping(circuit: &Circuit, device: &DeviceModel) -> Vec<QubitId> 
         }
     }
     // Include any disconnected leftovers so the layout is total.
-    for q in 0..device.num_qubits() {
-        if !visited[q] {
+    for (q, seen) in visited.iter().enumerate() {
+        if !seen {
             physical_order.push(q);
         }
     }

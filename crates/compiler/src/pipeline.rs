@@ -24,7 +24,9 @@ impl Default for CompilerOptions {
     fn default() -> Self {
         CompilerOptions {
             decompose: DecomposeConfig::default(),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -210,7 +212,10 @@ mod tests {
         // outcome must still dominate by a wide margin when executed without
         // noise.
         let p_expected = logical.probability(expected);
-        assert!(p_expected > 0.6, "expected outcome probability = {p_expected}");
+        assert!(
+            p_expected > 0.6,
+            "expected outcome probability = {p_expected}"
+        );
         let best = logical.iter().max_by_key(|&(_, c)| c).map(|(idx, _)| idx);
         assert_eq!(best, Some(expected));
     }
@@ -239,7 +244,10 @@ mod tests {
         let device = DeviceModel::sycamore(RngSeed(11));
         let circ = qaoa_circuit(3, RngSeed(12));
         let compiled = compile(&circ, &device, &InstructionSet::g(1), &quick_options());
-        assert_eq!(compiled.pass_stats.input_two_qubit_gates, circ.two_qubit_gate_count() + compiled.swap_count);
+        assert_eq!(
+            compiled.pass_stats.input_two_qubit_gates,
+            circ.two_qubit_gate_count() + compiled.swap_count
+        );
         assert!(compiled.pass_stats.mean_overall_fidelity > 0.5);
         assert!(!compiled.pass_stats.gate_type_histogram.is_empty());
     }

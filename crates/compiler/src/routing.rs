@@ -54,7 +54,10 @@ pub fn route(circuit: &Circuit, device: &DeviceModel, initial_layout: &[QubitId]
         "layout must assign every logical qubit"
     );
     for &p in initial_layout {
-        assert!(p < device.num_qubits(), "layout refers to physical qubit {p} out of range");
+        assert!(
+            p < device.num_qubits(),
+            "layout refers to physical qubit {p} out of range"
+        );
     }
     let topo = device.topology();
     let mut layout = initial_layout.to_vec(); // logical -> physical
@@ -78,8 +81,7 @@ pub fn route(circuit: &Circuit, device: &DeviceModel, initial_layout: &[QubitId]
                         .shortest_path(p0, p1)
                         .unwrap_or_else(|| panic!("no path between physical qubits {p0} and {p1}"));
                     // Move l0 along the path until adjacent to p1.
-                    for hop in 1..path.len() - 1 {
-                        let next = path[hop];
+                    for &next in &path[1..path.len() - 1] {
                         routed.push(Operation::swap(p0, next));
                         swap_count += 1;
                         // Update the layout: whichever logical qubit was at
@@ -155,10 +157,10 @@ mod tests {
         let routed = route(&c, &device, &[0, 1, 2]);
         let ideal = sim::IdealSimulator::probabilities(&c);
         let routed_probs = sim::IdealSimulator::probabilities(&routed.circuit);
-        for physical_outcome in 0..8 {
+        for (physical_outcome, &p) in routed_probs.iter().enumerate() {
             let logical = routed.logical_outcome(physical_outcome);
             assert!(
-                (routed_probs[physical_outcome] - ideal[logical]).abs() < 1e-9,
+                (p - ideal[logical]).abs() < 1e-9,
                 "outcome {physical_outcome} -> {logical}"
             );
         }

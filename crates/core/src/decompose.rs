@@ -106,7 +106,12 @@ impl Decomposition {
         push_1q_layer(&mut ops, 0);
         for layer in 0..self.layers {
             let gate_matrix = self.template.layer_gate_unitary(&self.params, layer);
-            ops.push(Operation::unitary2q(self.gate_label.clone(), gate_matrix, q0, q1));
+            ops.push(Operation::unitary2q(
+                self.gate_label.clone(),
+                gate_matrix,
+                q0,
+                q1,
+            ));
             push_1q_layer(&mut ops, layer + 1);
         }
         ops
@@ -130,7 +135,8 @@ fn optimize_template(
     config: &DecomposeConfig,
     stream: u64,
 ) -> (Vec<f64>, f64) {
-    let objective = |params: &[f64]| 1.0 - hilbert_schmidt_fidelity(&template.unitary(params), target);
+    let objective =
+        |params: &[f64]| 1.0 - hilbert_schmidt_fidelity(&template.unitary(params), target);
     let n = template.parameter_count();
     // Start from all-zero angles (identity 1Q layers); restarts perturb this.
     let x0 = vec![0.0; n];
@@ -152,8 +158,16 @@ fn optimize_template(
 /// `config.fidelity_threshold` is returned. If no layer count up to
 /// `config.max_layers` reaches the threshold, the best attempt found is
 /// returned (its `decomposition_fidelity` tells the caller how close it got).
-pub fn decompose_fixed(target: &CMatrix, gate: &GateType, config: &DecomposeConfig) -> Decomposition {
-    assert_eq!(target.rows(), 4, "NuOp decomposes two-qubit (4x4) unitaries");
+pub fn decompose_fixed(
+    target: &CMatrix,
+    gate: &GateType,
+    config: &DecomposeConfig,
+) -> Decomposition {
+    assert_eq!(
+        target.rows(),
+        4,
+        "NuOp decomposes two-qubit (4x4) unitaries"
+    );
     let mut best: Option<Decomposition> = None;
     for layers in 0..=config.max_layers {
         let template = Template::fixed(gate.unitary().clone(), layers);
@@ -193,7 +207,11 @@ pub fn decompose_approx(
     two_qubit_fidelity: f64,
     config: &DecomposeConfig,
 ) -> Decomposition {
-    assert_eq!(target.rows(), 4, "NuOp decomposes two-qubit (4x4) unitaries");
+    assert_eq!(
+        target.rows(),
+        4,
+        "NuOp decomposes two-qubit (4x4) unitaries"
+    );
     assert!(
         (0.0..=1.0).contains(&two_qubit_fidelity),
         "hardware fidelity must lie in [0, 1]"
@@ -242,7 +260,11 @@ pub fn decompose_continuous(
     family: ContinuousFamily,
     config: &DecomposeConfig,
 ) -> Decomposition {
-    assert_eq!(target.rows(), 4, "NuOp decomposes two-qubit (4x4) unitaries");
+    assert_eq!(
+        target.rows(),
+        4,
+        "NuOp decomposes two-qubit (4x4) unitaries"
+    );
     let mut best: Option<Decomposition> = None;
     for layers in 0..=config.max_layers {
         let template = Template::family(family, layers);
@@ -305,7 +327,9 @@ mod tests {
         assert!(d.decomposition_fidelity > 0.99999);
         // Verify the emitted operations reproduce CNOT up to global phase.
         let circ = d.to_circuit(2, 0, 1);
-        assert!(circ.unitary().approx_eq_up_to_phase(&standard::cnot(), 1e-3));
+        assert!(circ
+            .unitary()
+            .approx_eq_up_to_phase(&standard::cnot(), 1e-3));
     }
 
     #[test]
@@ -346,7 +370,10 @@ mod tests {
         let exact = decompose_fixed(&target, &GateType::cz(), &quick_config());
         let approx = decompose_approx(&target, &GateType::cz(), 0.90, &quick_config());
         assert!(approx.layers <= exact.layers);
-        assert!(approx.overall_fidelity >= exact.decomposition_fidelity * 0.9f64.powi(exact.layers as i32) - 1e-9);
+        assert!(
+            approx.overall_fidelity
+                >= exact.decomposition_fidelity * 0.9f64.powi(exact.layers as i32) - 1e-9
+        );
         assert!(approx.hardware_fidelity <= 1.0);
     }
 
@@ -372,7 +399,11 @@ mod tests {
         };
         let d = decompose_continuous(&target, ContinuousFamily::FullFsim, &cfg);
         assert!(d.layers <= 3);
-        assert!(d.decomposition_fidelity > 0.999, "fd = {}", d.decomposition_fidelity);
+        assert!(
+            d.decomposition_fidelity > 0.999,
+            "fd = {}",
+            d.decomposition_fidelity
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct HardwareGate {
 impl HardwareGate {
     /// Convenience constructor.
     pub fn new(gate: GateType, fidelity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fidelity), "fidelity must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fidelity),
+            "fidelity must lie in [0, 1]"
+        );
         HardwareGate { gate, fidelity }
     }
 }
@@ -56,7 +59,10 @@ pub fn decompose_with_gate_choice(
     candidates: &[HardwareGate],
     config: &DecomposeConfig,
 ) -> GateChoice {
-    assert!(!candidates.is_empty(), "need at least one candidate gate type");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate gate type"
+    );
     let mut decompositions: Vec<Decomposition> = Vec::with_capacity(candidates.len());
     for hw in candidates {
         decompositions.push(decompose_approx(target, &hw.gate, hw.fidelity, config));
@@ -65,8 +71,10 @@ pub fn decompose_with_gate_choice(
         decompositions.iter().map(|d| d.overall_fidelity).collect();
     let mut best = 0usize;
     for i in 1..decompositions.len() {
-        let better = decompositions[i].overall_fidelity > decompositions[best].overall_fidelity + 1e-12
-            || ((decompositions[i].overall_fidelity - decompositions[best].overall_fidelity).abs() <= 1e-12
+        let better = decompositions[i].overall_fidelity
+            > decompositions[best].overall_fidelity + 1e-12
+            || ((decompositions[i].overall_fidelity - decompositions[best].overall_fidelity).abs()
+                <= 1e-12
                 && decompositions[i].layers < decompositions[best].layers);
         if better {
             best = i;

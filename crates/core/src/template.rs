@@ -187,7 +187,9 @@ mod tests {
     fn template_unitary_is_always_unitary() {
         for layers in 0..4 {
             let t = Template::fixed(GateType::syc().unitary().clone(), layers);
-            let params: Vec<f64> = (0..t.parameter_count()).map(|i| (i as f64 * 0.73).sin() * 3.0).collect();
+            let params: Vec<f64> = (0..t.parameter_count())
+                .map(|i| (i as f64 * 0.73).sin() * 3.0)
+                .collect();
             assert!(t.unitary(&params).is_unitary(1e-10), "layers={layers}");
         }
         // Family templates too.
@@ -236,8 +238,14 @@ mod tests {
     fn single_qubit_layer_param_slicing() {
         let t = Template::fixed(GateType::cz().unitary().clone(), 1);
         let params: Vec<f64> = (0..12).map(|i| i as f64).collect();
-        assert_eq!(t.single_qubit_layer_params(&params, 0), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
-        assert_eq!(t.single_qubit_layer_params(&params, 1), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(
+            t.single_qubit_layer_params(&params, 0),
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        );
+        assert_eq!(
+            t.single_qubit_layer_params(&params, 1),
+            &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]
+        );
     }
 
     #[test]

@@ -25,9 +25,18 @@ impl QubitCalibration {
     /// Panics if fidelity/readout error are outside `[0, 1]` or times are
     /// non-positive.
     pub fn new(t1_us: f64, t2_us: f64, readout_error: f64, one_qubit_fidelity: f64) -> Self {
-        assert!(t1_us > 0.0 && t2_us > 0.0, "coherence times must be positive");
-        assert!((0.0..=1.0).contains(&readout_error), "readout error out of range");
-        assert!((0.0..=1.0).contains(&one_qubit_fidelity), "fidelity out of range");
+        assert!(
+            t1_us > 0.0 && t2_us > 0.0,
+            "coherence times must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&readout_error),
+            "readout error out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&one_qubit_fidelity),
+            "fidelity out of range"
+        );
         QubitCalibration {
             t1_us,
             t2_us,
@@ -56,7 +65,10 @@ impl EdgeCalibration {
     /// Creates an edge record with a fallback fidelity for gate types that
     /// have no explicit entry.
     pub fn new(default_fidelity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&default_fidelity), "fidelity out of range");
+        assert!(
+            (0.0..=1.0).contains(&default_fidelity),
+            "fidelity out of range"
+        );
         EdgeCalibration {
             fidelity_by_gate: BTreeMap::new(),
             default_fidelity,

@@ -42,7 +42,10 @@ impl DeviceModel {
             "one calibration record per qubit required"
         );
         for &(a, b) in edges.keys() {
-            assert!(topology.has_edge(a, b), "calibration for non-edge ({a},{b})");
+            assert!(
+                topology.has_edge(a, b),
+                "calibration for non-edge ({a},{b})"
+            );
         }
         DeviceModel {
             name: name.into(),
@@ -154,12 +157,20 @@ impl DeviceModel {
             let (xy_pi, cz) = if a < 8 && b < 8 {
                 // Edge within the first octagon: Fig. 3 slot `i` is the edge
                 // (i, i+1 mod 8), so slot 7 is the (0, 7) wrap-around edge.
-                let idx = if a.min(b) == 0 && a.max(b) == 7 { 7 } else { a.min(b) };
+                let idx = if a.min(b) == 0 && a.max(b) == 7 {
+                    7
+                } else {
+                    a.min(b)
+                };
                 fig3[idx]
             } else {
                 // Other rings / bridges: sample from the same spread.
                 let cz = rng.gen_range(0.81..0.97);
-                let xy = if rng.gen_bool(0.75) { rng.gen_range(0.70..0.97) } else { 0.0 };
+                let xy = if rng.gen_bool(0.75) {
+                    rng.gen_range(0.70..0.97)
+                } else {
+                    0.0
+                };
                 (xy, cz)
             };
             let mut cal = EdgeCalibration::new(rng.gen_range(0.95..0.99));
@@ -334,7 +345,10 @@ impl HardwareFidelityProvider for DeviceModel {
     }
 
     fn one_qubit_fidelity(&self, q: QubitId) -> f64 {
-        self.qubits.get(q).map(|c| c.one_qubit_fidelity).unwrap_or(1.0)
+        self.qubits
+            .get(q)
+            .map(|c| c.one_qubit_fidelity)
+            .unwrap_or(1.0)
     }
 }
 
@@ -371,7 +385,10 @@ mod tests {
         let d = DeviceModel::sycamore(RngSeed(7));
         assert_eq!(d.num_qubits(), 54);
         let mean_err = 1.0 - d.mean_two_qubit_fidelity();
-        assert!(mean_err > 0.002 && mean_err < 0.012, "mean error = {mean_err}");
+        assert!(
+            mean_err > 0.002 && mean_err < 0.012,
+            "mean error = {mean_err}"
+        );
         // SYC should be at least as good as the average alternative type.
         let mut syc_sum = 0.0;
         let mut other_sum = 0.0;
@@ -431,7 +448,10 @@ mod tests {
 
     #[test]
     fn mean_fidelities_are_probabilities() {
-        for d in [DeviceModel::aspen8(RngSeed(2)), DeviceModel::sycamore(RngSeed(2))] {
+        for d in [
+            DeviceModel::aspen8(RngSeed(2)),
+            DeviceModel::sycamore(RngSeed(2)),
+        ] {
             let m2 = d.mean_two_qubit_fidelity();
             let m1 = d.mean_one_qubit_fidelity();
             assert!(m2 > 0.7 && m2 <= 1.0);

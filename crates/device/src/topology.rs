@@ -35,7 +35,10 @@ impl Topology {
     /// # Panics
     /// Panics if either endpoint is out of range or the endpoints are equal.
     pub fn add_edge(&mut self, a: QubitId, b: QubitId) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "edge endpoint out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "edge endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         self.edges.insert((a.min(b), a.max(b)));
     }
@@ -79,7 +82,10 @@ impl Topology {
     /// Breadth-first shortest path between two qubits (inclusive of both
     /// endpoints), or `None` if they are disconnected.
     pub fn shortest_path(&self, from: QubitId, to: QubitId) -> Option<Vec<QubitId>> {
-        assert!(from < self.num_qubits && to < self.num_qubits, "qubit out of range");
+        assert!(
+            from < self.num_qubits && to < self.num_qubits,
+            "qubit out of range"
+        );
         if from == to {
             return Some(vec![from]);
         }
@@ -247,7 +253,10 @@ mod tests {
         assert!(a.has_edge(1, 14));
         // Degree never exceeds 3 on Aspen.
         for q in 0..32 {
-            assert!(a.neighbors(q).len() <= 3, "qubit {q} has too many neighbors");
+            assert!(
+                a.neighbors(q).len() <= 3,
+                "qubit {q} has too many neighbors"
+            );
         }
     }
 

@@ -210,7 +210,12 @@ mod tests {
     #[test]
     fn fsim_is_unitary_across_the_plane() {
         for p in grid(7, 7) {
-            assert!(p.unitary().is_unitary(1e-12), "fSim({}, {}) not unitary", p.theta, p.phi);
+            assert!(
+                p.unitary().is_unitary(1e-12),
+                "fSim({}, {}) not unitary",
+                p.theta,
+                p.phi
+            );
         }
     }
 
@@ -294,7 +299,9 @@ mod tests {
     fn continuous_family_unitaries_are_unitary() {
         for t in [0.0, 0.5, 1.5, 3.0] {
             assert!(ContinuousFamily::FullXy.unitary(&[t]).is_unitary(1e-12));
-            assert!(ContinuousFamily::FullFsim.unitary(&[t / 2.0, t]).is_unitary(1e-12));
+            assert!(ContinuousFamily::FullFsim
+                .unitary(&[t / 2.0, t])
+                .is_unitary(1e-12));
         }
     }
 
@@ -303,7 +310,9 @@ mod tests {
         let g = figure8_grid();
         assert_eq!(g.len(), 19 * 19);
         // Corners of the plane.
-        assert!(g.iter().any(|p| p.theta.abs() < 1e-12 && p.phi.abs() < 1e-12));
+        assert!(g
+            .iter()
+            .any(|p| p.theta.abs() < 1e-12 && p.phi.abs() < 1e-12));
         assert!(g
             .iter()
             .any(|p| (p.theta - FRAC_PI_2).abs() < 1e-12 && (p.phi - PI).abs() < 1e-12));

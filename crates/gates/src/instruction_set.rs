@@ -49,7 +49,10 @@ impl InstructionSet {
     /// # Panics
     /// Panics if `types` is empty.
     pub fn discrete(name: impl Into<String>, types: Vec<GateType>) -> Self {
-        assert!(!types.is_empty(), "an instruction set needs at least one gate type");
+        assert!(
+            !types.is_empty(),
+            "an instruction set needs at least one gate type"
+        );
         InstructionSet {
             name: name.into(),
             kind: GateSetKind::Discrete(types),
@@ -119,7 +122,10 @@ impl InstructionSet {
     /// Google multi-type instruction set `Gk`, `k ∈ 1..=7`:
     /// `G1 = {S1,S2}`, `G2 = {S1,S2,S3}`, …, `G6 = {S1..S7}`, `G7 = G6 ∪ {SWAP}`.
     pub fn g(k: usize) -> InstructionSet {
-        assert!((1..=7).contains(&k), "G{k} is not defined; valid sets are G1..G7");
+        assert!(
+            (1..=7).contains(&k),
+            "G{k} is not defined; valid sets are G1..G7"
+        );
         let mut types: Vec<GateType> = (1..=(k + 1).min(7)).map(GateType::s).collect();
         if k == 7 {
             types.push(GateType::swap());
@@ -134,7 +140,12 @@ impl InstructionSet {
         let types = match k {
             1 => vec![GateType::s(3), GateType::s(4)],
             2 => vec![GateType::s(2), GateType::s(3), GateType::s(4)],
-            3 => vec![GateType::s(2), GateType::s(3), GateType::s(4), GateType::s(5)],
+            3 => vec![
+                GateType::s(2),
+                GateType::s(3),
+                GateType::s(4),
+                GateType::s(5),
+            ],
             4 => vec![
                 GateType::s(2),
                 GateType::s(3),
@@ -256,7 +267,9 @@ mod tests {
             for t in InstructionSet::r(k).gate_types() {
                 let ok = t.name() == "CZ"
                     || t.name() == "SWAP"
-                    || t.fsim_coords().map(|c| c.phi.abs() < 1e-12).unwrap_or(false);
+                    || t.fsim_coords()
+                        .map(|c| c.phi.abs() < 1e-12)
+                        .unwrap_or(false);
                 assert!(ok, "R{k} contains non-XY-family type {}", t.name());
             }
         }
@@ -283,7 +296,10 @@ mod tests {
     #[test]
     fn by_name_lookup() {
         assert_eq!(InstructionSet::by_name("g3").unwrap().name(), "G3");
-        assert_eq!(InstructionSet::by_name("FULLFSIM").unwrap().name(), "FullfSim");
+        assert_eq!(
+            InstructionSet::by_name("FULLFSIM").unwrap().name(),
+            "FullfSim"
+        );
         assert!(InstructionSet::by_name("nonsense").is_none());
     }
 

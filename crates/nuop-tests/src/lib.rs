@@ -1,0 +1,11 @@
+//! Carrier crate for the workspace-level integration tests and examples.
+//!
+//! The repository keeps its cross-crate integration tests in the root
+//! `tests/` directory and its runnable walkthroughs in the root `examples/`
+//! directory. A virtual workspace manifest cannot own targets, so this thin
+//! crate registers them (see `Cargo.toml`); it exports no items of its own.
+//!
+//! Run the tests with `cargo test -p nuop-tests` and the examples with e.g.
+//! `cargo run -p nuop-tests --example quickstart`.
+
+#![warn(missing_docs)]

@@ -1,0 +1,43 @@
+//! Smoke coverage for the repo-root examples.
+//!
+//! All four examples are registered targets of this crate, so `cargo test`
+//! (and `cargo build --examples` in CI) already compiles them. This test
+//! additionally runs `quickstart` to completion, proving the happy-path
+//! decomposition walkthrough executes, not merely compiles.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    // CARGO_MANIFEST_DIR = crates/nuop-tests; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "nuop-tests",
+            "--example",
+            "quickstart",
+        ])
+        .current_dir(&root)
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "quickstart printed nothing on stdout"
+    );
+}

@@ -134,13 +134,21 @@ where
             break;
         }
 
-        let x_new: Vec<f64> = x.iter().zip(p.iter()).map(|(xi, pi)| xi + alpha * pi).collect();
+        let x_new: Vec<f64> = x
+            .iter()
+            .zip(p.iter())
+            .map(|(xi, pi)| xi + alpha * pi)
+            .collect();
         let grad_new = numerical_gradient(f, &x_new, opts.fd_step);
         evaluations += 2 * n;
 
         // BFGS update of the inverse Hessian.
         let s: Vec<f64> = x_new.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
-        let y: Vec<f64> = grad_new.iter().zip(grad.iter()).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = grad_new
+            .iter()
+            .zip(grad.iter())
+            .map(|(a, b)| a - b)
+            .collect();
         let sy = dot(&s, &y);
         if sy > 1e-12 {
             let rho = 1.0 / sy;
@@ -234,7 +242,11 @@ where
     }
     let phi = |alpha: f64, evals: &mut usize| {
         *evals += 1;
-        let probe: Vec<f64> = x.iter().zip(p.iter()).map(|(xi, pi)| xi + alpha * pi).collect();
+        let probe: Vec<f64> = x
+            .iter()
+            .zip(p.iter())
+            .map(|(xi, pi)| xi + alpha * pi)
+            .collect();
         f(&probe)
     };
     let dphi = |alpha: f64, evals: &mut usize| {
@@ -354,8 +366,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = minimize_bfgs(&rosen, &[-1.2, 1.0], &BfgsOptions::default());
         assert!(r.value < 1e-6, "value = {}", r.value);
         assert!((r.x[0] - 1.0).abs() < 1e-2);

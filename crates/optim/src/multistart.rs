@@ -72,7 +72,10 @@ where
         let mut result = minimize_bfgs(f, &start, &opts.bfgs);
         total_evals += result.evaluations;
         result.evaluations = total_evals;
-        let better = best.as_ref().map(|b| result.value < b.value).unwrap_or(true);
+        let better = best
+            .as_ref()
+            .map(|b| result.value < b.value)
+            .unwrap_or(true);
         if better {
             best = Some(result);
         }

@@ -147,8 +147,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = minimize_nelder_mead(&rosen, &[-1.2, 1.0], &NelderMeadOptions::default());
         assert!(r.value < 1e-6, "value = {}", r.value);
     }

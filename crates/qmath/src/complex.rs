@@ -179,6 +179,8 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division by a complex number IS multiplication by its inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()

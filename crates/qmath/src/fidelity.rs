@@ -14,7 +14,10 @@ use crate::matrix::CMatrix;
 /// # Panics
 /// Panics if the two matrices have different shapes or are not square.
 pub fn hilbert_schmidt_inner(a: &CMatrix, b: &CMatrix) -> Complex {
-    assert!(a.is_square() && b.is_square(), "HS inner product needs square matrices");
+    assert!(
+        a.is_square() && b.is_square(),
+        "HS inner product needs square matrices"
+    );
     assert_eq!(a.rows(), b.rows(), "dimension mismatch");
     let n = a.rows();
     let mut acc = Complex::ZERO;

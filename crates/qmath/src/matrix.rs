@@ -291,16 +291,14 @@ impl CMatrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
-        let mut out = vec![Complex::ZERO; self.rows];
-        for r in 0..self.rows {
-            let mut acc = Complex::ZERO;
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (a, x) in row.iter().zip(v.iter()) {
-                acc += *a * *x;
-            }
-            out[r] = acc;
-        }
-        out
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| {
+                row.iter()
+                    .zip(v.iter())
+                    .fold(Complex::ZERO, |acc, (a, x)| acc + *a * *x)
+            })
+            .collect()
     }
 
     /// Determinant via LU decomposition with partial pivoting.
@@ -401,7 +399,10 @@ impl CMatrix {
     /// # Panics
     /// Panics if the matrix is not unitary within `1e-8`.
     pub fn unitary_inverse(&self) -> CMatrix {
-        assert!(self.is_unitary(1e-8), "unitary_inverse on a non-unitary matrix");
+        assert!(
+            self.is_unitary(1e-8),
+            "unitary_inverse on a non-unitary matrix"
+        );
         self.dagger()
     }
 
@@ -416,6 +417,9 @@ impl CMatrix {
     /// # Panics
     /// Panics if the matrix is not square or has non-negligible imaginary parts
     /// or asymmetry.
+    // Jacobi rotations couple columns p and q across every row k; index-based
+    // loops mirror the textbook update and stay readable.
+    #[allow(clippy::needless_range_loop)]
     pub fn symmetric_eigen(&self, tol: f64) -> (Vec<f64>, CMatrix) {
         assert!(self.is_square(), "eigen requires a square matrix");
         let n = self.rows;
@@ -504,7 +508,10 @@ impl CMatrix {
     /// # Panics
     /// Panics if the block exceeds the matrix bounds.
     pub fn block(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> CMatrix {
-        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols, "block out of bounds");
+        assert!(
+            row0 + rows <= self.rows && col0 + cols <= self.cols,
+            "block out of bounds"
+        );
         let mut out = CMatrix::zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -721,10 +728,13 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         for n in [2usize, 3, 4, 8] {
             let u = haar_random_unitary(n, &mut rng);
-            let a = &u * &CMatrix::from_real(
-                n,
-                &(0..n * n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect::<Vec<_>>(),
-            );
+            let a = &u
+                * &CMatrix::from_real(
+                    n,
+                    &(0..n * n)
+                        .map(|i| (i as f64 * 0.37).sin() + 1.5)
+                        .collect::<Vec<_>>(),
+                );
             let (q, r) = a.qr();
             assert!(q.is_unitary(1e-9), "Q not unitary for n={n}");
             assert!((&q * &r).approx_eq(&a, 1e-9), "QR != A for n={n}");

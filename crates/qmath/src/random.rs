@@ -29,7 +29,9 @@ impl RngSeed {
     /// Derives a child seed for an independent stream, e.g. per circuit index.
     pub fn child(self, index: u64) -> RngSeed {
         // SplitMix64-style mixing keeps child streams decorrelated.
-        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1));
+        let mut z = self
+            .0
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         RngSeed(z ^ (z >> 31))
@@ -74,9 +76,13 @@ pub fn haar_random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
     let mut u = q;
     for j in 0..n {
         let d = r[(j, j)];
-        let phase = if d.norm() > 0.0 { d / d.norm() } else { Complex::ONE };
+        let phase = if d.norm() > 0.0 {
+            d / d.norm()
+        } else {
+            Complex::ONE
+        };
         for row in 0..n {
-            u[(row, j)] = u[(row, j)] * phase;
+            u[(row, j)] *= phase;
         }
     }
     u

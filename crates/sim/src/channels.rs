@@ -21,7 +21,10 @@ impl KrausChannel {
     /// Panics if the operator list is empty, dimensions are inconsistent, or
     /// the completeness relation is violated beyond `1e-6`.
     pub fn new(operators: Vec<CMatrix>) -> Self {
-        assert!(!operators.is_empty(), "a channel needs at least one Kraus operator");
+        assert!(
+            !operators.is_empty(),
+            "a channel needs at least one Kraus operator"
+        );
         let dim = operators[0].rows();
         let mut sum = CMatrix::zeros(dim, dim);
         for k in &operators {
@@ -144,7 +147,10 @@ pub fn amplitude_damping_kraus(gamma: f64) -> KrausChannel {
 /// For an operation of duration `t` on a qubit with times `(T1, T2)`, the pure
 /// dephasing rate is `1/Tφ = 1/T2 − 1/(2 T1)` and `p = (1 − exp(−t/Tφ)) / 2`.
 pub fn dephasing_kraus(p: f64) -> KrausChannel {
-    assert!((0.0..=0.5 + 1e-12).contains(&p), "dephasing probability out of range");
+    assert!(
+        (0.0..=0.5 + 1e-12).contains(&p),
+        "dephasing probability out of range"
+    );
     let k0 = CMatrix::identity(2).scale((1.0 - p).sqrt());
     let k1 = gates::standard::z().scale(p.sqrt());
     KrausChannel::new(vec![k0, k1])
@@ -153,7 +159,10 @@ pub fn dephasing_kraus(p: f64) -> KrausChannel {
 /// The combined thermal-relaxation channel for an idle/gate window of
 /// `duration_ns` on a qubit with `t1_us` / `t2_us`.
 pub fn thermal_relaxation(duration_ns: f64, t1_us: f64, t2_us: f64) -> KrausChannel {
-    assert!(duration_ns >= 0.0 && t1_us > 0.0 && t2_us > 0.0, "invalid relaxation parameters");
+    assert!(
+        duration_ns >= 0.0 && t1_us > 0.0 && t2_us > 0.0,
+        "invalid relaxation parameters"
+    );
     let t = duration_ns * 1e-3; // microseconds
     let gamma = 1.0 - (-t / t1_us).exp();
     // Pure dephasing rate; T2 <= 2 T1 physically, clamp otherwise.

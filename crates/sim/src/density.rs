@@ -25,7 +25,10 @@ impl DensityMatrix {
     /// representation would be too large).
     pub fn zero_state(num_qubits: usize) -> Self {
         assert!(num_qubits > 0, "need at least one qubit");
-        assert!(num_qubits <= 10, "density-matrix simulation limited to 10 qubits");
+        assert!(
+            num_qubits <= 10,
+            "density-matrix simulation limited to 10 qubits"
+        );
         let dim = 1 << num_qubits;
         let mut rho = CMatrix::zeros(dim, dim);
         rho[(0, 0)] = Complex::ONE;

@@ -109,7 +109,10 @@ impl StateVector {
     /// # Panics
     /// Panics if the qubits are out of range or equal, or the matrix is not 4×4.
     pub fn apply_two_qubit(&mut self, m: &CMatrix, q0: QubitId, q1: QubitId) {
-        assert!(q0 < self.num_qubits && q1 < self.num_qubits, "qubit out of range");
+        assert!(
+            q0 < self.num_qubits && q1 < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(q0, q1, "qubits must be distinct");
         assert_eq!(m.rows(), 4, "expected a 4x4 matrix");
         let s0 = self.num_qubits - 1 - q0;

@@ -86,9 +86,18 @@ mod tests {
 
     #[test]
     fn cz_baseline_matches_kak_counts() {
-        assert_eq!(cirq_gate_count(&CMatrix::identity(4), CirqTargetGate::Cz), Some(0));
-        assert_eq!(cirq_gate_count(&standard::cnot(), CirqTargetGate::Cz), Some(1));
-        assert_eq!(cirq_gate_count(&standard::zz_interaction(0.4), CirqTargetGate::Cz), Some(2));
+        assert_eq!(
+            cirq_gate_count(&CMatrix::identity(4), CirqTargetGate::Cz),
+            Some(0)
+        );
+        assert_eq!(
+            cirq_gate_count(&standard::cnot(), CirqTargetGate::Cz),
+            Some(1)
+        );
+        assert_eq!(
+            cirq_gate_count(&standard::zz_interaction(0.4), CirqTargetGate::Cz),
+            Some(2)
+        );
         let mut rng = RngSeed(8).rng();
         let qv = haar_random_su4(&mut rng);
         assert_eq!(cirq_gate_count(&qv, CirqTargetGate::Cz), Some(3));

@@ -340,7 +340,10 @@ mod tests {
         // The eigenphase extraction loses a few digits on the 4-fold degenerate
         // SWAP spectrum, so compare with a millirad tolerance.
         let q = std::f64::consts::FRAC_PI_4;
-        assert!((w.x - q).abs() < 2e-3 && (w.y - q).abs() < 2e-3 && (w.z - q).abs() < 2e-3, "{w:?}");
+        assert!(
+            (w.x - q).abs() < 2e-3 && (w.y - q).abs() < 2e-3 && (w.z - q).abs() < 2e-3,
+            "{w:?}"
+        );
     }
 
     #[test]
@@ -357,7 +360,10 @@ mod tests {
             Complex::cis(-2.0),
             Complex::cis(3.0),
         ]);
-        let mut got: Vec<f64> = unitary_eigenvalues_4x4(&d).iter().map(|z| z.arg()).collect();
+        let mut got: Vec<f64> = unitary_eigenvalues_4x4(&d)
+            .iter()
+            .map(|z| z.arg())
+            .collect();
         let mut want = [0.1, 1.2, -2.0, 3.0];
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());

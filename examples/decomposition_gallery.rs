@@ -15,8 +15,14 @@ fn main() {
     let targets: Vec<(&str, qmath::CMatrix)> = vec![
         ("QV / random SU(4)", haar_random_su4(&mut rng)),
         ("QAOA ZZ(0.25)", standard::zz_interaction(0.25)),
-        ("QFT CZ(pi/4)", standard::cphase(std::f64::consts::FRAC_PI_4)),
-        ("FH hopping XX+YY(0.5)", standard::xx_plus_yy_interaction(0.5)),
+        (
+            "QFT CZ(pi/4)",
+            standard::cphase(std::f64::consts::FRAC_PI_4),
+        ),
+        (
+            "FH hopping XX+YY(0.5)",
+            standard::xx_plus_yy_interaction(0.5),
+        ),
         ("SWAP", standard::swap()),
         ("CNOT", standard::cnot()),
     ];
@@ -29,7 +35,10 @@ fn main() {
         GateType::swap(),
     ];
 
-    println!("{:<22} {}", "application unitary", "gates needed per hardware type");
+    println!(
+        "{:<22} gates needed per hardware type",
+        "application unitary"
+    );
     print!("{:<22} ", "");
     for g in &gate_types {
         print!("{:>14}", g.name());
@@ -39,7 +48,11 @@ fn main() {
         print!("{name:<22} ");
         for gate in &gate_types {
             let d = decompose_fixed(target, gate, &cfg);
-            let marker = if d.decomposition_fidelity > cfg.fidelity_threshold { "" } else { "*" };
+            let marker = if d.decomposition_fidelity > cfg.fidelity_threshold {
+                ""
+            } else {
+                "*"
+            };
             print!("{:>14}", format!("{}{}", d.layers, marker));
         }
         println!();

@@ -38,7 +38,11 @@ fn main() {
     for set in &sets {
         let rqv = evaluate_set(&qv, &sycamore, set, &options, shots, seed.child(3));
         let rqa = evaluate_set(&qaoa, &sycamore, set, &options, shots, seed.child(4));
-        let types = if set.is_continuous() { "inf".to_string() } else { set.gate_types().len().to_string() };
+        let types = if set.is_continuous() {
+            "inf".to_string()
+        } else {
+            set.gate_types().len().to_string()
+        };
         println!(
             "{:<10} {:>7} {:>10.3} {:>10.3} {:>10.1} {:>14.2e} {:>12.1}",
             set.name(),

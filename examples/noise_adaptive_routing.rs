@@ -21,7 +21,9 @@ fn main() {
     let best = compile(&circuit, &device, &InstructionSet::r(2), &options);
     println!(
         "best region {:?}: histogram {:?}, estimated fidelity {:.3}",
-        best.region, best.pass_stats.gate_type_histogram, best.pass_stats.estimated_circuit_fidelity
+        best.region,
+        best.pass_stats.gate_type_histogram,
+        best.pass_stats.estimated_circuit_fidelity
     );
 
     for region in [[8usize, 9, 10], [16, 17, 18], [4, 5, 6]] {

@@ -38,14 +38,22 @@ fn main() {
     circuit.measure_all();
 
     let device = DeviceModel::aspen8(RngSeed(1));
-    let compiled = compile(&circuit, &device, &InstructionSet::r(2), &CompilerOptions::default());
+    let compiled = compile(
+        &circuit,
+        &device,
+        &InstructionSet::r(2),
+        &CompilerOptions::default(),
+    );
     println!(
         "\nCompiled onto Aspen-8 qubits {:?}: {} two-qubit gates ({} routing SWAPs before decomposition)",
         compiled.region,
         compiled.two_qubit_gate_count(),
         compiled.swap_count
     );
-    println!("Gate-type histogram: {:?}", compiled.pass_stats.gate_type_histogram);
+    println!(
+        "Gate-type histogram: {:?}",
+        compiled.pass_stats.gate_type_histogram
+    );
 
     let noise = NoiseModel::from_device(&compiled.subdevice);
     let counts = NoisySimulator::new(noise).run(&compiled.circuit, 2000, RngSeed(2));

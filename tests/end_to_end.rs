@@ -18,14 +18,31 @@ fn multi_type_sets_match_or_beat_single_type_sets_on_average() {
     let shots = 200;
     let single: Vec<f64> = (1..=4)
         .map(|k| {
-            evaluate_set(&suite, &device, &InstructionSet::s(k), &options, shots, RngSeed(3))
-                .mean_estimated_fidelity
+            evaluate_set(
+                &suite,
+                &device,
+                &InstructionSet::s(k),
+                &options,
+                shots,
+                RngSeed(3),
+            )
+            .mean_estimated_fidelity
         })
         .collect();
-    let multi = evaluate_set(&suite, &device, &InstructionSet::g(3), &options, shots, RngSeed(3))
-        .mean_estimated_fidelity;
+    let multi = evaluate_set(
+        &suite,
+        &device,
+        &InstructionSet::g(3),
+        &options,
+        shots,
+        RngSeed(3),
+    )
+    .mean_estimated_fidelity;
     let best_single = single.iter().cloned().fold(f64::MIN, f64::max);
-    assert!(multi >= best_single - 1e-6, "multi {multi} vs best single {best_single}");
+    assert!(
+        multi >= best_single - 1e-6,
+        "multi {multi} vs best single {best_single}"
+    );
 }
 
 #[test]
@@ -36,8 +53,22 @@ fn native_swap_set_reduces_instruction_count_like_the_paper() {
     let device = DeviceModel::aspen8(RngSeed(4));
     let suite = qv_suite(4, 2, RngSeed(5));
     let options = scale.compiler_options();
-    let r4 = evaluate_set(&suite, &device, &InstructionSet::r(4), &options, 100, RngSeed(6));
-    let r5 = evaluate_set(&suite, &device, &InstructionSet::r(5), &options, 100, RngSeed(6));
+    let r4 = evaluate_set(
+        &suite,
+        &device,
+        &InstructionSet::r(4),
+        &options,
+        100,
+        RngSeed(6),
+    );
+    let r5 = evaluate_set(
+        &suite,
+        &device,
+        &InstructionSet::r(5),
+        &options,
+        100,
+        RngSeed(6),
+    );
     assert!(
         r5.mean_two_qubit_gates <= r4.mean_two_qubit_gates,
         "R5 {} vs R4 {}",
@@ -51,7 +82,7 @@ fn calibration_saving_is_two_orders_of_magnitude() {
     let model = CalibrationModel::default();
     for set in [InstructionSet::r(5), InstructionSet::g(7)] {
         let saving = model.saving_versus_continuous(&set);
-        assert!(saving >= 60.0 && saving <= 600.0, "{}: {saving}", set.name());
+        assert!((60.0..=600.0).contains(&saving), "{}: {saving}", set.name());
     }
 }
 
@@ -65,7 +96,14 @@ fn reliability_improves_then_saturates_with_more_gate_types() {
     let options = scale.compiler_options();
     let mut last = 0.0;
     for k in [1usize, 3, 5, 7] {
-        let r = evaluate_set(&suite, &device, &InstructionSet::g(k), &options, 100, RngSeed(9));
+        let r = evaluate_set(
+            &suite,
+            &device,
+            &InstructionSet::g(k),
+            &options,
+            100,
+            RngSeed(9),
+        );
         assert!(
             r.mean_estimated_fidelity >= last - 1e-6,
             "G{k} {} < previous {last}",

@@ -125,11 +125,20 @@ fn instruction_set_table_is_consistent_with_calibration_model() {
 fn compiled_circuits_only_use_gates_from_the_instruction_set() {
     let device = DeviceModel::sycamore(RngSeed(13));
     let circuit = qv_circuit(3, RngSeed(14));
-    for set in [InstructionSet::s(2), InstructionSet::g(2), InstructionSet::r(3)] {
+    for set in [
+        InstructionSet::s(2),
+        InstructionSet::g(2),
+        InstructionSet::r(3),
+    ] {
         let compiled = compile(&circuit, &device, &set, &quick_options());
         let allowed: Vec<&str> = set.gate_types().iter().map(|g| g.name()).collect();
         for (label, _) in compiled.circuit.two_qubit_counts_by_label() {
-            assert!(allowed.contains(&label.as_str()), "{} emitted {}", set.name(), label);
+            assert!(
+                allowed.contains(&label.as_str()),
+                "{} emitted {}",
+                set.name(),
+                label
+            );
         }
     }
 }

@@ -17,7 +17,11 @@ fn bell_plus_rotation() -> Circuit {
 }
 
 fn total_variation(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / 2.0
 }
 
 #[test]
@@ -34,7 +38,10 @@ fn trajectories_converge_to_the_density_matrix_distribution() {
     let empirical: Vec<f64> = (0..4).map(|i| counts.probability(i)).collect();
 
     let tv = total_variation(&exact, &empirical);
-    assert!(tv < 0.03, "total variation distance {tv}, exact {exact:?}, empirical {empirical:?}");
+    assert!(
+        tv < 0.03,
+        "total variation distance {tv}, exact {exact:?}, empirical {empirical:?}"
+    );
 }
 
 #[test]
@@ -57,6 +64,34 @@ fn relaxation_noise_also_agrees() {
     let empirical: Vec<f64> = (0..4).map(|i| counts.probability(i)).collect();
     let tv = total_variation(&exact, &empirical);
     assert!(tv < 0.03, "total variation distance {tv}");
+}
+
+#[test]
+fn ghz_trajectories_match_density_matrix_within_tolerance() {
+    // Three-qubit noisy GHZ: the Monte-Carlo trajectory sampler
+    // (`sim::runner`) must reproduce the exact density-matrix distribution
+    // (`sim::density`) within a small total-variation tolerance.
+    let device = DeviceModel::ideal(3, 0.95);
+    let mut noise = NoiseModel::from_device(&device);
+    noise.with_readout_error = false; // readout acts classically, not on rho
+    let mut ghz = Circuit::new(3);
+    ghz.push(Operation::h(0));
+    ghz.push(Operation::cnot(0, 1));
+    ghz.push(Operation::cnot(1, 2));
+    ghz.measure_all();
+
+    let exact = DensityMatrix::evolve(&ghz, &noise).probabilities();
+    assert!((exact.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    // Noise leaks weight off |000> and |111>, but they must stay dominant.
+    assert!(exact[0] > 0.35 && exact[7] > 0.35, "GHZ peaks: {exact:?}");
+
+    let counts = NoisySimulator::new(noise).run(&ghz, 8000, RngSeed(21));
+    let empirical: Vec<f64> = (0..8).map(|i| counts.probability(i)).collect();
+    let tv = total_variation(&exact, &empirical);
+    assert!(
+        tv < 0.025,
+        "total variation distance {tv}, exact {exact:?}, empirical {empirical:?}"
+    );
 }
 
 #[test]

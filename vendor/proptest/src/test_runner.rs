@@ -1,0 +1,97 @@
+//! The deterministic case runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Workspace-wide default RNG seed; override with `PROPTEST_RNG_SEED`.
+pub const DEFAULT_RNG_SEED: u64 = 0x5EED_CAFE;
+
+/// Runner configuration. Only `cases` is interpreted; the struct keeps a
+/// `..Default::default()`-friendly shape for forward compatibility.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (carries the message for the final panic).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG handed to strategies. Wraps ChaCha8 so case generation is
+/// deterministic given `(seed, test name, case index)`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying seeded generator.
+    pub rng: ChaCha8Rng,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_RNG_SEED") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED must be a u64, got {v:?}")),
+        Err(_) => DEFAULT_RNG_SEED,
+    }
+}
+
+/// Runs `f` for each case with a per-case deterministic RNG, panicking with a
+/// replayable `(seed, case)` report on the first failure.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, f: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = base_seed();
+    let stream = seed ^ fnv1a(test_name.as_bytes());
+    for case in 0..config.cases {
+        let mut rng = TestRng {
+            rng: ChaCha8Rng::seed_from_u64(stream.wrapping_add(case as u64)),
+        };
+        if let Err(err) = f(&mut rng) {
+            panic!(
+                "proptest case failed: {err}\n  \
+                 test = {test_name}, case = {case}/{}, PROPTEST_RNG_SEED = {seed}",
+                config.cases
+            );
+        }
+    }
+}

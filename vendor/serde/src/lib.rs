@@ -1,0 +1,17 @@
+//! Minimal serde facade for the offline workspace build.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and the
+//! derive-macro namespaces so that `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives expand
+//! to nothing and the traits carry no methods; see `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

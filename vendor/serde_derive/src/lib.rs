@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde shim.
+//!
+//! The workspace only uses serde derives as forward-looking annotations; no
+//! code path serializes through serde yet (reports are plain text/CSV). The
+//! derives therefore expand to nothing, keeping the offline build free of
+//! `syn`/`quote`. Swapping in the real `serde` crate requires no source
+//! changes at any call site.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is a marker trait in the shim.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is a marker trait in the shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
