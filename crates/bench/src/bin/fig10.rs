@@ -3,9 +3,10 @@
 //! (1.5x/2x/2.5x/3x) and the no-noise-variation ablation.
 
 use bench::{
-    evaluate_set, fh_suite, print_results, qaoa_suite, qft_suite, qv_suite, Metric, Scale,
-    SetResult,
+    compiler_for, evaluate_set, fh_suite, print_results, qaoa_suite, qft_suite, qv_suite, Metric,
+    Scale, SetResult,
 };
+use compiler::Compiler;
 use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
@@ -51,22 +52,32 @@ fn main() {
             fh_suite(fh_n, circuits.min(2), seed.child(4)),
         ),
     ];
+    // Long-lived compilers, reused across all four experiment suites: one per
+    // Google set plus one per error-inflated continuous-set device variant.
+    let compilers: Vec<Compiler> = google_sets()
+        .iter()
+        .map(|set| compiler_for(&device, set, &options).expect("valid compiler configuration"))
+        .collect();
+    let inflated_compilers: Vec<(f64, Compiler)> = [1.5, 2.0, 2.5, 3.0]
+        .into_iter()
+        .map(|factor| {
+            let inflated = device.with_error_scale(factor);
+            let compiler = compiler_for(&inflated, &InstructionSet::full_fsim(), &options)
+                .expect("valid compiler configuration");
+            (factor, compiler)
+        })
+        .collect();
     for (title, metric, suite) in &experiments {
-        let mut results: Vec<SetResult> = google_sets()
+        let mut results: Vec<SetResult> = compilers
             .iter()
-            .map(|set| evaluate_set(suite, &device, set, &options, shots, seed.child(7)))
+            .map(|compiler| {
+                evaluate_set(suite, compiler, shots, seed.child(7)).expect("suite compiles")
+            })
             .collect();
         // Error-inflated continuous set (the 1.5x-3x bars of Fig. 10a-c).
-        for factor in [1.5, 2.0, 2.5, 3.0] {
-            let inflated = device.with_error_scale(factor);
-            let mut r = evaluate_set(
-                suite,
-                &inflated,
-                &InstructionSet::full_fsim(),
-                &options,
-                shots,
-                seed.child(8),
-            );
+        for (factor, compiler) in &inflated_compilers {
+            let mut r =
+                evaluate_set(suite, compiler, shots, seed.child(8)).expect("suite compiles");
             r.set = format!("Full x{factor}");
             results.push(r);
         }
@@ -78,7 +89,11 @@ fn main() {
     let suite = qaoa_suite(qaoa_n, circuits, seed.child(2));
     let results: Vec<SetResult> = google_sets()
         .iter()
-        .map(|set| evaluate_set(&suite, &flat, set, &options, shots, seed.child(9)))
+        .map(|set| {
+            let compiler =
+                compiler_for(&flat, set, &options).expect("valid compiler configuration");
+            evaluate_set(&suite, &compiler, shots, seed.child(9)).expect("suite compiles")
+        })
         .collect();
     print_results(
         "(e) QAOA, no noise variation across gate types",

@@ -2,7 +2,7 @@
 //! single-type set S2 as the mean two-qubit error rate is swept from 0.36%
 //! down to 0.0225%, for 10- and 20-qubit chains.
 
-use bench::{evaluate_set, fh_suite, Scale};
+use bench::{compiler_for, evaluate_set, fh_suite, Scale};
 use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
@@ -29,22 +29,14 @@ fn main() {
         let suite = fh_suite(n, circuits, seed.child(n as u64));
         for target_error in [0.0036, 0.0018, 0.0009, 0.00045, 0.000225] {
             let device = base.with_error_scale(target_error / base_error);
-            let g7 = evaluate_set(
-                &suite,
-                &device,
-                &InstructionSet::g(7),
-                &options,
-                shots,
-                seed.child(1),
-            );
-            let s2 = evaluate_set(
-                &suite,
-                &device,
-                &InstructionSet::s(2),
-                &options,
-                shots,
-                seed.child(2),
-            );
+            let g7_compiler = compiler_for(&device, &InstructionSet::g(7), &options)
+                .expect("valid compiler configuration");
+            let s2_compiler = compiler_for(&device, &InstructionSet::s(2), &options)
+                .expect("valid compiler configuration");
+            let g7 =
+                evaluate_set(&suite, &g7_compiler, shots, seed.child(1)).expect("suite compiles");
+            let s2 =
+                evaluate_set(&suite, &s2_compiler, shots, seed.child(2)).expect("suite compiles");
             println!(
                 "{:<10} {:>22.4} {:>12.4} {:>12.4}",
                 n,

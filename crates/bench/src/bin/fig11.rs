@@ -4,7 +4,7 @@
 //! (b) calibration hours and mean reliability improvement vs number of gate
 //!     types.
 
-use bench::{evaluate_set, qaoa_suite, qv_suite, Scale};
+use bench::{compiler_for, evaluate_set, qaoa_suite, qv_suite, BenchCircuit, Scale, SetResult};
 use calibration::{CalibrationModel, CONTINUOUS_FAMILY_COMBINATIONS};
 use device::DeviceModel;
 use gates::InstructionSet;
@@ -49,39 +49,20 @@ fn main() {
     let qv = qv_suite(3, circuits, seed.child(2));
     let qaoa = qaoa_suite(3, circuits, seed.child(3));
 
+    let eval = |suite: &[BenchCircuit],
+                device: &DeviceModel,
+                set: &InstructionSet,
+                child: u64|
+     -> SetResult {
+        let compiler = compiler_for(device, set, &options).expect("valid compiler configuration");
+        evaluate_set(suite, &compiler, shots, seed.child(child)).expect("suite compiles")
+    };
+
     // Baselines: the best single-type set per vendor.
-    let google_base = evaluate_set(
-        &qv,
-        &sycamore,
-        &InstructionSet::s(1),
-        &options,
-        shots,
-        seed.child(4),
-    );
-    let rigetti_base = evaluate_set(
-        &qv,
-        &aspen,
-        &InstructionSet::s(3),
-        &options,
-        shots,
-        seed.child(5),
-    );
-    let google_base_qaoa = evaluate_set(
-        &qaoa,
-        &sycamore,
-        &InstructionSet::s(1),
-        &options,
-        shots,
-        seed.child(6),
-    );
-    let rigetti_base_qaoa = evaluate_set(
-        &qaoa,
-        &aspen,
-        &InstructionSet::s(3),
-        &options,
-        shots,
-        seed.child(7),
-    );
+    let google_base = eval(&qv, &sycamore, &InstructionSet::s(1), 4);
+    let rigetti_base = eval(&qv, &aspen, &InstructionSet::s(3), 5);
+    let google_base_qaoa = eval(&qaoa, &sycamore, &InstructionSet::s(1), 6);
+    let rigetti_base_qaoa = eval(&qaoa, &aspen, &InstructionSet::s(3), 7);
 
     println!(
         "{:<12} {:>12} {:>16} {:>16} {:>16} {:>16}",
@@ -111,12 +92,21 @@ fn main() {
         InstructionSet::r(5),
     ];
     for (g, r) in google_sets.iter().zip(rigetti_sets.iter()) {
-        let types = g.gate_types().len();
+        let types = g.num_gate_types().expect("discrete set");
         let hours = model.hours(types);
-        let gq = evaluate_set(&qv, &sycamore, g, &options, shots, seed.child(10));
-        let ga = evaluate_set(&qaoa, &sycamore, g, &options, shots, seed.child(11));
-        let rq = evaluate_set(&qv, &aspen, r, &options, shots, seed.child(12));
-        let ra = evaluate_set(&qaoa, &aspen, r, &options, shots, seed.child(13));
+        // One compiler per (device, set): the two suites share its cache.
+        let google_compiler =
+            compiler_for(&sycamore, g, &options).expect("valid compiler configuration");
+        let rigetti_compiler =
+            compiler_for(&aspen, r, &options).expect("valid compiler configuration");
+        let gq =
+            evaluate_set(&qv, &google_compiler, shots, seed.child(10)).expect("suite compiles");
+        let ga =
+            evaluate_set(&qaoa, &google_compiler, shots, seed.child(11)).expect("suite compiles");
+        let rq =
+            evaluate_set(&qv, &rigetti_compiler, shots, seed.child(12)).expect("suite compiles");
+        let ra =
+            evaluate_set(&qaoa, &rigetti_compiler, shots, seed.child(13)).expect("suite compiles");
         println!(
             "{:<12} {:>12.1} {:>16.3} {:>16.3} {:>16.3} {:>16.3}",
             types, hours, gq.mean_metric, ga.mean_metric, rq.mean_metric, ra.mean_metric,

@@ -2,7 +2,7 @@
 //! hardware error rate (multiples of the SYC 0.62% error), scored by QV HOP
 //! and QAOA XED on the Sycamore model.
 
-use bench::{evaluate_set, qaoa_suite, qv_suite, Metric, Scale};
+use bench::{compiler_for, evaluate_set, qaoa_suite, qv_suite, Metric, Scale};
 use compiler::CompilerOptions;
 use device::DeviceModel;
 use gates::InstructionSet;
@@ -38,23 +38,14 @@ fn main() {
     );
     for factor in [0.5, 1.0, 2.0, 4.0] {
         let device = DeviceModel::sycamore(seed.child(3)).with_error_scale(factor);
-        // Approximate mode (Eq. 2): the default pipeline.
-        let qv_a = evaluate_set(
-            &qv,
-            &device,
-            &set,
-            &scale.compiler_options(),
-            shots,
-            seed.child(10),
-        );
-        let qaoa_a = evaluate_set(
-            &qaoa,
-            &device,
-            &set,
-            &scale.compiler_options(),
-            shots,
-            seed.child(11),
-        );
+        // Approximate mode (Eq. 2): the default pipeline. One compiler serves
+        // both suites, sharing its decomposition cache.
+        let approx_compiler = compiler_for(&device, &set, &scale.compiler_options())
+            .expect("valid compiler configuration");
+        let qv_a =
+            evaluate_set(&qv, &approx_compiler, shots, seed.child(10)).expect("suite compiles");
+        let qaoa_a =
+            evaluate_set(&qaoa, &approx_compiler, shots, seed.child(11)).expect("suite compiles");
         // Exact mode: compile against a perfect-fidelity view of the device so
         // the decomposition never trades accuracy for gate count, then run on
         // the noisy device.
@@ -85,12 +76,16 @@ fn evaluate_exact(
         cross_entropy_difference, heavy_output_probability, linear_xeb_fidelity, success_rate,
     };
     use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+    // Compile against a zero-error view (exact decomposition), execute on
+    // the real noisy device calibration.
+    let perfect = device.without_noise_variation().with_error_scale(0.0);
+    let exact_compiler =
+        compiler_for(&perfect, set, options).expect("valid compiler configuration");
     let mut total = 0.0;
     for (i, bench_circuit) in suite.iter().enumerate() {
-        // Compile against a zero-error view (exact decomposition), execute on
-        // the real noisy device calibration.
-        let perfect = device.without_noise_variation().with_error_scale(0.0);
-        let compiled = compiler::compile(&bench_circuit.circuit, &perfect, set, options);
+        let compiled = exact_compiler
+            .compile(&bench_circuit.circuit)
+            .expect("suite compiles");
         let noisy_sub = device.subdevice(&compiled.region);
         let counts = NoisySimulator::new(NoiseModel::from_device(&noisy_sub)).run(
             &compiled.circuit,

@@ -2,7 +2,10 @@
 //! single-type sets (S2-S6), Rigetti multi-type sets (R1-R5) and FullXY.
 //! (a) 3-qubit QV HOP, (b) 4-qubit QAOA XED, (c) 3-qubit QFT success rate.
 
-use bench::{evaluate_set, print_results, qaoa_suite, qft_suite, qv_suite, Metric, Scale};
+use bench::{
+    compiler_for, evaluate_set, print_results, qaoa_suite, qft_suite, qv_suite, Metric, Scale,
+};
+use compiler::Compiler;
 use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
@@ -40,10 +43,18 @@ fn main() {
             qft_suite(3, qft_instances.max(1), seed.child(3)),
         ),
     ];
+    // One long-lived compiler per instruction set: its decomposition cache is
+    // shared across all three experiment suites.
+    let compilers: Vec<Compiler> = rigetti_sets()
+        .iter()
+        .map(|set| compiler_for(&device, set, &options).expect("valid compiler configuration"))
+        .collect();
     for (title, metric, suite) in experiments {
-        let results: Vec<_> = rigetti_sets()
+        let results: Vec<_> = compilers
             .iter()
-            .map(|set| evaluate_set(&suite, &device, set, &options, shots, seed.child(7)))
+            .map(|compiler| {
+                evaluate_set(&suite, compiler, shots, seed.child(7)).expect("suite compiles")
+            })
             .collect();
         print_results(title, metric, &results);
     }

@@ -12,11 +12,9 @@ fn main() {
         "set", "types", "cal. circuits(54q)", "cal. hours"
     );
     for set in InstructionSet::table2() {
-        let types = if set.is_continuous() {
-            "inf".to_string()
-        } else {
-            set.gate_types().len().to_string()
-        };
+        let types = set
+            .num_gate_types()
+            .map_or_else(|| "inf".to_string(), |n| n.to_string());
         let circuits = model.circuits_for_set(&set, 54);
         let hours = model.hours_for_set(&set);
         let members = if set.is_continuous() {

@@ -14,7 +14,7 @@
 use apps::workloads::{fermi_hubbard_circuit, qaoa_circuit, qft_echo_circuit, qv_circuit};
 use apps::{cross_entropy_difference, heavy_output_probability, linear_xeb_fidelity, success_rate};
 use circuit::Circuit;
-use compiler::{compile, CompiledCircuit, CompilerOptions};
+use compiler::{CompileError, CompiledCircuit, Compiler, CompilerOptions};
 use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
@@ -168,21 +168,32 @@ pub struct SetResult {
     pub mean_estimated_fidelity: f64,
 }
 
-/// Compiles, simulates and scores one benchmark circuit.
-pub fn run_circuit(
-    bench: &BenchCircuit,
+/// Builds a reusable [`Compiler`] for a (device, instruction set, options)
+/// triple. The returned service shares its decomposition cache across every
+/// compile, which is what makes repeated-workload sweeps fast.
+pub fn compiler_for(
     device: &DeviceModel,
     set: &InstructionSet,
     options: &CompilerOptions,
+) -> Result<Compiler, CompileError> {
+    Compiler::for_device(device.clone())
+        .instruction_set(set.clone())
+        .options(options.clone())
+        .build()
+}
+
+/// Simulates and scores one compiled benchmark circuit.
+pub fn score_compiled(
+    bench: &BenchCircuit,
+    compiled: &CompiledCircuit,
     shots: usize,
     seed: RngSeed,
-) -> (f64, CompiledCircuit) {
-    let compiled = compile(&bench.circuit, device, set, options);
+) -> f64 {
     let noise = NoiseModel::from_device(&compiled.subdevice);
     let counts = NoisySimulator::new(noise).run(&compiled.circuit, shots, seed);
     let logical = compiled.logical_counts(&counts);
     let ideal = IdealSimulator::probabilities(&bench.circuit.without_measurements());
-    let metric = match bench.metric {
+    match bench.metric {
         Metric::Hop => heavy_output_probability(&logical, &ideal),
         Metric::Xed => cross_entropy_difference(&logical, &ideal),
         Metric::Xeb => linear_xeb_fidelity(&logical, &ideal),
@@ -190,40 +201,57 @@ pub fn run_circuit(
             &logical,
             bench.expected_outcome.expect("expected outcome set"),
         ),
-    };
-    (metric, compiled)
+    }
+}
+
+/// Compiles, simulates and scores one benchmark circuit with a reusable
+/// compiler service.
+pub fn run_circuit(
+    bench: &BenchCircuit,
+    compiler: &Compiler,
+    shots: usize,
+    seed: RngSeed,
+) -> Result<(f64, CompiledCircuit), CompileError> {
+    let compiled = compiler.compile(&bench.circuit)?;
+    let metric = score_compiled(bench, &compiled, shots, seed);
+    Ok((metric, compiled))
 }
 
 /// Evaluates an instruction set over a whole suite.
+///
+/// The suite is compiled as one [`Compiler::compile_batch`] fan-out: worker
+/// threads share the compiler's decomposition cache, so suites with repeated
+/// unitaries only pay for each distinct decomposition once.
 pub fn evaluate_set(
     suite: &[BenchCircuit],
-    device: &DeviceModel,
-    set: &InstructionSet,
-    options: &CompilerOptions,
+    compiler: &Compiler,
     shots: usize,
     seed: RngSeed,
-) -> SetResult {
+) -> Result<SetResult, CompileError> {
     assert!(!suite.is_empty(), "benchmark suite must not be empty");
+    let circuits: Vec<Circuit> = suite.iter().map(|b| b.circuit.clone()).collect();
+    let compiled: Vec<CompiledCircuit> = compiler
+        .compile_batch(&circuits)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
     let mut metric_sum = 0.0;
     let mut gate_sum = 0.0;
     let mut swap_sum = 0.0;
     let mut fid_sum = 0.0;
-    for (i, bench) in suite.iter().enumerate() {
-        let (metric, compiled) =
-            run_circuit(bench, device, set, options, shots, seed.child(i as u64));
-        metric_sum += metric;
+    for (i, (bench, compiled)) in suite.iter().zip(compiled.iter()).enumerate() {
+        metric_sum += score_compiled(bench, compiled, shots, seed.child(i as u64));
         gate_sum += compiled.two_qubit_gate_count() as f64;
         swap_sum += compiled.swap_count as f64;
         fid_sum += compiled.pass_stats.estimated_circuit_fidelity;
     }
     let n = suite.len() as f64;
-    SetResult {
-        set: set.name().to_string(),
+    Ok(SetResult {
+        set: compiler.instruction_set().name().to_string(),
         mean_metric: metric_sum / n,
         mean_two_qubit_gates: gate_sum / n,
         mean_swaps: swap_sum / n,
         mean_estimated_fidelity: fid_sum / n,
-    }
+    })
 }
 
 /// Prints a results table in the style of the paper's bar-chart annotations
@@ -288,18 +316,25 @@ mod tests {
     fn evaluate_set_produces_sane_numbers() {
         let device = DeviceModel::aspen8(RngSeed(5));
         let suite = qaoa_suite(3, 2, RngSeed(6));
-        let result = evaluate_set(
-            &suite,
-            &device,
-            &InstructionSet::s(3),
-            &CompilerOptions::sweep(),
-            200,
-            RngSeed(7),
-        );
+        let compiler =
+            compiler_for(&device, &InstructionSet::s(3), &CompilerOptions::sweep()).unwrap();
+        let result = evaluate_set(&suite, &compiler, 200, RngSeed(7)).unwrap();
         assert_eq!(result.set, "S3");
         assert!(result.mean_two_qubit_gates >= suite[0].circuit.two_qubit_gate_count() as f64);
         assert!(result.mean_estimated_fidelity > 0.0 && result.mean_estimated_fidelity <= 1.0);
         assert!(result.mean_metric.is_finite());
+    }
+
+    #[test]
+    fn evaluate_set_surfaces_compile_errors() {
+        let device = DeviceModel::ideal(2, 0.99);
+        let suite = qaoa_suite(3, 1, RngSeed(8)); // needs 3 qubits
+        let compiler =
+            compiler_for(&device, &InstructionSet::s(3), &CompilerOptions::sweep()).unwrap();
+        assert!(matches!(
+            evaluate_set(&suite, &compiler, 50, RngSeed(9)),
+            Err(CompileError::RegionUnavailable { .. })
+        ));
     }
 
     #[test]

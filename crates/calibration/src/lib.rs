@@ -95,11 +95,8 @@ impl CalibrationModel {
     /// the set size for discrete sets, [`CONTINUOUS_FAMILY_COMBINATIONS`] for
     /// continuous families.
     pub fn effective_gate_types(&self, set: &InstructionSet) -> usize {
-        if set.is_continuous() {
-            CONTINUOUS_FAMILY_COMBINATIONS
-        } else {
-            set.gate_types().len()
-        }
+        set.num_gate_types()
+            .unwrap_or(CONTINUOUS_FAMILY_COMBINATIONS)
     }
 
     /// Total calibration circuits for an instruction set on a device.

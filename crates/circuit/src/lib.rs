@@ -10,7 +10,7 @@
 //!   barrier.
 //! * [`circuit`] — the [`Circuit`] container, gate counting, composition,
 //!   inversion and unitary extraction for small circuits.
-//! * [`moments`] — ASAP moment (layer) scheduling and depth computation.
+//! * [`mod@moments`] — ASAP moment (layer) scheduling and depth computation.
 //! * [`embed`] — embedding a 1- or 2-qubit operator into the full
 //!   `2^n × 2^n` operator of an `n`-qubit register.
 //!

@@ -1,0 +1,337 @@
+//! The pass framework: compilation state, pass context and the four built-in
+//! stages.
+//!
+//! A [`Pass`] is one stage of the pipeline. Passes communicate through a
+//! [`CompileIr`] — the mutable compilation state — and read configuration
+//! from a [`PassContext`] owned by the [`Compiler`](crate::Compiler) that
+//! runs them. The default pipeline is
+//! [`RegionSelect`] → [`InitialMap`] → [`SwapRoute`] → [`NuOpDecompose`],
+//! mirroring paper Fig. 1, but custom pipelines can insert, replace or drop
+//! stages.
+//!
+//! # Implementing a custom pass
+//!
+//! ```
+//! use compiler::{CompileError, CompileIr, Pass, PassContext};
+//!
+//! /// Rejects circuits that are too deep for the device's coherence budget.
+//! struct DepthLimit(usize);
+//!
+//! impl Pass for DepthLimit {
+//!     fn name(&self) -> &'static str {
+//!         "depth-limit"
+//!     }
+//!
+//!     fn run(&self, ir: &mut CompileIr, _ctx: &PassContext) -> Result<(), CompileError> {
+//!         if ir.circuit.two_qubit_gate_count() > self.0 {
+//!             return Err(CompileError::InvalidLayout {
+//!                 reason: format!("circuit exceeds the {}-gate depth budget", self.0),
+//!             });
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use circuit::{Circuit, QubitId};
+use device::DeviceModel;
+use gates::InstructionSet;
+use nuop_core::{DecompositionCache, NuOpPass, PassStats};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CompileError;
+use crate::mapping::initial_mapping;
+use crate::pipeline::CompilerOptions;
+use crate::region::try_select_region;
+use crate::routing::try_route;
+
+/// Mutable compilation state threaded through the passes.
+///
+/// `circuit` starts as the logical input circuit; [`SwapRoute`] rewrites it
+/// over the region's physical qubits and [`NuOpDecompose`] lowers it to
+/// hardware gate types. The remaining fields are filled in as the stages that
+/// produce them run.
+#[derive(Debug, Clone)]
+pub struct CompileIr {
+    /// The working circuit (logical at first, physical after routing).
+    pub circuit: Circuit,
+    /// Physical qubit ids (in the full device) of the selected region.
+    pub region: Vec<QubitId>,
+    /// The sub-device carved out by region selection.
+    pub subdevice: Option<DeviceModel>,
+    /// Initial placement: `initial_layout[logical] = region-local physical`.
+    pub initial_layout: Vec<QubitId>,
+    /// Placement after routing SWAPs.
+    pub final_layout: Vec<QubitId>,
+    /// Routing SWAPs inserted (before decomposition).
+    pub swap_count: usize,
+    /// Statistics from the decomposition stage.
+    pub pass_stats: PassStats,
+}
+
+impl CompileIr {
+    /// Starts the IR from a logical application circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        CompileIr {
+            circuit: circuit.clone(),
+            region: Vec::new(),
+            subdevice: None,
+            initial_layout: Vec::new(),
+            final_layout: Vec::new(),
+            swap_count: 0,
+            pass_stats: PassStats::default(),
+        }
+    }
+
+    /// The subdevice, or a [`CompileError::PipelineMisordered`] naming the
+    /// pass that needed it.
+    pub fn require_subdevice(&self, pass: &str) -> Result<&DeviceModel, CompileError> {
+        self.subdevice
+            .as_ref()
+            .ok_or_else(|| CompileError::PipelineMisordered {
+                pass: pass.to_string(),
+                missing: "subdevice (run RegionSelect first)".to_string(),
+            })
+    }
+}
+
+/// Read-only context a [`Compiler`](crate::Compiler) provides to its passes.
+pub struct PassContext<'a> {
+    /// The full device being compiled against.
+    pub device: &'a DeviceModel,
+    /// The target instruction set.
+    pub instruction_set: &'a InstructionSet,
+    /// Compilation options.
+    pub options: &'a CompilerOptions,
+    /// The shared decomposition cache.
+    pub cache: &'a Arc<DecompositionCache>,
+    /// Worker threads the decomposition stage may use (a batched compile
+    /// parallelizes across circuits instead and sets this to 1).
+    pub threads: usize,
+}
+
+/// One stage of the compilation pipeline.
+pub trait Pass: Send + Sync {
+    /// Stable stage name used in [`CompileReport`] timings.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage, advancing `ir`.
+    fn run(&self, ir: &mut CompileIr, ctx: &PassContext) -> Result<(), CompileError>;
+}
+
+/// Per-stage timing entry of a [`CompileReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// The pass name.
+    pub pass: String,
+    /// Wall-clock time the pass took.
+    pub duration: Duration,
+}
+
+/// What a compile cost: per-stage wall-clock timings and decomposition-cache
+/// traffic. Returned by
+/// [`Compiler::compile_with_report`](crate::Compiler::compile_with_report).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CompileReport {
+    /// Wall-clock time per pipeline stage, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Two-qubit operations served from the shared decomposition cache.
+    pub cache_hits: usize,
+    /// Two-qubit operations that required a fresh numerical optimization.
+    pub cache_misses: usize,
+}
+
+impl CompileReport {
+    /// Total wall-clock time across stages.
+    pub fn total_duration(&self) -> Duration {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
+
+    /// Time spent in the stage called `pass`, if it ran.
+    pub fn stage_duration(&self, pass: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|s| s.pass == pass)
+            .map(|s| s.duration)
+    }
+}
+
+/// Stage 1: carve a connected, high-fidelity region out of the device
+/// (see [`crate::region`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionSelect;
+
+impl Pass for RegionSelect {
+    fn name(&self) -> &'static str {
+        "region-select"
+    }
+
+    fn run(&self, ir: &mut CompileIr, ctx: &PassContext) -> Result<(), CompileError> {
+        let n = ir.circuit.num_qubits();
+        ir.region = try_select_region(ctx.device, n)?;
+        ir.subdevice = Some(ctx.device.subdevice(&ir.region));
+        Ok(())
+    }
+}
+
+/// Stage 2: place frequently-interacting logical qubits on adjacent physical
+/// qubits (see [`crate::mapping`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InitialMap;
+
+impl Pass for InitialMap {
+    fn name(&self) -> &'static str {
+        "initial-map"
+    }
+
+    fn run(&self, ir: &mut CompileIr, ctx: &PassContext) -> Result<(), CompileError> {
+        let _ = ctx;
+        let subdevice = ir.require_subdevice(self.name())?;
+        ir.initial_layout = initial_mapping(&ir.circuit, subdevice);
+        Ok(())
+    }
+}
+
+/// Stage 3: insert SWAPs so every two-qubit operation acts on neighbours
+/// (see [`crate::routing`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwapRoute;
+
+impl Pass for SwapRoute {
+    fn name(&self) -> &'static str {
+        "swap-route"
+    }
+
+    fn run(&self, ir: &mut CompileIr, ctx: &PassContext) -> Result<(), CompileError> {
+        let _ = ctx;
+        let subdevice = ir.require_subdevice(self.name())?;
+        if ir.initial_layout.len() != ir.circuit.num_qubits() {
+            return Err(CompileError::PipelineMisordered {
+                pass: self.name().to_string(),
+                missing: "initial layout (run InitialMap first)".to_string(),
+            });
+        }
+        let routed = try_route(&ir.circuit, subdevice, &ir.initial_layout)?;
+        ir.circuit = routed.circuit;
+        ir.final_layout = routed.final_layout;
+        ir.swap_count = routed.swap_count;
+        Ok(())
+    }
+}
+
+/// Stage 4: decompose every two-qubit unitary into the instruction set's gate
+/// types, noise-adaptively, via [`NuOpPass`] backed by the compiler's shared
+/// cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NuOpDecompose;
+
+impl Pass for NuOpDecompose {
+    fn name(&self) -> &'static str {
+        "nuop-decompose"
+    }
+
+    fn run(&self, ir: &mut CompileIr, ctx: &PassContext) -> Result<(), CompileError> {
+        let subdevice = ir.require_subdevice(self.name())?;
+        let pass = NuOpPass::new(ctx.instruction_set.clone(), ctx.options.decompose.clone())
+            .with_threads(ctx.threads)
+            .with_cache(Arc::clone(ctx.cache));
+        let (decomposed, stats) = pass.run(&ir.circuit, subdevice);
+        ir.circuit = decomposed;
+        ir.pass_stats = stats;
+        Ok(())
+    }
+}
+
+/// The default four-stage pipeline (paper Fig. 1).
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(RegionSelect),
+        Box::new(InitialMap),
+        Box::new(SwapRoute),
+        Box::new(NuOpDecompose),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::InstructionSet;
+    use nuop_core::DecomposeConfig;
+    use qmath::RngSeed;
+
+    fn quick_ctx_parts() -> (DeviceModel, InstructionSet, CompilerOptions) {
+        let options = CompilerOptions {
+            decompose: DecomposeConfig {
+                restarts: 2,
+                max_layers: 4,
+                ..DecomposeConfig::default()
+            },
+            threads: 1,
+        };
+        (
+            DeviceModel::aspen8(RngSeed(1)),
+            InstructionSet::s(3),
+            options,
+        )
+    }
+
+    #[test]
+    fn passes_out_of_order_report_misordering() {
+        let (device, set, options) = quick_ctx_parts();
+        let cache = Arc::new(DecompositionCache::new());
+        let ctx = PassContext {
+            device: &device,
+            instruction_set: &set,
+            options: &options,
+            cache: &cache,
+            threads: 1,
+        };
+        let circuit = Circuit::new(2);
+        let mut ir = CompileIr::new(&circuit);
+        // InitialMap before RegionSelect: no subdevice yet.
+        let err = InitialMap.run(&mut ir, &ctx).unwrap_err();
+        assert!(matches!(err, CompileError::PipelineMisordered { .. }));
+        // SwapRoute with a subdevice but no layout.
+        RegionSelect.run(&mut ir, &ctx).unwrap();
+        let err = SwapRoute.run(&mut ir, &ctx).unwrap_err();
+        assert!(matches!(err, CompileError::PipelineMisordered { .. }));
+    }
+
+    #[test]
+    fn default_pipeline_stages_in_order() {
+        let names: Vec<&str> = default_passes().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "region-select",
+                "initial-map",
+                "swap-route",
+                "nuop-decompose"
+            ]
+        );
+    }
+
+    #[test]
+    fn report_durations_aggregate() {
+        let report = CompileReport {
+            stages: vec![
+                StageTiming {
+                    pass: "a".into(),
+                    duration: Duration::from_millis(2),
+                },
+                StageTiming {
+                    pass: "b".into(),
+                    duration: Duration::from_millis(3),
+                },
+            ],
+            cache_hits: 1,
+            cache_misses: 2,
+        };
+        assert_eq!(report.total_duration(), Duration::from_millis(5));
+        assert_eq!(report.stage_duration("b"), Some(Duration::from_millis(3)));
+        assert_eq!(report.stage_duration("zzz"), None);
+    }
+}

@@ -1,15 +1,19 @@
-//! The end-to-end compile pipeline.
+//! Compilation options, the compiled-circuit artifact and the legacy
+//! free-function entry point.
+//!
+//! New code should use the [`crate::Compiler`] service, which reuses a shared
+//! decomposition cache across compiles and returns typed errors instead of
+//! panicking.
 
 use circuit::{Circuit, QubitId};
 use device::DeviceModel;
 use gates::InstructionSet;
-use nuop_core::{DecomposeConfig, NuOpPass, PassStats};
+use nuop_core::{DecomposeConfig, PassStats};
 use serde::{Deserialize, Serialize};
 use sim::Counts;
 
-use crate::mapping::initial_mapping;
-use crate::region::select_region;
-use crate::routing::{route, RoutedCircuit};
+use crate::routing::logical_outcome_for;
+use crate::service::Compiler;
 
 /// Options controlling compilation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,18 +74,22 @@ impl CompiledCircuit {
         self.circuit.two_qubit_gate_count()
     }
 
+    /// Converts a measured physical basis index into the logical basis index
+    /// using the final layout.
+    pub fn logical_outcome(&self, physical_outcome: usize) -> usize {
+        logical_outcome_for(
+            &self.final_layout,
+            self.circuit.num_qubits(),
+            physical_outcome,
+        )
+    }
+
     /// Converts physical measurement counts into logical-qubit counts using
     /// the final layout.
     pub fn logical_counts(&self, physical: &Counts) -> Counts {
-        let routed_view = RoutedCircuit {
-            circuit: self.circuit.clone(),
-            initial_layout: self.initial_layout.clone(),
-            final_layout: self.final_layout.clone(),
-            swap_count: self.swap_count,
-        };
         let mut logical = Counts::new(self.initial_layout.len());
         for (outcome, count) in physical.iter() {
-            let mapped = routed_view.logical_outcome(outcome);
+            let mapped = self.logical_outcome(outcome);
             for _ in 0..count {
                 logical.record(mapped);
             }
@@ -95,35 +103,30 @@ impl CompiledCircuit {
 /// Stages: region selection → initial mapping → SWAP routing → NuOp
 /// decomposition (noise-adaptive across the instruction set's gate types).
 ///
+/// This legacy entry point builds a throwaway [`Compiler`] per call, so the
+/// decomposition cache is cold every time. Long-running callers and sweeps
+/// should build a [`Compiler`] once and reuse it.
+///
 /// # Panics
 /// Panics if the device cannot host the circuit (fewer qubits than needed or
 /// no connected region of the right size).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a reusable `compiler::Compiler` instead; it shares the \
+            decomposition cache across calls and returns typed errors"
+)]
 pub fn compile(
     circuit: &Circuit,
     device: &DeviceModel,
     instruction_set: &InstructionSet,
     options: &CompilerOptions,
 ) -> CompiledCircuit {
-    let n = circuit.num_qubits();
-    let region = select_region(device, n);
-    let subdevice = device.subdevice(&region);
-
-    let layout = initial_mapping(circuit, &subdevice);
-    let routed = route(circuit, &subdevice, &layout);
-
-    let pass = NuOpPass::new(instruction_set.clone(), options.decompose.clone())
-        .with_threads(options.threads);
-    let (decomposed, pass_stats) = pass.run(&routed.circuit, &subdevice);
-
-    CompiledCircuit {
-        circuit: decomposed,
-        region,
-        subdevice,
-        initial_layout: routed.initial_layout,
-        final_layout: routed.final_layout,
-        swap_count: routed.swap_count,
-        pass_stats,
-    }
+    Compiler::for_device(device.clone())
+        .instruction_set(instruction_set.clone())
+        .options(options.clone())
+        .build()
+        .and_then(|compiler| compiler.compile(circuit))
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -144,11 +147,25 @@ mod tests {
         }
     }
 
+    fn compiled_with(
+        circuit: &Circuit,
+        device: &DeviceModel,
+        set: InstructionSet,
+    ) -> CompiledCircuit {
+        Compiler::for_device(device.clone())
+            .instruction_set(set)
+            .options(quick_options())
+            .build()
+            .unwrap()
+            .compile(circuit)
+            .unwrap()
+    }
+
     #[test]
     fn compile_small_qv_circuit_on_aspen8() {
         let device = DeviceModel::aspen8(RngSeed(1));
         let circ = qv_circuit(3, RngSeed(2));
-        let compiled = compile(&circ, &device, &InstructionSet::s(3), &quick_options());
+        let compiled = compiled_with(&circ, &device, InstructionSet::s(3));
         assert_eq!(compiled.region.len(), 3);
         assert!(compiled.two_qubit_gate_count() >= circ.two_qubit_gate_count());
         assert!(compiled.circuit.has_measurements());
@@ -159,23 +176,29 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_compile_shim_matches_the_service() {
+        let device = DeviceModel::aspen8(RngSeed(1));
+        let circ = qv_circuit(3, RngSeed(2));
+        let via_shim = compile(&circ, &device, &InstructionSet::s(3), &quick_options());
+        let via_service = compiled_with(&circ, &device, InstructionSet::s(3));
+        assert_eq!(via_shim.circuit, via_service.circuit);
+        assert_eq!(via_shim.region, via_service.region);
+        assert_eq!(via_shim.swap_count, via_service.swap_count);
+    }
+
+    #[test]
     fn compiled_circuit_preserves_semantics_on_ideal_device() {
         let device = DeviceModel::ideal(3, 1.0);
         let circ = qaoa_circuit(3, RngSeed(3));
-        let compiled = compile(&circ, &device, &InstructionSet::s(3), &quick_options());
+        let compiled = compiled_with(&circ, &device, InstructionSet::s(3));
         let ideal = IdealSimulator::probabilities(&circ.without_measurements());
         let compiled_probs =
             IdealSimulator::probabilities(&compiled.circuit.without_measurements());
         // Undo the layout permutation and compare distributions.
         let mut remapped = vec![0.0; ideal.len()];
-        let routed_view = RoutedCircuit {
-            circuit: compiled.circuit.clone(),
-            initial_layout: compiled.initial_layout.clone(),
-            final_layout: compiled.final_layout.clone(),
-            swap_count: compiled.swap_count,
-        };
         for (idx, p) in compiled_probs.iter().enumerate() {
-            remapped[routed_view.logical_outcome(idx)] += p;
+            remapped[compiled.logical_outcome(idx)] += p;
         }
         for (a, b) in ideal.iter().zip(remapped.iter()) {
             assert!((a - b).abs() < 2e-3, "ideal {a} vs compiled {b}");
@@ -188,8 +211,8 @@ mod tests {
         // more two-qubit gates than R4 (no SWAP).
         let device = DeviceModel::aspen8(RngSeed(4));
         let (circ, _) = qft_echo_circuit(4, RngSeed(5));
-        let with_swap = compile(&circ, &device, &InstructionSet::r(5), &quick_options());
-        let without_swap = compile(&circ, &device, &InstructionSet::r(4), &quick_options());
+        let with_swap = compiled_with(&circ, &device, InstructionSet::r(5));
+        let without_swap = compiled_with(&circ, &device, InstructionSet::r(4));
         assert!(
             with_swap.two_qubit_gate_count() <= without_swap.two_qubit_gate_count(),
             "R5 {} vs R4 {}",
@@ -202,7 +225,7 @@ mod tests {
     fn logical_counts_reorders_outcomes() {
         let device = DeviceModel::aspen8(RngSeed(6));
         let (circ, expected) = qft_echo_circuit(3, RngSeed(7));
-        let compiled = compile(&circ, &device, &InstructionSet::r(2), &quick_options());
+        let compiled = compiled_with(&circ, &device, InstructionSet::r(2));
         // Noiseless execution must return the expected outcome deterministically.
         let noiseless = NoiseModel::noiseless(&compiled.subdevice);
         let counts = NoisySimulator::new(noiseless).run(&compiled.circuit, 64, RngSeed(8));
@@ -228,8 +251,8 @@ mod tests {
         // approximate mode trades accuracy for fewer gates differently per type).
         let device = DeviceModel::sycamore(RngSeed(9));
         let circ = qv_circuit(3, RngSeed(10));
-        let single = compile(&circ, &device, &InstructionSet::s(1), &quick_options());
-        let multi = compile(&circ, &device, &InstructionSet::g(3), &quick_options());
+        let single = compiled_with(&circ, &device, InstructionSet::s(1));
+        let multi = compiled_with(&circ, &device, InstructionSet::g(3));
         assert!(
             multi.pass_stats.estimated_circuit_fidelity
                 >= single.pass_stats.estimated_circuit_fidelity - 1e-6,
@@ -243,7 +266,7 @@ mod tests {
     fn pass_stats_are_populated() {
         let device = DeviceModel::sycamore(RngSeed(11));
         let circ = qaoa_circuit(3, RngSeed(12));
-        let compiled = compile(&circ, &device, &InstructionSet::g(1), &quick_options());
+        let compiled = compiled_with(&circ, &device, InstructionSet::g(1));
         assert_eq!(
             compiled.pass_stats.input_two_qubit_gates,
             circ.two_qubit_gate_count() + compiled.swap_count

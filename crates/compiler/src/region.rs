@@ -4,6 +4,8 @@ use circuit::QubitId;
 use device::DeviceModel;
 use nuop_core::HardwareFidelityProvider as _;
 
+use crate::error::CompileError;
+
 /// Selects `n` physical qubits forming a connected subgraph with high mean
 /// two-qubit fidelity.
 ///
@@ -14,7 +16,7 @@ use nuop_core::HardwareFidelityProvider as _;
 ///
 /// # Panics
 /// Panics if the device has fewer than `n` qubits or no `n`-qubit connected
-/// region exists.
+/// region exists; use [`try_select_region`] to handle these as errors.
 pub fn select_region(device: &DeviceModel, n: usize) -> Vec<QubitId> {
     assert!(n >= 1, "region must contain at least one qubit");
     assert!(
@@ -22,9 +24,25 @@ pub fn select_region(device: &DeviceModel, n: usize) -> Vec<QubitId> {
         "device has only {} qubits, requested {n}",
         device.num_qubits()
     );
+    try_select_region(device, n).unwrap_or_else(|_| panic!("no connected {n}-qubit region found"))
+}
+
+/// Fallible [`select_region`]: undersized devices return
+/// [`CompileError::RegionUnavailable`] and fragmented topologies
+/// [`CompileError::RegionDisconnected`] instead of panicking.
+pub fn try_select_region(device: &DeviceModel, n: usize) -> Result<Vec<QubitId>, CompileError> {
+    if n == 0 {
+        return Err(CompileError::EmptyCircuit);
+    }
+    if n > device.num_qubits() {
+        return Err(CompileError::RegionUnavailable {
+            requested: n,
+            available: device.num_qubits(),
+        });
+    }
     let topo = device.topology();
     if n == 1 {
-        return vec![0];
+        return Ok(vec![0]);
     }
 
     let edge_fid = |a: QubitId, b: QubitId| -> f64 {
@@ -81,7 +99,7 @@ pub fn select_region(device: &DeviceModel, n: usize) -> Vec<QubitId> {
         }
     }
     best.map(|(_, r)| r)
-        .unwrap_or_else(|| panic!("no connected {n}-qubit region found"))
+        .ok_or(CompileError::RegionDisconnected { requested: n })
 }
 
 /// Mean calibrated fidelity of a named gate over the edges internal to a
@@ -152,5 +170,32 @@ mod tests {
     fn oversized_region_panics() {
         let device = DeviceModel::ideal(3, 0.99);
         let _ = select_region(&device, 5);
+    }
+
+    #[test]
+    fn try_select_region_reports_undersized_devices() {
+        let device = DeviceModel::ideal(3, 0.99);
+        assert_eq!(
+            try_select_region(&device, 5),
+            Err(CompileError::RegionUnavailable {
+                requested: 5,
+                available: 3,
+            })
+        );
+        assert_eq!(
+            try_select_region(&device, 0),
+            Err(CompileError::EmptyCircuit)
+        );
+    }
+
+    #[test]
+    fn try_select_region_matches_panicking_version_on_valid_input() {
+        let device = DeviceModel::aspen8(RngSeed(1));
+        for n in [1usize, 3, 6] {
+            assert_eq!(
+                try_select_region(&device, n).unwrap(),
+                select_region(&device, n)
+            );
+        }
     }
 }

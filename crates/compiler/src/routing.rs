@@ -12,6 +12,8 @@ use circuit::{Circuit, OpKind, Operation, QubitId};
 use device::DeviceModel;
 use serde::{Deserialize, Serialize};
 
+use crate::error::CompileError;
+
 /// The result of routing a circuit onto a device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoutedCircuit {
@@ -30,15 +32,30 @@ impl RoutedCircuit {
     /// using the final layout (logical bit `l` is read from physical qubit
     /// `final_layout[l]`).
     pub fn logical_outcome(&self, physical_outcome: usize) -> usize {
-        let n_phys = self.circuit.num_qubits();
-        let n_logical = self.initial_layout.len();
-        let mut logical = 0usize;
-        for (l, &p) in self.final_layout.iter().enumerate() {
-            let bit = (physical_outcome >> (n_phys - 1 - p)) & 1;
-            logical |= bit << (n_logical - 1 - l);
-        }
-        logical
+        logical_outcome_for(
+            &self.final_layout,
+            self.circuit.num_qubits(),
+            physical_outcome,
+        )
     }
+}
+
+/// Converts a measured physical basis index into the logical basis index
+/// given the final layout (logical bit `l` is read from physical qubit
+/// `final_layout[l]`) and the number of physical qubits in the measured
+/// register.
+pub fn logical_outcome_for(
+    final_layout: &[QubitId],
+    num_physical: usize,
+    physical_outcome: usize,
+) -> usize {
+    let n_logical = final_layout.len();
+    let mut logical = 0usize;
+    for (l, &p) in final_layout.iter().enumerate() {
+        let bit = (physical_outcome >> (num_physical - 1 - p)) & 1;
+        logical |= bit << (n_logical - 1 - l);
+    }
+    logical
 }
 
 /// Routes `circuit` onto `device` starting from `initial_layout`.
@@ -46,18 +63,35 @@ impl RoutedCircuit {
 /// # Panics
 /// Panics if the layout length does not match the circuit, refers to
 /// out-of-range physical qubits, or the device graph is disconnected between
-/// needed qubits.
+/// needed qubits; use [`try_route`] to handle these as errors.
 pub fn route(circuit: &Circuit, device: &DeviceModel, initial_layout: &[QubitId]) -> RoutedCircuit {
-    assert_eq!(
-        initial_layout.len(),
-        circuit.num_qubits(),
-        "layout must assign every logical qubit"
-    );
+    try_route(circuit, device, initial_layout).unwrap_or_else(|e| match e {
+        CompileError::InvalidLayout { reason } => panic!("{reason}"),
+        CompileError::RoutingUnreachable { q0, q1 } => {
+            panic!("no path between physical qubits {q0} and {q1}")
+        }
+        other => panic!("routing failed: {other}"),
+    })
+}
+
+/// Fallible [`route`]: bad layouts and disconnected devices return
+/// [`CompileError`] instead of panicking.
+pub fn try_route(
+    circuit: &Circuit,
+    device: &DeviceModel,
+    initial_layout: &[QubitId],
+) -> Result<RoutedCircuit, CompileError> {
+    if initial_layout.len() != circuit.num_qubits() {
+        return Err(CompileError::InvalidLayout {
+            reason: "layout must assign every logical qubit".to_string(),
+        });
+    }
     for &p in initial_layout {
-        assert!(
-            p < device.num_qubits(),
-            "layout refers to physical qubit {p} out of range"
-        );
+        if p >= device.num_qubits() {
+            return Err(CompileError::InvalidLayout {
+                reason: format!("layout refers to physical qubit {p} out of range"),
+            });
+        }
     }
     let topo = device.topology();
     let mut layout = initial_layout.to_vec(); // logical -> physical
@@ -79,7 +113,7 @@ pub fn route(circuit: &Circuit, device: &DeviceModel, initial_layout: &[QubitId]
                 if !topo.has_edge(p0, p1) {
                     let path = topo
                         .shortest_path(p0, p1)
-                        .unwrap_or_else(|| panic!("no path between physical qubits {p0} and {p1}"));
+                        .ok_or(CompileError::RoutingUnreachable { q0: p0, q1: p1 })?;
                     // Move l0 along the path until adjacent to p1.
                     for &next in &path[1..path.len() - 1] {
                         routed.push(Operation::swap(p0, next));
@@ -98,12 +132,12 @@ pub fn route(circuit: &Circuit, device: &DeviceModel, initial_layout: &[QubitId]
         }
     }
 
-    RoutedCircuit {
+    Ok(RoutedCircuit {
         circuit: routed,
         initial_layout: initial_layout.to_vec(),
         final_layout: layout,
         swap_count,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -195,5 +229,32 @@ mod tests {
         let device = line_device(3);
         let c = Circuit::new(2);
         let _ = route(&c, &device, &[0]);
+    }
+
+    #[test]
+    fn try_route_reports_bad_layouts() {
+        let device = line_device(3);
+        let c = Circuit::new(2);
+        assert!(matches!(
+            try_route(&c, &device, &[0]),
+            Err(CompileError::InvalidLayout { .. })
+        ));
+        assert!(matches!(
+            try_route(&c, &device, &[0, 99]),
+            Err(CompileError::InvalidLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn try_route_reports_unreachable_pairs() {
+        // Two disconnected single qubits: carve non-adjacent sites out of the
+        // Sycamore grid so no path exists between them.
+        let device = DeviceModel::sycamore(RngSeed(1)).subdevice(&[0, 2]);
+        let mut c = Circuit::new(2);
+        c.push(Operation::cz(0, 1));
+        assert!(matches!(
+            try_route(&c, &device, &[0, 1]),
+            Err(CompileError::RoutingUnreachable { .. })
+        ));
     }
 }

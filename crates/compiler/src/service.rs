@@ -1,0 +1,479 @@
+//! The reusable compilation service.
+//!
+//! A [`Compiler`] owns a device model, an instruction set, options, a pass
+//! pipeline and — crucially for instruction-set sweeps — a **shared, sharded
+//! decomposition cache** that persists across [`Compiler::compile`] calls.
+//! The paper's headline experiments compile the same workloads against 21
+//! instruction sets; with a long-lived `Compiler` per set, every repeated
+//! SU(4), ZZ or SWAP decomposition after the first is a cache hit.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use circuit::Circuit;
+use device::DeviceModel;
+use gates::{InstructionSet, InvalidInstructionSet};
+use nuop_core::DecompositionCache;
+use parking_lot::Mutex;
+
+use crate::error::CompileError;
+use crate::pass::{default_passes, CompileIr, CompileReport, Pass, PassContext, StageTiming};
+use crate::pipeline::{CompiledCircuit, CompilerOptions};
+
+/// A reusable, fallible compilation service.
+///
+/// Build one with [`Compiler::for_device`] and reuse it for every circuit
+/// targeting that device + instruction set: the decomposition cache is shared
+/// across calls (and across [`Compiler::compile_batch`] worker threads).
+///
+/// ```
+/// use apps::workloads::qv_circuit;
+/// use compiler::{Compiler, CompilerOptions};
+/// use device::DeviceModel;
+/// use gates::InstructionSet;
+/// use qmath::RngSeed;
+///
+/// let compiler = Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+///     .instruction_set(InstructionSet::r(2))
+///     .options(CompilerOptions::sweep())
+///     .build()
+///     .unwrap();
+///
+/// let circuit = qv_circuit(3, RngSeed(2));
+/// let compiled = compiler.compile(&circuit).unwrap();
+/// assert_eq!(compiled.region.len(), 3);
+///
+/// // The second compile of the same circuit is served from the cache.
+/// let (again, report) = compiler.compile_with_report(&circuit).unwrap();
+/// assert_eq!(again.circuit, compiled.circuit);
+/// assert_eq!(report.cache_misses, 0);
+/// assert!(report.cache_hits > 0);
+/// ```
+pub struct Compiler {
+    device: DeviceModel,
+    instruction_set: InstructionSet,
+    options: CompilerOptions,
+    passes: Vec<Box<dyn Pass>>,
+    cache: Arc<DecompositionCache>,
+}
+
+impl Compiler {
+    /// Starts building a compiler for `device`.
+    pub fn for_device(device: DeviceModel) -> CompilerBuilder {
+        CompilerBuilder {
+            device,
+            instruction_set: None,
+            instruction_set_name: None,
+            options: CompilerOptions::default(),
+            cache: None,
+            passes: None,
+        }
+    }
+
+    /// The device this compiler targets.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// The instruction set this compiler targets.
+    pub fn instruction_set(&self) -> &InstructionSet {
+        &self.instruction_set
+    }
+
+    /// The compilation options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// The shared decomposition cache (inspect hit/miss counters, share it
+    /// with another compiler via [`CompilerBuilder::shared_cache`]).
+    pub fn cache(&self) -> &Arc<DecompositionCache> {
+        &self.cache
+    }
+
+    /// Compiles one circuit.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, CompileError> {
+        self.compile_inner(circuit, self.options.threads.max(1))
+            .map(|(compiled, _)| compiled)
+    }
+
+    /// Compiles one circuit and reports per-stage timings plus cache traffic.
+    pub fn compile_with_report(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<(CompiledCircuit, CompileReport), CompileError> {
+        self.compile_inner(circuit, self.options.threads.max(1))
+    }
+
+    /// Compiles many circuits, fanning out across the configured worker
+    /// threads. All workers share the decomposition cache, so sweeps over
+    /// suites with repeated unitaries (identical SU(4)s, ZZ terms, routing
+    /// SWAPs) only optimize each distinct decomposition once.
+    ///
+    /// Failures are per-circuit: one unhostable circuit yields its `Err`
+    /// without poisoning the rest of the batch.
+    pub fn compile_batch(
+        &self,
+        circuits: &[Circuit],
+    ) -> Vec<Result<CompiledCircuit, CompileError>> {
+        let workers = self.options.threads.max(1).min(circuits.len().max(1));
+        if workers <= 1 || circuits.len() <= 1 {
+            return circuits.iter().map(|c| self.compile(c)).collect();
+        }
+        // Parallelism moves to the batch level: each worker compiles whole
+        // circuits serially (threads = 1) to avoid oversubscription.
+        let chunk = circuits.len().div_ceil(workers);
+        let results = Mutex::new(Vec::with_capacity(circuits.len()));
+        let results_ref = &results;
+        std::thread::scope(|scope| {
+            for (w, piece) in circuits.chunks(chunk.max(1)).enumerate() {
+                scope.spawn(move || {
+                    let base = w * chunk.max(1);
+                    let mut local = Vec::with_capacity(piece.len());
+                    for (offset, circuit) in piece.iter().enumerate() {
+                        local.push((base + offset, self.compile_inner(circuit, 1)));
+                    }
+                    results_ref.lock().extend(local);
+                });
+            }
+        });
+        let mut indexed = results.into_inner();
+        indexed.sort_by_key(|(idx, _)| *idx);
+        indexed
+            .into_iter()
+            .map(|(_, r)| r.map(|(compiled, _)| compiled))
+            .collect()
+    }
+
+    fn compile_inner(
+        &self,
+        circuit: &Circuit,
+        threads: usize,
+    ) -> Result<(CompiledCircuit, CompileReport), CompileError> {
+        if circuit.num_qubits() == 0 {
+            return Err(CompileError::EmptyCircuit);
+        }
+        let ctx = PassContext {
+            device: &self.device,
+            instruction_set: &self.instruction_set,
+            options: &self.options,
+            cache: &self.cache,
+            threads,
+        };
+        let mut ir = CompileIr::new(circuit);
+        let mut report = CompileReport::default();
+        for pass in &self.passes {
+            let started = Instant::now();
+            pass.run(&mut ir, &ctx)?;
+            report.stages.push(StageTiming {
+                pass: pass.name().to_string(),
+                duration: started.elapsed(),
+            });
+        }
+        report.cache_hits = ir.pass_stats.cache_hits;
+        report.cache_misses = ir.pass_stats.cache_misses;
+        let subdevice = ir.require_subdevice("finalize")?.clone();
+        Ok((
+            CompiledCircuit {
+                circuit: ir.circuit,
+                region: ir.region,
+                subdevice,
+                initial_layout: ir.initial_layout,
+                final_layout: ir.final_layout,
+                swap_count: ir.swap_count,
+                pass_stats: ir.pass_stats,
+            },
+            report,
+        ))
+    }
+}
+
+impl std::fmt::Debug for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Compiler")
+            .field("device", &self.device.name())
+            .field("instruction_set", &self.instruction_set.name())
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+/// Builder returned by [`Compiler::for_device`].
+///
+/// The instruction set is mandatory; everything else has defaults
+/// (default options, the four-stage pipeline, a fresh cache).
+pub struct CompilerBuilder {
+    device: DeviceModel,
+    instruction_set: Option<InstructionSet>,
+    instruction_set_name: Option<String>,
+    options: CompilerOptions,
+    cache: Option<Arc<DecompositionCache>>,
+    passes: Option<Vec<Box<dyn Pass>>>,
+}
+
+impl CompilerBuilder {
+    /// Targets `set`.
+    pub fn instruction_set(mut self, set: InstructionSet) -> Self {
+        self.instruction_set = Some(set);
+        self
+    }
+
+    /// Targets the Table II set called `name` (e.g. `"G3"`, `"FullfSim"`;
+    /// case-insensitive). Unknown names surface as
+    /// [`CompileError::InvalidInstructionSet`] at [`CompilerBuilder::build`].
+    pub fn instruction_set_named(mut self, name: impl Into<String>) -> Self {
+        self.instruction_set_name = Some(name.into());
+        self
+    }
+
+    /// Sets the compilation options.
+    pub fn options(mut self, options: CompilerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Shares an existing decomposition cache (e.g. across compilers for the
+    /// same instruction set on error-scaled device variants). Keys include
+    /// the instruction set (name and member types), pair fidelities and a
+    /// fingerprint of the decomposition config, so unrelated compilers can
+    /// safely share one cache.
+    pub fn shared_cache(mut self, cache: Arc<DecompositionCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Replaces the default four-stage pipeline with a custom one.
+    pub fn passes(mut self, passes: Vec<Box<dyn Pass>>) -> Self {
+        self.passes = Some(passes);
+        self
+    }
+
+    /// Builds the compiler, validating the configuration.
+    pub fn build(self) -> Result<Compiler, CompileError> {
+        let instruction_set = match (self.instruction_set, self.instruction_set_name) {
+            (Some(set), _) => set,
+            (None, Some(name)) => InstructionSet::by_name(&name).ok_or_else(|| {
+                InvalidInstructionSet::new(
+                    name.clone(),
+                    format!("{name} is not a Table II instruction set"),
+                )
+            })?,
+            (None, None) => {
+                return Err(InvalidInstructionSet::new(
+                    "<unset>",
+                    "no instruction set supplied to Compiler builder",
+                )
+                .into())
+            }
+        };
+        Ok(Compiler {
+            device: self.device,
+            instruction_set,
+            options: self.options,
+            passes: self.passes.unwrap_or_else(default_passes),
+            cache: self.cache.unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::workloads::{qaoa_circuit, qv_circuit};
+    use nuop_core::DecomposeConfig;
+    use qmath::RngSeed;
+
+    fn quick_options() -> CompilerOptions {
+        CompilerOptions {
+            decompose: DecomposeConfig {
+                restarts: 2,
+                max_layers: 4,
+                ..DecomposeConfig::default()
+            },
+            threads: 2,
+        }
+    }
+
+    fn aspen_compiler(set: InstructionSet) -> Compiler {
+        Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+            .instruction_set(set)
+            .options(quick_options())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_an_instruction_set() {
+        let err = Compiler::for_device(DeviceModel::ideal(3, 0.99))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CompileError::InvalidInstructionSet(_)));
+    }
+
+    #[test]
+    fn builder_resolves_sets_by_name() {
+        let compiler = Compiler::for_device(DeviceModel::ideal(3, 0.99))
+            .instruction_set_named("g3")
+            .build()
+            .unwrap();
+        assert_eq!(compiler.instruction_set().name(), "G3");
+
+        let err = Compiler::for_device(DeviceModel::ideal(3, 0.99))
+            .instruction_set_named("G99")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("G99"));
+    }
+
+    #[test]
+    fn oversized_circuit_is_an_error_not_a_panic() {
+        let compiler = Compiler::for_device(DeviceModel::ideal(3, 0.99))
+            .instruction_set(InstructionSet::s(3))
+            .options(quick_options())
+            .build()
+            .unwrap();
+        let circuit = qv_circuit(5, RngSeed(1));
+        assert_eq!(
+            compiler.compile(&circuit).unwrap_err(),
+            CompileError::RegionUnavailable {
+                requested: 5,
+                available: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn fragmented_device_is_an_error_not_a_panic() {
+        // Three pairwise non-adjacent Sycamore sites: enough qubits, but no
+        // connected 2-qubit region exists.
+        let device = DeviceModel::sycamore(RngSeed(1)).subdevice(&[0, 2, 4]);
+        let compiler = Compiler::for_device(device)
+            .instruction_set(InstructionSet::s(3))
+            .options(quick_options())
+            .build()
+            .unwrap();
+        let circuit = qv_circuit(2, RngSeed(1));
+        assert_eq!(
+            compiler.compile(&circuit).unwrap_err(),
+            CompileError::RegionDisconnected { requested: 2 }
+        );
+    }
+
+    #[test]
+    fn second_compile_is_served_from_the_shared_cache() {
+        let compiler = aspen_compiler(InstructionSet::r(2));
+        let circuit = qaoa_circuit(3, RngSeed(3));
+        let (first, first_report) = compiler.compile_with_report(&circuit).unwrap();
+        assert_eq!(
+            first_report.cache_hits + first_report.cache_misses,
+            first.pass_stats.input_two_qubit_gates
+        );
+        assert!(first_report.cache_misses > 0);
+
+        let (second, second_report) = compiler.compile_with_report(&circuit).unwrap();
+        assert_eq!(second_report.cache_misses, 0);
+        assert_eq!(
+            second_report.cache_hits,
+            second.pass_stats.input_two_qubit_gates
+        );
+        assert_eq!(first.circuit, second.circuit);
+    }
+
+    #[test]
+    fn report_times_every_stage() {
+        let compiler = aspen_compiler(InstructionSet::s(3));
+        let circuit = qv_circuit(3, RngSeed(5));
+        let (_, report) = compiler.compile_with_report(&circuit).unwrap();
+        let stages: Vec<&str> = report.stages.iter().map(|s| s.pass.as_str()).collect();
+        assert_eq!(
+            stages,
+            vec![
+                "region-select",
+                "initial-map",
+                "swap-route",
+                "nuop-decompose"
+            ]
+        );
+        assert!(report.total_duration() >= report.stage_duration("nuop-decompose").unwrap());
+    }
+
+    #[test]
+    fn batch_matches_serial_compiles_and_shares_the_cache() {
+        let serial = aspen_compiler(InstructionSet::r(2));
+        let batched = aspen_compiler(InstructionSet::r(2));
+        let circuits: Vec<Circuit> = (0..4).map(|i| qaoa_circuit(3, RngSeed(i))).collect();
+
+        let serial_results: Vec<CompiledCircuit> = circuits
+            .iter()
+            .map(|c| serial.compile(c).unwrap())
+            .collect();
+        let batch_results = batched.compile_batch(&circuits);
+        assert_eq!(batch_results.len(), circuits.len());
+        for (s, b) in serial_results.iter().zip(batch_results.iter()) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(s.circuit, b.circuit);
+            assert_eq!(s.swap_count, b.swap_count);
+        }
+
+        // A follow-up compile of any batch member hits the shared cache.
+        let (_, report) = batched.compile_with_report(&circuits[0]).unwrap();
+        assert_eq!(report.cache_misses, 0);
+    }
+
+    #[test]
+    fn batch_reports_per_circuit_errors_without_poisoning_the_rest() {
+        let compiler = aspen_compiler(InstructionSet::s(3));
+        let circuits = vec![
+            qv_circuit(3, RngSeed(1)),
+            qv_circuit(40, RngSeed(2)), // larger than Aspen-8
+            qv_circuit(3, RngSeed(3)),
+        ];
+        let results = compiler.compile_batch(&circuits);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CompileError::RegionUnavailable { .. })
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn custom_pipelines_can_replace_stages() {
+        use crate::pass::{CompileIr, Pass, PassContext};
+
+        /// A no-op decomposition stage: leaves routed SWAP/SU(4) unitaries
+        /// in place (useful to inspect pre-decomposition circuits).
+        struct KeepUnitaries;
+        impl Pass for KeepUnitaries {
+            fn name(&self) -> &'static str {
+                "keep-unitaries"
+            }
+            fn run(&self, _ir: &mut CompileIr, _ctx: &PassContext) -> Result<(), CompileError> {
+                Ok(())
+            }
+        }
+
+        let compiler = Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+            .instruction_set(InstructionSet::s(3))
+            .options(quick_options())
+            .passes(vec![
+                Box::new(crate::pass::RegionSelect),
+                Box::new(crate::pass::InitialMap),
+                Box::new(crate::pass::SwapRoute),
+                Box::new(KeepUnitaries),
+            ])
+            .build()
+            .unwrap();
+        let circuit = qv_circuit(3, RngSeed(7));
+        let compiled = compiler.compile(&circuit).unwrap();
+        // Without NuOp the two-qubit ops are untouched application unitaries.
+        assert_eq!(
+            compiled.circuit.two_qubit_gate_count(),
+            circuit.two_qubit_gate_count() + compiled.swap_count
+        );
+    }
+}

@@ -42,11 +42,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod decompose;
 pub mod noise_adaptive;
 pub mod pass;
 pub mod template;
 
+pub use cache::{CacheKey, CachedDecomposition, DecompositionCache};
 pub use decompose::{
     decompose_approx, decompose_continuous, decompose_fixed, DecomposeConfig, Decomposition,
 };

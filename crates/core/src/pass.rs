@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use circuit::{Circuit, OpKind, Operation, QubitId};
 use gates::{GateSetKind, InstructionSet};
@@ -21,6 +22,7 @@ use parking_lot::Mutex;
 use qmath::CMatrix;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheKey, DecompositionCache};
 use crate::decompose::{decompose_continuous, DecomposeConfig, Decomposition};
 use crate::noise_adaptive::{decompose_with_gate_choice, HardwareGate};
 
@@ -67,6 +69,10 @@ pub struct PassStats {
     pub estimated_circuit_fidelity: f64,
     /// How many operations chose each hardware gate type.
     pub gate_type_histogram: BTreeMap<String, usize>,
+    /// Operations served from the decomposition cache.
+    pub cache_hits: usize,
+    /// Operations that required a fresh numerical optimization.
+    pub cache_misses: usize,
 }
 
 /// The NuOp circuit pass.
@@ -74,12 +80,14 @@ pub struct NuOpPass {
     instruction_set: InstructionSet,
     config: DecomposeConfig,
     threads: usize,
-    cache: Mutex<HashMap<String, (Decomposition, String)>>,
+    cache: Arc<DecompositionCache>,
 }
 
 impl NuOpPass {
     /// Creates a pass targeting `instruction_set` with the given decomposition
-    /// configuration.
+    /// configuration and a private decomposition cache. Use
+    /// [`NuOpPass::with_cache`] to share a cache across passes (and therefore
+    /// across compiles).
     pub fn new(instruction_set: InstructionSet, config: DecomposeConfig) -> Self {
         NuOpPass {
             instruction_set,
@@ -87,7 +95,7 @@ impl NuOpPass {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-            cache: Mutex::new(HashMap::new()),
+            cache: Arc::new(DecompositionCache::new()),
         }
     }
 
@@ -97,9 +105,22 @@ impl NuOpPass {
         self
     }
 
+    /// Replaces the pass's private cache with a shared one, so repeated
+    /// decompositions of the same unitary across circuits (or across passes)
+    /// are served without re-optimizing.
+    pub fn with_cache(mut self, cache: Arc<DecompositionCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// The instruction set this pass targets.
     pub fn instruction_set(&self) -> &InstructionSet {
         &self.instruction_set
+    }
+
+    /// The decomposition cache this pass consults.
+    pub fn cache(&self) -> &DecompositionCache {
+        &self.cache
     }
 
     /// Decomposes a single two-qubit unitary for the physical pair `(q0, q1)`,
@@ -111,11 +132,44 @@ impl NuOpPass {
         q1: QubitId,
         provider: &dyn HardwareFidelityProvider,
     ) -> (Decomposition, String) {
-        let key = cache_key(target, &self.instruction_set, q0, q1, provider);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return hit.clone();
-        }
-        let result = match self.instruction_set.kind() {
+        let (decomposition, gate, _hit) = self.decompose_cached(target, q0, q1, provider);
+        (decomposition, gate)
+    }
+
+    /// Cache-aware decomposition; the flag reports whether the result was a
+    /// cache hit. Concurrent workers missing on the same key coordinate so
+    /// the numerical optimization runs once (see
+    /// [`DecompositionCache::get_or_insert_with`]).
+    fn decompose_cached(
+        &self,
+        target: &CMatrix,
+        q0: QubitId,
+        q1: QubitId,
+        provider: &dyn HardwareFidelityProvider,
+    ) -> (Decomposition, String, bool) {
+        let key = CacheKey::new(
+            target,
+            &self.instruction_set,
+            q0,
+            q1,
+            provider,
+            &self.config,
+        );
+        let ((d, g), hit) = self
+            .cache
+            .get_or_insert_with(&key, || self.decompose_uncached(target, q0, q1, provider));
+        (d, g, hit)
+    }
+
+    /// The actual numerical optimization behind a cache miss.
+    fn decompose_uncached(
+        &self,
+        target: &CMatrix,
+        q0: QubitId,
+        q1: QubitId,
+        provider: &dyn HardwareFidelityProvider,
+    ) -> (Decomposition, String) {
+        match self.instruction_set.kind() {
             GateSetKind::Discrete(types) => {
                 let candidates: Vec<HardwareGate> = types
                     .iter()
@@ -144,9 +198,7 @@ impl NuOpPass {
                 let label = family.name().to_string();
                 (d, label)
             }
-        };
-        self.cache.lock().insert(key, result.clone());
-        result
+        }
     }
 
     /// Runs the pass over a circuit whose two-qubit operations act on
@@ -164,25 +216,26 @@ impl NuOpPass {
             .filter(|(_, op)| op.is_two_qubit_unitary())
             .collect();
 
-        let results: Vec<(usize, Decomposition, String)> = if self.threads <= 1 || work.len() <= 1 {
-            work.iter()
-                .map(|(idx, op)| {
-                    let (d, g) = self.decompose_operation(
-                        op.matrix().expect("two-qubit unitary has a matrix"),
-                        op.qubits()[0],
-                        op.qubits()[1],
-                        provider,
-                    );
-                    (*idx, d, g)
-                })
-                .collect()
-        } else {
-            self.run_parallel(&work, provider)
-        };
+        let results: Vec<(usize, Decomposition, String, bool)> =
+            if self.threads <= 1 || work.len() <= 1 {
+                work.iter()
+                    .map(|(idx, op)| {
+                        let (d, g, hit) = self.decompose_cached(
+                            op.matrix().expect("two-qubit unitary has a matrix"),
+                            op.qubits()[0],
+                            op.qubits()[1],
+                            provider,
+                        );
+                        (*idx, d, g, hit)
+                    })
+                    .collect()
+            } else {
+                self.run_parallel(&work, provider)
+            };
 
-        let mut by_index: HashMap<usize, (Decomposition, String)> = results
+        let mut by_index: HashMap<usize, (Decomposition, String, bool)> = results
             .into_iter()
-            .map(|(idx, d, g)| (idx, (d, g)))
+            .map(|(idx, d, g, hit)| (idx, (d, g, hit)))
             .collect();
 
         let mut out = Circuit::new(circuit.num_qubits());
@@ -195,8 +248,13 @@ impl NuOpPass {
         for (idx, op) in circuit.iter().enumerate() {
             match op.kind() {
                 OpKind::Unitary2Q { .. } => {
-                    let (d, gate_name) = by_index.remove(&idx).expect("decomposed above");
+                    let (d, gate_name, hit) = by_index.remove(&idx).expect("decomposed above");
                     stats.input_two_qubit_gates += 1;
+                    if hit {
+                        stats.cache_hits += 1;
+                    } else {
+                        stats.cache_misses += 1;
+                    }
                     stats.output_two_qubit_gates += d.layers;
                     fd_sum += d.decomposition_fidelity;
                     fu_sum += d.overall_fidelity;
@@ -223,7 +281,7 @@ impl NuOpPass {
         &self,
         work: &[(usize, &Operation)],
         provider: &dyn HardwareFidelityProvider,
-    ) -> Vec<(usize, Decomposition, String)> {
+    ) -> Vec<(usize, Decomposition, String, bool)> {
         let chunk = work.len().div_ceil(self.threads);
         let results = Mutex::new(Vec::with_capacity(work.len()));
         let results_ref = &results;
@@ -232,13 +290,13 @@ impl NuOpPass {
                 scope.spawn(move || {
                     let mut local = Vec::with_capacity(piece.len());
                     for (idx, op) in piece {
-                        let (d, g) = self.decompose_operation(
+                        let (d, g, hit) = self.decompose_cached(
                             op.matrix().expect("two-qubit unitary has a matrix"),
                             op.qubits()[0],
                             op.qubits()[1],
                             provider,
                         );
-                        local.push((*idx, d, g));
+                        local.push((*idx, d, g, hit));
                     }
                     results_ref.lock().extend(local);
                 });
@@ -246,34 +304,6 @@ impl NuOpPass {
         });
         results.into_inner()
     }
-}
-
-/// Builds a cache key from the quantized target matrix, the instruction set
-/// name and the (quantized) calibrated fidelities of the pair.
-fn cache_key(
-    target: &CMatrix,
-    set: &InstructionSet,
-    q0: QubitId,
-    q1: QubitId,
-    provider: &dyn HardwareFidelityProvider,
-) -> String {
-    use std::fmt::Write as _;
-    let mut key = String::with_capacity(64 + 16 * 16);
-    let _ = write!(key, "{}|", set.name());
-    for z in target.as_slice() {
-        let _ = write!(key, "{:.9},{:.9};", z.re, z.im);
-    }
-    match set.kind() {
-        GateSetKind::Discrete(types) => {
-            for t in types {
-                let _ = write!(key, "{:.4},", provider.two_qubit_fidelity(q0, q1, t.name()));
-            }
-        }
-        GateSetKind::Continuous(f) => {
-            let _ = write!(key, "{:.4},", provider.two_qubit_fidelity(q0, q1, f.name()));
-        }
-    }
-    key
 }
 
 #[cfg(test)]
@@ -391,7 +421,35 @@ mod tests {
         let (out, stats) = pass.run(&circ, &UniformFidelity(0.999));
         assert_eq!(stats.input_two_qubit_gates, 3);
         assert_eq!(out.two_qubit_gate_count(), stats.output_two_qubit_gates);
-        assert_eq!(pass.cache.lock().len(), 1);
+        assert_eq!(pass.cache().len(), 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_passes() {
+        let cache = Arc::new(DecompositionCache::new());
+        let circ = small_qv_circuit(3);
+        let first = NuOpPass::new(InstructionSet::s(3), quick_config())
+            .with_threads(1)
+            .with_cache(Arc::clone(&cache));
+        let (_, stats_first) = first.run(&circ, &UniformFidelity(0.999));
+        assert_eq!(stats_first.cache_hits, 0);
+        assert_eq!(stats_first.cache_misses, 2);
+
+        // A *different* pass instance targeting the same set and fed the same
+        // cache serves every operation without re-optimizing.
+        let second = NuOpPass::new(InstructionSet::s(3), quick_config())
+            .with_threads(1)
+            .with_cache(Arc::clone(&cache));
+        let (_, stats_second) = second.run(&circ, &UniformFidelity(0.999));
+        assert_eq!(stats_second.cache_hits, 2);
+        assert_eq!(stats_second.cache_misses, 0);
+        assert_eq!(
+            stats_first.output_two_qubit_gates,
+            stats_second.output_two_qubit_gates
+        );
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -18,6 +18,42 @@ use serde::{Deserialize, Serialize};
 use crate::fsim::ContinuousFamily;
 use crate::gate_type::GateType;
 
+/// Error returned by the fallible [`InstructionSet`] constructors
+/// ([`InstructionSet::try_s`], [`InstructionSet::try_g`],
+/// [`InstructionSet::try_r`]) when the requested set does not exist in
+/// Table II.
+///
+/// ```
+/// use gates::InstructionSet;
+/// let err = InstructionSet::try_g(8).unwrap_err();
+/// assert!(err.to_string().contains("G8 is not defined"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvalidInstructionSet {
+    /// The name that was requested (e.g. `"G8"`).
+    pub name: String,
+    /// Human-readable explanation of why the set is invalid.
+    pub reason: String,
+}
+
+impl InvalidInstructionSet {
+    /// Creates an error for `name` with an explanatory `reason`.
+    pub fn new(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        InvalidInstructionSet {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvalidInstructionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidInstructionSet {}
+
 /// Whether an instruction set is a finite list of calibrated types or a full
 /// continuous family.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,12 +134,18 @@ impl InstructionSet {
         }
     }
 
-    /// Number of distinct two-qubit gate types that must be calibrated.
-    /// Continuous sets report `usize::MAX` as a sentinel ("infinite").
-    pub fn num_gate_types(&self) -> usize {
+    /// Number of distinct two-qubit gate types that must be calibrated, or
+    /// `None` for continuous families (which expose unboundedly many).
+    ///
+    /// ```
+    /// use gates::InstructionSet;
+    /// assert_eq!(InstructionSet::g(3).num_gate_types(), Some(4));
+    /// assert_eq!(InstructionSet::full_xy().num_gate_types(), None);
+    /// ```
+    pub fn num_gate_types(&self) -> Option<usize> {
         match &self.kind {
-            GateSetKind::Discrete(v) => v.len(),
-            GateSetKind::Continuous(_) => usize::MAX,
+            GateSetKind::Discrete(v) => Some(v.len()),
+            GateSetKind::Continuous(_) => None,
         }
     }
 
@@ -114,29 +156,65 @@ impl InstructionSet {
 
     // ----- Table II constructors -----
 
-    /// Single-type instruction set `Sk`, `k ∈ 1..=7`.
-    pub fn s(k: usize) -> InstructionSet {
-        InstructionSet::discrete(format!("S{k}"), vec![GateType::s(k)])
+    /// Fallible [`InstructionSet::s`]: `Err` instead of panicking for `k`
+    /// outside `1..=7`.
+    ///
+    /// ```
+    /// use gates::InstructionSet;
+    /// assert_eq!(InstructionSet::try_s(3).unwrap().name(), "S3");
+    /// assert!(InstructionSet::try_s(0).is_err());
+    /// ```
+    pub fn try_s(k: usize) -> Result<InstructionSet, InvalidInstructionSet> {
+        if !(1..=7).contains(&k) {
+            return Err(InvalidInstructionSet::new(
+                format!("S{k}"),
+                format!("S{k} is not defined; valid sets are S1..S7"),
+            ));
+        }
+        Ok(InstructionSet::discrete(
+            format!("S{k}"),
+            vec![GateType::s(k)],
+        ))
     }
 
-    /// Google multi-type instruction set `Gk`, `k ∈ 1..=7`:
-    /// `G1 = {S1,S2}`, `G2 = {S1,S2,S3}`, …, `G6 = {S1..S7}`, `G7 = G6 ∪ {SWAP}`.
-    pub fn g(k: usize) -> InstructionSet {
-        assert!(
-            (1..=7).contains(&k),
-            "G{k} is not defined; valid sets are G1..G7"
-        );
+    /// Single-type instruction set `Sk`, `k ∈ 1..=7`.
+    ///
+    /// # Panics
+    /// Panics for `k` outside `1..=7`; use [`InstructionSet::try_s`] to handle
+    /// the error instead.
+    pub fn s(k: usize) -> InstructionSet {
+        InstructionSet::try_s(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`InstructionSet::g`]: `Err` instead of panicking for `k`
+    /// outside `1..=7`.
+    pub fn try_g(k: usize) -> Result<InstructionSet, InvalidInstructionSet> {
+        if !(1..=7).contains(&k) {
+            return Err(InvalidInstructionSet::new(
+                format!("G{k}"),
+                format!("G{k} is not defined; valid sets are G1..G7"),
+            ));
+        }
         let mut types: Vec<GateType> = (1..=(k + 1).min(7)).map(GateType::s).collect();
         if k == 7 {
             types.push(GateType::swap());
         }
-        InstructionSet::discrete(format!("G{k}"), types)
+        Ok(InstructionSet::discrete(format!("G{k}"), types))
     }
 
-    /// Rigetti multi-type instruction set `Rk`, `k ∈ 1..=5`:
-    /// `R1 = {S3,S4}`, `R2 = {S2,S3,S4}`, `R3 = {S2,S3,S4,S5}`,
-    /// `R4 = {S2,S3,S4,S5,S6}`, `R5 = R4 ∪ {SWAP}`.
-    pub fn r(k: usize) -> InstructionSet {
+    /// Google multi-type instruction set `Gk`, `k ∈ 1..=7`:
+    /// `G1 = {S1,S2}`, `G2 = {S1,S2,S3}`, …, `G6 = {S1..S7}`, `G7 = G6 ∪ {SWAP}`.
+    ///
+    /// # Panics
+    /// Panics for `k` outside `1..=7`; use [`InstructionSet::try_g`] to handle
+    /// the error instead.
+    pub fn g(k: usize) -> InstructionSet {
+        InstructionSet::try_g(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`InstructionSet::r`]: `Err` instead of panicking for `k`
+    /// outside `1..=5`.
+    pub fn try_r(k: usize) -> Result<InstructionSet, InvalidInstructionSet> {
         let types = match k {
             1 => vec![GateType::s(3), GateType::s(4)],
             2 => vec![GateType::s(2), GateType::s(3), GateType::s(4)],
@@ -161,9 +239,25 @@ impl InstructionSet {
                 GateType::s(6),
                 GateType::swap(),
             ],
-            _ => panic!("R{k} is not defined; valid sets are R1..R5"),
+            _ => {
+                return Err(InvalidInstructionSet::new(
+                    format!("R{k}"),
+                    format!("R{k} is not defined; valid sets are R1..R5"),
+                ))
+            }
         };
-        InstructionSet::discrete(format!("R{k}"), types)
+        Ok(InstructionSet::discrete(format!("R{k}"), types))
+    }
+
+    /// Rigetti multi-type instruction set `Rk`, `k ∈ 1..=5`:
+    /// `R1 = {S3,S4}`, `R2 = {S2,S3,S4}`, `R3 = {S2,S3,S4,S5}`,
+    /// `R4 = {S2,S3,S4,S5,S6}`, `R5 = R4 ∪ {SWAP}`.
+    ///
+    /// # Panics
+    /// Panics for `k` outside `1..=5`; use [`InstructionSet::try_r`] to handle
+    /// the error instead.
+    pub fn r(k: usize) -> InstructionSet {
+        InstructionSet::try_r(k).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Rigetti's continuous `FullXY` set.
@@ -281,7 +375,7 @@ mod tests {
         let fsim = InstructionSet::full_fsim();
         assert!(xy.is_continuous());
         assert!(fsim.is_continuous());
-        assert_eq!(xy.num_gate_types(), usize::MAX);
+        assert_eq!(xy.num_gate_types(), None);
         assert!(xy.gate_types().is_empty());
         assert_eq!(xy.family(), Some(ContinuousFamily::FullXy));
         assert_eq!(fsim.family(), Some(ContinuousFamily::FullFsim));
@@ -327,6 +421,39 @@ mod tests {
         assert!(shown.contains("sqrt_iSWAP"));
         let cont = format!("{}", InstructionSet::full_fsim());
         assert!(cont.contains("continuous"));
+    }
+
+    #[test]
+    fn num_gate_types_counts_discrete_sets() {
+        assert_eq!(InstructionSet::s(1).num_gate_types(), Some(1));
+        assert_eq!(InstructionSet::g(7).num_gate_types(), Some(8));
+        assert_eq!(InstructionSet::r(5).num_gate_types(), Some(6));
+        assert_eq!(InstructionSet::full_fsim().num_gate_types(), None);
+    }
+
+    #[test]
+    fn try_constructors_agree_with_panicking_ones() {
+        for k in 1..=7 {
+            assert_eq!(InstructionSet::try_s(k).unwrap(), InstructionSet::s(k));
+            assert_eq!(InstructionSet::try_g(k).unwrap(), InstructionSet::g(k));
+        }
+        for k in 1..=5 {
+            assert_eq!(InstructionSet::try_r(k).unwrap(), InstructionSet::r(k));
+        }
+    }
+
+    #[test]
+    fn try_constructors_reject_out_of_range_sets() {
+        for k in [0usize, 8, 100] {
+            assert!(InstructionSet::try_s(k).is_err(), "S{k}");
+            assert!(InstructionSet::try_g(k).is_err(), "G{k}");
+        }
+        let err = InstructionSet::try_r(6).unwrap_err();
+        assert_eq!(err.name, "R6");
+        assert!(err.reason.contains("valid sets are R1..R5"));
+        // The error type is a std error with a useful Display.
+        let dynamic: &dyn std::error::Error = &err;
+        assert!(dynamic.to_string().contains("R6 is not defined"));
     }
 
     #[test]

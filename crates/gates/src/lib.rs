@@ -44,4 +44,4 @@ pub mod instruction_set;
 pub mod standard;
 
 pub use gate_type::GateType;
-pub use instruction_set::{GateSetKind, InstructionSet};
+pub use instruction_set::{GateSetKind, InstructionSet, InvalidInstructionSet};

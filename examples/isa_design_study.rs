@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p bench --example isa_design_study`.
 
-use bench::{evaluate_set, qaoa_suite, qv_suite, Metric, Scale};
+use bench::{compiler_for, evaluate_set, qaoa_suite, qv_suite, Metric, Scale};
 use calibration::CalibrationModel;
 use device::DeviceModel;
 use gates::InstructionSet;
@@ -36,13 +36,14 @@ fn main() {
         InstructionSet::full_fsim(),
     ];
     for set in &sets {
-        let rqv = evaluate_set(&qv, &sycamore, set, &options, shots, seed.child(3));
-        let rqa = evaluate_set(&qaoa, &sycamore, set, &options, shots, seed.child(4));
-        let types = if set.is_continuous() {
-            "inf".to_string()
-        } else {
-            set.gate_types().len().to_string()
-        };
+        // One compiler per set, reused across both suites (shared cache).
+        let compiler =
+            compiler_for(&sycamore, set, &options).expect("valid compiler configuration");
+        let rqv = evaluate_set(&qv, &compiler, shots, seed.child(3)).expect("suite compiles");
+        let rqa = evaluate_set(&qaoa, &compiler, shots, seed.child(4)).expect("suite compiles");
+        let types = set
+            .num_gate_types()
+            .map_or_else(|| "inf".to_string(), |n| n.to_string());
         println!(
             "{:<10} {:>7} {:>10.3} {:>10.3} {:>10.1} {:>14.2e} {:>12.1}",
             set.name(),

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release -p bench --example noise_adaptive_routing`.
 
 use apps::workloads::qv_circuit;
-use compiler::{compile, CompilerOptions};
+use compiler::{Compiler, CompilerOptions};
 use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
@@ -16,9 +16,14 @@ fn main() {
     let options = CompilerOptions::sweep();
 
     println!("Noise-adaptive gate-type selection on Aspen-8 (instruction set R2)\n");
-    // Compile on the automatically selected (best) region, then on a
-    // deliberately different part of the chip, and compare the chosen types.
-    let best = compile(&circuit, &device, &InstructionSet::r(2), &options);
+    // Compile on the automatically selected (best) region, then on
+    // deliberately different parts of the chip, and compare the chosen types.
+    let compiler = Compiler::for_device(device.clone())
+        .instruction_set(InstructionSet::r(2))
+        .options(options.clone())
+        .build()
+        .expect("valid compiler configuration");
+    let best = compiler.compile(&circuit).expect("circuit fits Aspen-8");
     println!(
         "best region {:?}: histogram {:?}, estimated fidelity {:.3}",
         best.region,
@@ -27,16 +32,22 @@ fn main() {
     );
 
     for region in [[8usize, 9, 10], [16, 17, 18], [4, 5, 6]] {
-        let sub = device.subdevice(&region);
-        let routed = compiler::route(&circuit, &sub, &compiler::initial_mapping(&circuit, &sub));
-        let pass = nuop_core::NuOpPass::new(InstructionSet::r(2), options.decompose.clone());
-        let (compiled, stats) = pass.run(&routed.circuit, &sub);
+        // Pin the region by compiling against the carved-out subdevice; each
+        // compiler still reads that region's own calibration data.
+        let sub_compiler = Compiler::for_device(device.subdevice(&region))
+            .instruction_set(InstructionSet::r(2))
+            .options(options.clone())
+            .build()
+            .expect("valid compiler configuration");
+        let compiled = sub_compiler
+            .compile(&circuit)
+            .expect("region hosts circuit");
         println!(
             "region {:?}: histogram {:?}, estimated fidelity {:.3}, {} two-qubit gates",
             region,
-            stats.gate_type_histogram,
-            stats.estimated_circuit_fidelity,
-            compiled.two_qubit_gate_count()
+            compiled.pass_stats.gate_type_histogram,
+            compiled.pass_stats.estimated_circuit_fidelity,
+            compiled.circuit.two_qubit_gate_count()
         );
     }
     println!("\nDifferent regions favour different gate types because the calibrated");

@@ -4,7 +4,7 @@
 //! Run with `cargo run --release -p bench --example quickstart`.
 
 use circuit::{Circuit, Operation};
-use compiler::{compile, CompilerOptions};
+use compiler::{Compiler, CompilerOptions};
 use device::DeviceModel;
 use gates::{standard, GateType, InstructionSet};
 use nuop_core::{decompose_fixed, DecomposeConfig};
@@ -26,8 +26,10 @@ fn main() {
         println!("  with {:<12} -> {} gates", gate.name(), d.layers);
     }
 
-    // 3. Compile a small circuit for Rigetti Aspen-8 with the R2 instruction
-    //    set and simulate it with realistic noise.
+    // 3. Build a reusable compiler for Rigetti Aspen-8 with the R2
+    //    instruction set, compile a small circuit, and simulate it with
+    //    realistic noise. The compiler can be reused for further circuits —
+    //    its decomposition cache persists across calls.
     let mut circuit = Circuit::new(3);
     circuit.push(Operation::h(0));
     circuit.push(Operation::zz(0, 1, 0.3));
@@ -37,13 +39,12 @@ fn main() {
     circuit.push(Operation::rx(2, 0.7));
     circuit.measure_all();
 
-    let device = DeviceModel::aspen8(RngSeed(1));
-    let compiled = compile(
-        &circuit,
-        &device,
-        &InstructionSet::r(2),
-        &CompilerOptions::default(),
-    );
+    let compiler = Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+        .instruction_set(InstructionSet::r(2))
+        .options(CompilerOptions::default())
+        .build()
+        .expect("valid compiler configuration");
+    let compiled = compiler.compile(&circuit).expect("circuit fits Aspen-8");
     println!(
         "\nCompiled onto Aspen-8 qubits {:?}: {} two-qubit gates ({} routing SWAPs before decomposition)",
         compiled.region,
@@ -53,6 +54,17 @@ fn main() {
     println!(
         "Gate-type histogram: {:?}",
         compiled.pass_stats.gate_type_histogram
+    );
+
+    // Compiling the same circuit again is served from the shared cache.
+    let (_, report) = compiler
+        .compile_with_report(&circuit)
+        .expect("circuit fits Aspen-8");
+    println!(
+        "Recompile: {} cache hits, {} misses, {:?} total",
+        report.cache_hits,
+        report.cache_misses,
+        report.total_duration()
     );
 
     let noise = NoiseModel::from_device(&compiled.subdevice);

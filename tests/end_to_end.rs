@@ -1,43 +1,40 @@
 //! End-to-end reproduction smoke tests: miniature versions of the paper's
 //! headline results, checked as inequalities rather than absolute numbers.
 
-use bench::{evaluate_set, qaoa_suite, qv_suite, Scale};
-use calibration::CalibrationModel;
+use bench::{compiler_for, evaluate_set, qaoa_suite, qv_suite, BenchCircuit, Scale, SetResult};
 use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
+
+use calibration::CalibrationModel;
+
+fn evaluate(
+    suite: &[BenchCircuit],
+    device: &DeviceModel,
+    set: &InstructionSet,
+    shots: usize,
+    seed: RngSeed,
+) -> SetResult {
+    let options = Scale::Small.compiler_options();
+    let compiler = compiler_for(device, set, &options).expect("valid compiler configuration");
+    evaluate_set(suite, &compiler, shots, seed).expect("suite compiles")
+}
 
 #[test]
 fn multi_type_sets_match_or_beat_single_type_sets_on_average() {
     // Miniature Fig. 9/10: mean estimated fidelity of a multi-type set is at
     // least that of the best corresponding single-type set.
-    let scale = Scale::Small;
     let device = DeviceModel::sycamore(RngSeed(1));
     let suite = qaoa_suite(3, 3, RngSeed(2));
-    let options = scale.compiler_options();
     let shots = 200;
     let single: Vec<f64> = (1..=4)
         .map(|k| {
-            evaluate_set(
-                &suite,
-                &device,
-                &InstructionSet::s(k),
-                &options,
-                shots,
-                RngSeed(3),
-            )
-            .mean_estimated_fidelity
+            evaluate(&suite, &device, &InstructionSet::s(k), shots, RngSeed(3))
+                .mean_estimated_fidelity
         })
         .collect();
-    let multi = evaluate_set(
-        &suite,
-        &device,
-        &InstructionSet::g(3),
-        &options,
-        shots,
-        RngSeed(3),
-    )
-    .mean_estimated_fidelity;
+    let multi =
+        evaluate(&suite, &device, &InstructionSet::g(3), shots, RngSeed(3)).mean_estimated_fidelity;
     let best_single = single.iter().cloned().fold(f64::MIN, f64::max);
     assert!(
         multi >= best_single - 1e-6,
@@ -49,26 +46,10 @@ fn multi_type_sets_match_or_beat_single_type_sets_on_average() {
 fn native_swap_set_reduces_instruction_count_like_the_paper() {
     // Miniature of the R5/G7 observation: adding a native SWAP reduces the
     // two-qubit instruction count on connectivity-limited devices.
-    let scale = Scale::Small;
     let device = DeviceModel::aspen8(RngSeed(4));
     let suite = qv_suite(4, 2, RngSeed(5));
-    let options = scale.compiler_options();
-    let r4 = evaluate_set(
-        &suite,
-        &device,
-        &InstructionSet::r(4),
-        &options,
-        100,
-        RngSeed(6),
-    );
-    let r5 = evaluate_set(
-        &suite,
-        &device,
-        &InstructionSet::r(5),
-        &options,
-        100,
-        RngSeed(6),
-    );
+    let r4 = evaluate(&suite, &device, &InstructionSet::r(4), 100, RngSeed(6));
+    let r5 = evaluate(&suite, &device, &InstructionSet::r(5), 100, RngSeed(6));
     assert!(
         r5.mean_two_qubit_gates <= r4.mean_two_qubit_gates,
         "R5 {} vs R4 {}",
@@ -90,20 +71,11 @@ fn calibration_saving_is_two_orders_of_magnitude() {
 fn reliability_improves_then_saturates_with_more_gate_types() {
     // Miniature Fig. 11b: estimated fidelity is non-decreasing as gate types
     // are added (G1 ⊂ G2 ⊂ ... ⊂ G7 on the same device).
-    let scale = Scale::Small;
     let device = DeviceModel::sycamore(RngSeed(7));
     let suite = qv_suite(3, 2, RngSeed(8));
-    let options = scale.compiler_options();
     let mut last = 0.0;
     for k in [1usize, 3, 5, 7] {
-        let r = evaluate_set(
-            &suite,
-            &device,
-            &InstructionSet::g(k),
-            &options,
-            100,
-            RngSeed(9),
-        );
+        let r = evaluate(&suite, &device, &InstructionSet::g(k), 100, RngSeed(9));
         assert!(
             r.mean_estimated_fidelity >= last - 1e-6,
             "G{k} {} < previous {last}",

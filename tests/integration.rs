@@ -3,7 +3,7 @@
 
 use apps::workloads::{qaoa_circuit, qft_echo_circuit, qv_circuit};
 use circuit::{Circuit, Operation};
-use compiler::{compile, CompilerOptions};
+use compiler::{CompiledCircuit, Compiler, CompilerOptions};
 use device::DeviceModel;
 use gates::{GateType, InstructionSet};
 use nuop_core::{decompose_fixed, DecomposeConfig};
@@ -13,6 +13,16 @@ use synth::minimal_cnot_count;
 
 fn quick_options() -> CompilerOptions {
     CompilerOptions::sweep()
+}
+
+fn compile(circuit: &Circuit, device: &DeviceModel, set: &InstructionSet) -> CompiledCircuit {
+    Compiler::for_device(device.clone())
+        .instruction_set(set.clone())
+        .options(quick_options())
+        .build()
+        .expect("valid compiler configuration")
+        .compile(circuit)
+        .expect("circuit fits device")
 }
 
 #[test]
@@ -54,7 +64,7 @@ fn decomposed_circuits_reproduce_application_unitaries() {
 fn end_to_end_qaoa_compile_and_simulate_beats_uniform_sampling() {
     let device = DeviceModel::sycamore(RngSeed(3));
     let circuit = qaoa_circuit(4, RngSeed(4));
-    let compiled = compile(&circuit, &device, &InstructionSet::g(3), &quick_options());
+    let compiled = compile(&circuit, &device, &InstructionSet::g(3));
     let noise = NoiseModel::from_device(&compiled.subdevice);
     let counts = NoisySimulator::new(noise).run(&compiled.circuit, 1000, RngSeed(5));
     let logical = compiled.logical_counts(&counts);
@@ -67,7 +77,7 @@ fn end_to_end_qaoa_compile_and_simulate_beats_uniform_sampling() {
 fn qft_echo_on_noiseless_hardware_recovers_the_input_exactly() {
     let device = DeviceModel::aspen8(RngSeed(6));
     let (circuit, expected) = qft_echo_circuit(3, RngSeed(7));
-    let compiled = compile(&circuit, &device, &InstructionSet::r(5), &quick_options());
+    let compiled = compile(&circuit, &device, &InstructionSet::r(5));
     let noiseless = NoiseModel::noiseless(&compiled.subdevice);
     let counts = NoisySimulator::new(noiseless).run(&compiled.circuit, 128, RngSeed(8));
     let logical = compiled.logical_counts(&counts);
@@ -80,9 +90,9 @@ fn qft_echo_on_noiseless_hardware_recovers_the_input_exactly() {
 fn multi_type_sets_never_lose_estimated_fidelity_versus_their_members() {
     let device = DeviceModel::sycamore(RngSeed(9));
     let circuit = qv_circuit(3, RngSeed(10));
-    let g3 = compile(&circuit, &device, &InstructionSet::g(3), &quick_options());
+    let g3 = compile(&circuit, &device, &InstructionSet::g(3));
     for k in 1..=3 {
-        let single = compile(&circuit, &device, &InstructionSet::s(k), &quick_options());
+        let single = compile(&circuit, &device, &InstructionSet::s(k));
         assert!(
             g3.pass_stats.estimated_circuit_fidelity
                 >= single.pass_stats.estimated_circuit_fidelity - 1e-6,
@@ -104,8 +114,8 @@ fn native_swap_reduces_two_qubit_count_on_routing_heavy_circuits() {
         circuit.push(Operation::zz(0, q, 0.3));
     }
     circuit.measure_all();
-    let g6 = compile(&circuit, &device, &InstructionSet::g(6), &quick_options());
-    let g7 = compile(&circuit, &device, &InstructionSet::g(7), &quick_options());
+    let g6 = compile(&circuit, &device, &InstructionSet::g(6));
+    let g7 = compile(&circuit, &device, &InstructionSet::g(7));
     assert!(g7.two_qubit_gate_count() <= g6.two_qubit_gate_count());
 }
 
@@ -130,7 +140,7 @@ fn compiled_circuits_only_use_gates_from_the_instruction_set() {
         InstructionSet::g(2),
         InstructionSet::r(3),
     ] {
-        let compiled = compile(&circuit, &device, &set, &quick_options());
+        let compiled = compile(&circuit, &device, &set);
         let allowed: Vec<&str> = set.gate_types().iter().map(|g| g.name()).collect();
         for (label, _) in compiled.circuit.two_qubit_counts_by_label() {
             assert!(
