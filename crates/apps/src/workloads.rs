@@ -2,7 +2,7 @@
 
 use circuit::{Circuit, Operation, QubitId};
 use gates::standard;
-use qmath::{haar_random_su4, CMatrix, RngSeed};
+use qmath::{haar_random_su4, Mat4, RngSeed};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -188,13 +188,13 @@ pub fn qft_echo_circuit(n: usize, seed: RngSeed) -> (Circuit, usize) {
 // ----- Two-qubit unitary pools for the Fig. 8 expressivity heatmaps -----
 
 /// Haar-random SU(4) matrices: the two-qubit unitaries of QV circuits.
-pub fn qv_unitaries(count: usize, seed: RngSeed) -> Vec<CMatrix> {
+pub fn qv_unitaries(count: usize, seed: RngSeed) -> Vec<Mat4> {
     let mut rng = seed.rng();
     (0..count).map(|_| haar_random_su4(&mut rng)).collect()
 }
 
 /// Random-angle `exp(-iβ Z⊗Z)` matrices: the two-qubit unitaries of QAOA circuits.
-pub fn qaoa_unitaries(count: usize, seed: RngSeed) -> Vec<CMatrix> {
+pub fn qaoa_unitaries(count: usize, seed: RngSeed) -> Vec<Mat4> {
     let mut rng = seed.rng();
     (0..count)
         .map(|_| standard::zz_interaction(rng.gen_range(0.05..std::f64::consts::FRAC_PI_2)))
@@ -202,7 +202,7 @@ pub fn qaoa_unitaries(count: usize, seed: RngSeed) -> Vec<CMatrix> {
 }
 
 /// The distinct controlled-phase unitaries `CZ(π/2^t)` of an `n`-qubit QFT.
-pub fn qft_unitaries(n: usize) -> Vec<CMatrix> {
+pub fn qft_unitaries(n: usize) -> Vec<Mat4> {
     (1..n)
         .map(|t| standard::cphase(std::f64::consts::PI / f64::from(1u32 << t as u32)))
         .collect()
@@ -210,7 +210,7 @@ pub fn qft_unitaries(n: usize) -> Vec<CMatrix> {
 
 /// Hopping (`½(XX+YY)`) and interaction (`ZZ`) unitaries of Fermi–Hubbard
 /// circuits, with angles sampled over the physically relevant range.
-pub fn fh_unitaries(count: usize, seed: RngSeed) -> Vec<CMatrix> {
+pub fn fh_unitaries(count: usize, seed: RngSeed) -> Vec<Mat4> {
     let mut rng = seed.rng();
     (0..count)
         .map(|i| {
@@ -224,12 +224,12 @@ pub fn fh_unitaries(count: usize, seed: RngSeed) -> Vec<CMatrix> {
 }
 
 /// The SWAP unitary (routing primitive, Fig. 8e).
-pub fn swap_unitary() -> CMatrix {
+pub fn swap_unitary() -> Mat4 {
     standard::swap()
 }
 
 /// A pool of two-qubit unitaries for a workload, used by the Fig. 8 sweep.
-pub fn unitary_pool(workload: Workload, count: usize, seed: RngSeed) -> Vec<CMatrix> {
+pub fn unitary_pool(workload: Workload, count: usize, seed: RngSeed) -> Vec<Mat4> {
     match workload {
         Workload::QuantumVolume => qv_unitaries(count, seed),
         Workload::Qaoa => qaoa_unitaries(count, seed),
@@ -342,7 +342,7 @@ mod tests {
             let pool = unitary_pool(w, 5, RngSeed(11));
             assert!(!pool.is_empty(), "{}", w.name());
             for u in &pool {
-                assert_eq!(u.rows(), 4);
+                assert_eq!(u.dim(), 4);
                 assert!(u.is_unitary(1e-9), "{}", w.name());
             }
         }

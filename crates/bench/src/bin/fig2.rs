@@ -3,9 +3,9 @@
 
 use gates::{standard, GateType};
 use nuop_core::{decompose_fixed, DecomposeConfig};
-use qmath::{haar_random_su4, hilbert_schmidt_fidelity, RngSeed};
+use qmath::{haar_random_su4, hilbert_schmidt_fidelity, Mat4, RngSeed};
 
-fn report(title: &str, target: &qmath::CMatrix, gate: &GateType, cfg: &DecomposeConfig) {
+fn report(title: &str, target: &Mat4, gate: &GateType, cfg: &DecomposeConfig) {
     let d = decompose_fixed(target, gate, cfg);
     let realized = d.realized_unitary();
     println!(

@@ -6,11 +6,11 @@ use apps::workloads::{qaoa_unitaries, qft_unitaries, qv_unitaries};
 use bench::Scale;
 use gates::GateType;
 use nuop_core::{decompose_approx, decompose_fixed, DecomposeConfig};
-use qmath::{CMatrix, RngSeed};
+use qmath::{Mat4, RngSeed};
 use synth::{cirq_gate_count, CirqTargetGate};
 
 fn mean_counts(
-    unitaries: &[CMatrix],
+    unitaries: &[Mat4],
     gate: &GateType,
     cirq_gate: CirqTargetGate,
     cfg: &DecomposeConfig,
@@ -48,7 +48,7 @@ fn main() {
     };
     let seed = RngSeed(0xF6);
 
-    let mut pool: Vec<CMatrix> = Vec::new();
+    let mut pool: Vec<Mat4> = Vec::new();
     pool.extend(qv_unitaries(per_app, seed.child(1)));
     pool.extend(qaoa_unitaries(per_app, seed.child(2)));
     pool.extend(qft_unitaries(6).into_iter().take(per_app));

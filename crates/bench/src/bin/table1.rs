@@ -4,7 +4,7 @@
 use gates::fsim::{fsim, xy};
 use gates::GateType;
 
-fn print_gate(name: &str, m: &qmath::CMatrix) {
+fn print_gate(name: &str, m: &qmath::Mat4) {
     println!("\n{name}:");
     for r in 0..4 {
         let row: Vec<String> = (0..4)

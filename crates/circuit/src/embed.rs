@@ -4,7 +4,7 @@
 //! significant bit of a basis-state index. A basis index `b` of an `n`-qubit
 //! register therefore decomposes as `b = q0 q1 … q_{n-1}` in binary.
 
-use qmath::{CMatrix, Complex};
+use qmath::{CMatrix, Complex, MatRef};
 
 use crate::ops::QubitId;
 
@@ -25,16 +25,17 @@ pub(crate) fn with_bit(idx: usize, qubit: QubitId, n: usize, value: usize) -> us
 ///
 /// # Panics
 /// Panics if `qubit >= n` or the matrix is not 2×2.
-pub fn embed_one_qubit(gate: &CMatrix, qubit: QubitId, n: usize) -> CMatrix {
+pub fn embed_one_qubit<M: MatRef + ?Sized>(gate: &M, qubit: QubitId, n: usize) -> CMatrix {
     assert!(qubit < n, "qubit index out of range");
-    assert_eq!(gate.rows(), 2, "expected a 2x2 matrix");
+    assert_eq!(gate.nrows(), 2, "expected a 2x2 matrix");
+    assert_eq!(gate.ncols(), 2, "expected a 2x2 matrix");
     let dim = 1usize << n;
     let mut out = CMatrix::zeros(dim, dim);
     for col in 0..dim {
         let cb = bit_of(col, qubit, n);
         for rb in 0..2 {
             let row = with_bit(col, qubit, n, rb);
-            let amp = gate[(rb, cb)];
+            let amp = gate.at(rb, cb);
             if amp != Complex::ZERO {
                 out[(row, col)] += amp;
             }
@@ -48,16 +49,22 @@ pub fn embed_one_qubit(gate: &CMatrix, qubit: QubitId, n: usize) -> CMatrix {
 ///
 /// # Panics
 /// Panics if the qubit indices are out of range or equal, or the matrix is not 4×4.
-pub fn embed_two_qubit(gate: &CMatrix, q0: QubitId, q1: QubitId, n: usize) -> CMatrix {
+pub fn embed_two_qubit<M: MatRef + ?Sized>(
+    gate: &M,
+    q0: QubitId,
+    q1: QubitId,
+    n: usize,
+) -> CMatrix {
     assert!(q0 < n && q1 < n, "qubit index out of range");
     assert_ne!(q0, q1, "two-qubit gate requires distinct qubits");
-    assert_eq!(gate.rows(), 4, "expected a 4x4 matrix");
+    assert_eq!(gate.nrows(), 4, "expected a 4x4 matrix");
+    assert_eq!(gate.ncols(), 4, "expected a 4x4 matrix");
     let dim = 1usize << n;
     let mut out = CMatrix::zeros(dim, dim);
     for col in 0..dim {
         let cb = (bit_of(col, q0, n) << 1) | bit_of(col, q1, n);
         for rb in 0..4 {
-            let amp = gate[(rb, cb)];
+            let amp = gate.at(rb, cb);
             if amp == Complex::ZERO {
                 continue;
             }
@@ -88,7 +95,7 @@ mod tests {
 
     #[test]
     fn one_qubit_embedding_matches_kron() {
-        let x = standard::x();
+        let x = CMatrix::from(standard::x());
         let id = CMatrix::identity(2);
         // X on qubit 0 of 2: X ⊗ I
         assert!(embed_one_qubit(&x, 0, 2).approx_eq(&x.kron(&id), 1e-12));
@@ -101,7 +108,7 @@ mod tests {
 
     #[test]
     fn two_qubit_embedding_on_adjacent_pair_matches_kron() {
-        let cz = standard::cz();
+        let cz = CMatrix::from(standard::cz());
         let id = CMatrix::identity(2);
         // CZ on (0,1) of 3 qubits: CZ ⊗ I
         assert!(embed_two_qubit(&cz, 0, 1, 3).approx_eq(&cz.kron(&id), 1e-12));
@@ -116,7 +123,7 @@ mod tests {
         let cnot = standard::cnot();
         let rev = embed_two_qubit(&cnot, 1, 0, 2);
         let hh = standard::h().kron(&standard::h());
-        let expect = &(&hh * &cnot) * &hh;
+        let expect = hh * cnot * hh;
         assert!(rev.approx_eq(&expect, 1e-12));
     }
 

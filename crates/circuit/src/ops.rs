@@ -69,23 +69,30 @@ impl Operation {
         Operation { kind, qubits }
     }
 
-    /// A labelled single-qubit unitary.
-    pub fn unitary1q(label: impl Into<String>, matrix: CMatrix, q: QubitId) -> Self {
+    /// A labelled single-qubit unitary. Accepts either matrix representation
+    /// (`CMatrix` or the stack-allocated `Mat2`).
+    pub fn unitary1q(label: impl Into<String>, matrix: impl Into<CMatrix>, q: QubitId) -> Self {
         Operation::new(
             OpKind::Unitary1Q {
                 label: label.into(),
-                matrix,
+                matrix: matrix.into(),
             },
             vec![q],
         )
     }
 
-    /// A labelled two-qubit unitary.
-    pub fn unitary2q(label: impl Into<String>, matrix: CMatrix, q0: QubitId, q1: QubitId) -> Self {
+    /// A labelled two-qubit unitary. Accepts either matrix representation
+    /// (`CMatrix` or the stack-allocated `Mat4`).
+    pub fn unitary2q(
+        label: impl Into<String>,
+        matrix: impl Into<CMatrix>,
+        q0: QubitId,
+        q1: QubitId,
+    ) -> Self {
         Operation::new(
             OpKind::Unitary2Q {
                 label: label.into(),
-                matrix,
+                matrix: matrix.into(),
             },
             vec![q0, q1],
         )
@@ -93,7 +100,7 @@ impl Operation {
 
     /// A two-qubit operation from a named hardware [`GateType`].
     pub fn from_gate_type(gate: &GateType, q0: QubitId, q1: QubitId) -> Self {
-        Operation::unitary2q(gate.name(), gate.unitary().clone(), q0, q1)
+        Operation::unitary2q(gate.name(), *gate.unitary(), q0, q1)
     }
 
     /// Arbitrary single-qubit rotation `U3(α, β, λ)`.

@@ -49,9 +49,8 @@
 //! Custom stages implement the [`Pass`] trait and are installed with
 //! [`CompilerBuilder::passes`]; [`Compiler::compile_with_report`] returns a
 //! [`CompileReport`] with per-stage wall-clock timings and cache traffic.
-//!
-//! The legacy free function [`pipeline::compile`] survives as a deprecated
-//! shim that builds a throwaway `Compiler` (cold cache) per call.
+//! Long-running services should bound the decomposition cache with
+//! [`CompilerBuilder::cache_capacity`].
 
 #![warn(missing_docs)]
 
@@ -69,8 +68,6 @@ pub use pass::{
     default_passes, CompileIr, CompileReport, InitialMap, NuOpDecompose, Pass, PassContext,
     RegionSelect, StageTiming, SwapRoute,
 };
-#[allow(deprecated)]
-pub use pipeline::compile;
 pub use pipeline::{CompiledCircuit, CompilerOptions};
 pub use region::{select_region, try_select_region};
 pub use routing::{logical_outcome_for, route, try_route, RoutedCircuit};

@@ -1,19 +1,16 @@
-//! Compilation options, the compiled-circuit artifact and the legacy
-//! free-function entry point.
+//! Compilation options and the compiled-circuit artifact.
 //!
-//! New code should use the [`crate::Compiler`] service, which reuses a shared
-//! decomposition cache across compiles and returns typed errors instead of
-//! panicking.
+//! Compilation itself goes through the [`crate::Compiler`] service, which
+//! reuses a shared decomposition cache across compiles and returns typed
+//! errors instead of panicking.
 
 use circuit::{Circuit, QubitId};
 use device::DeviceModel;
-use gates::InstructionSet;
 use nuop_core::{DecomposeConfig, PassStats};
 use serde::{Deserialize, Serialize};
 use sim::Counts;
 
 use crate::routing::logical_outcome_for;
-use crate::service::Compiler;
 
 /// Options controlling compilation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,41 +95,12 @@ impl CompiledCircuit {
     }
 }
 
-/// Compiles an application circuit for a device and instruction set.
-///
-/// Stages: region selection → initial mapping → SWAP routing → NuOp
-/// decomposition (noise-adaptive across the instruction set's gate types).
-///
-/// This legacy entry point builds a throwaway [`Compiler`] per call, so the
-/// decomposition cache is cold every time. Long-running callers and sweeps
-/// should build a [`Compiler`] once and reuse it.
-///
-/// # Panics
-/// Panics if the device cannot host the circuit (fewer qubits than needed or
-/// no connected region of the right size).
-#[deprecated(
-    since = "0.1.0",
-    note = "build a reusable `compiler::Compiler` instead; it shares the \
-            decomposition cache across calls and returns typed errors"
-)]
-pub fn compile(
-    circuit: &Circuit,
-    device: &DeviceModel,
-    instruction_set: &InstructionSet,
-    options: &CompilerOptions,
-) -> CompiledCircuit {
-    Compiler::for_device(device.clone())
-        .instruction_set(instruction_set.clone())
-        .options(options.clone())
-        .build()
-        .and_then(|compiler| compiler.compile(circuit))
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::Compiler;
     use apps::workloads::{qaoa_circuit, qft_echo_circuit, qv_circuit};
+    use gates::InstructionSet;
     use qmath::RngSeed;
     use sim::{IdealSimulator, NoiseModel, NoisySimulator};
 
@@ -173,18 +141,6 @@ mod tests {
         for (label, _) in compiled.circuit.two_qubit_counts_by_label() {
             assert_eq!(label, "CZ");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_compile_shim_matches_the_service() {
-        let device = DeviceModel::aspen8(RngSeed(1));
-        let circ = qv_circuit(3, RngSeed(2));
-        let via_shim = compile(&circ, &device, &InstructionSet::s(3), &quick_options());
-        let via_service = compiled_with(&circ, &device, InstructionSet::s(3));
-        assert_eq!(via_shim.circuit, via_service.circuit);
-        assert_eq!(via_shim.region, via_service.region);
-        assert_eq!(via_shim.swap_count, via_service.swap_count);
     }
 
     #[test]

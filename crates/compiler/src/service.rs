@@ -66,6 +66,7 @@ impl Compiler {
             instruction_set_name: None,
             options: CompilerOptions::default(),
             cache: None,
+            cache_capacity: None,
             passes: None,
         }
     }
@@ -212,6 +213,7 @@ pub struct CompilerBuilder {
     instruction_set_name: Option<String>,
     options: CompilerOptions,
     cache: Option<Arc<DecompositionCache>>,
+    cache_capacity: Option<usize>,
     passes: Option<Vec<Box<dyn Pass>>>,
 }
 
@@ -246,6 +248,18 @@ impl CompilerBuilder {
         self
     }
 
+    /// Bounds the compiler's private decomposition cache to roughly
+    /// `capacity` entries with FIFO per-shard eviction — the right setting
+    /// for long-running compile services, where the default unbounded cache
+    /// would grow with every distinct unitary ever compiled.
+    ///
+    /// Ignored when [`CompilerBuilder::shared_cache`] supplies an external
+    /// cache: the owner of a shared cache decides its bound.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
     /// Replaces the default four-stage pipeline with a custom one.
     pub fn passes(mut self, passes: Vec<Box<dyn Pass>>) -> Self {
         self.passes = Some(passes);
@@ -270,12 +284,17 @@ impl CompilerBuilder {
                 .into())
             }
         };
+        let cache = match (self.cache, self.cache_capacity) {
+            (Some(shared), _) => shared,
+            (None, Some(capacity)) => Arc::new(DecompositionCache::with_capacity(capacity)),
+            (None, None) => Arc::default(),
+        };
         Ok(Compiler {
             device: self.device,
             instruction_set,
             options: self.options,
             passes: self.passes.unwrap_or_else(default_passes),
-            cache: self.cache.unwrap_or_default(),
+            cache,
         })
     }
 }
@@ -439,6 +458,42 @@ mod tests {
             Err(CompileError::RegionUnavailable { .. })
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn cache_capacity_bounds_the_private_cache() {
+        let compiler = Compiler::for_device(DeviceModel::ideal(3, 0.99))
+            .instruction_set(InstructionSet::s(3))
+            .options(quick_options())
+            .cache_capacity(32)
+            .build()
+            .unwrap();
+        assert_eq!(compiler.cache().capacity(), Some(32));
+
+        // A shared cache wins over a capacity request: its owner set the bound.
+        let shared = Arc::new(DecompositionCache::new());
+        let compiler = Compiler::for_device(DeviceModel::ideal(3, 0.99))
+            .instruction_set(InstructionSet::s(3))
+            .shared_cache(Arc::clone(&shared))
+            .cache_capacity(32)
+            .build()
+            .unwrap();
+        assert_eq!(compiler.cache().capacity(), None);
+    }
+
+    #[test]
+    fn bounded_compiler_still_compiles_and_reuses_its_cache() {
+        let compiler = Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+            .instruction_set(InstructionSet::r(2))
+            .options(quick_options())
+            .cache_capacity(256)
+            .build()
+            .unwrap();
+        let circuit = qaoa_circuit(3, RngSeed(3));
+        let (_, first) = compiler.compile_with_report(&circuit).unwrap();
+        assert!(first.cache_misses > 0);
+        let (_, second) = compiler.compile_with_report(&circuit).unwrap();
+        assert_eq!(second.cache_misses, 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   mutex.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex as StdMutex};
@@ -27,7 +27,7 @@ use std::sync::{Condvar, Mutex as StdMutex};
 use circuit::QubitId;
 use gates::{GateSetKind, InstructionSet};
 use parking_lot::Mutex;
-use qmath::CMatrix;
+use qmath::MatRef;
 
 use crate::decompose::{DecomposeConfig, Decomposition};
 use crate::pass::HardwareFidelityProvider;
@@ -85,17 +85,24 @@ pub struct CacheKey {
 impl CacheKey {
     /// Builds the key for decomposing `target` on the physical pair
     /// `(q0, q1)` under `set` with `config`, with fidelities supplied by
-    /// `provider`.
-    pub fn new(
-        target: &CMatrix,
+    /// `provider`. Accepts either matrix representation (`CMatrix` from a
+    /// circuit operation, `Mat4` from the synthesis path).
+    ///
+    /// # Panics
+    /// Panics if `target` is not 4×4.
+    pub fn new<M: MatRef + ?Sized>(
+        target: &M,
         set: &InstructionSet,
         q0: QubitId,
         q1: QubitId,
         provider: &dyn HardwareFidelityProvider,
         config: &DecomposeConfig,
     ) -> CacheKey {
+        assert_eq!(target.nrows(), 4, "cache keys are built for 4x4 targets");
+        assert_eq!(target.ncols(), 4, "cache keys are built for 4x4 targets");
         let mut matrix_bits = [0u64; 32];
-        for (i, z) in target.as_slice().iter().take(16).enumerate() {
+        for i in 0..16 {
+            let z = target.at(i / 4, i % 4);
             matrix_bits[2 * i] = quantize(z.re, MATRIX_QUANTUM);
             matrix_bits[2 * i + 1] = quantize(z.im, MATRIX_QUANTUM);
         }
@@ -132,13 +139,30 @@ impl CacheKey {
 /// A cached decomposition: the result plus the chosen gate-type label.
 pub type CachedDecomposition = (Decomposition, String);
 
+/// One independently locked shard: the memo map plus FIFO insertion order for
+/// eviction when the cache is capacity-bounded.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, CachedDecomposition>,
+    /// Insertion order; only maintained when a capacity bound is set.
+    order: VecDeque<CacheKey>,
+}
+
 /// A sharded, thread-safe memo of two-qubit decompositions.
 ///
 /// Cheap to share: wrap it in an [`std::sync::Arc`] and hand clones to every
 /// pass that should reuse results. Hit/miss counters are global to the cache
 /// and monotonically increasing.
+///
+/// By default the cache grows without bound — fine for one-shot experiment
+/// sweeps, wrong for long-running compile services. Build with
+/// [`DecompositionCache::with_capacity`] (or
+/// `compiler`'s `CompilerBuilder::cache_capacity`) to cap the entry count;
+/// when a shard is full, its oldest entry is evicted first-in-first-out.
 pub struct DecompositionCache {
-    shards: Vec<Mutex<HashMap<CacheKey, CachedDecomposition>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry cap; `None` means unbounded.
+    per_shard_capacity: Option<usize>,
     /// Keys currently being computed by some thread; used by
     /// [`DecompositionCache::get_or_insert_with`] so concurrent workers that
     /// miss on the same key wait for one computation instead of racing to
@@ -147,6 +171,7 @@ pub struct DecompositionCache {
     in_flight_done: Condvar,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl Default for DecompositionCache {
@@ -165,11 +190,33 @@ impl DecompositionCache {
     pub fn with_shards(shards: usize) -> Self {
         DecompositionCache {
             shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            per_shard_capacity: None,
             in_flight: StdMutex::new(HashSet::new()),
             in_flight_done: Condvar::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
+    }
+
+    /// Creates a capacity-bounded cache with [`DEFAULT_SHARDS`] shards. The
+    /// bound is enforced per shard at `ceil(capacity / shards)` entries
+    /// (minimum one), so the effective total — reported by
+    /// [`DecompositionCache::capacity`] — can exceed `capacity` by up to
+    /// `shards - 1` entries. When a shard is full its oldest entry is
+    /// evicted FIFO — a deliberately simple policy: decomposition keys
+    /// repeat within a workload sweep, so recency tracking buys little over
+    /// insertion order.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DecompositionCache::with_capacity_and_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a capacity-bounded cache with an explicit shard count.
+    pub fn with_capacity_and_shards(capacity: usize, shards: usize) -> Self {
+        let mut cache = DecompositionCache::with_shards(shards);
+        let per_shard = capacity.div_ceil(cache.shards.len()).max(1);
+        cache.per_shard_capacity = Some(per_shard);
+        cache
     }
 
     /// Number of shards.
@@ -177,9 +224,16 @@ impl DecompositionCache {
         self.shards.len()
     }
 
+    /// Total entry capacity (`None` = unbounded). The bound is enforced per
+    /// shard, so the effective total is `per-shard bound × num_shards()`.
+    pub fn capacity(&self) -> Option<usize> {
+        self.per_shard_capacity.map(|c| c * self.shards.len())
+    }
+
     fn peek(&self, key: &CacheKey) -> Option<CachedDecomposition> {
         self.shards[key.shard_index(self.shards.len())]
             .lock()
+            .map
             .get(key)
             .cloned()
     }
@@ -266,21 +320,32 @@ impl DecompositionCache {
         (entry, false)
     }
 
-    /// Stores a decomposition.
+    /// Stores a decomposition, evicting the shard's oldest entry first when a
+    /// capacity bound is set and the shard is full.
     pub fn insert(&self, key: CacheKey, value: CachedDecomposition) {
-        self.shards[key.shard_index(self.shards.len())]
-            .lock()
-            .insert(key, value);
+        let mut shard = self.shards[key.shard_index(self.shards.len())].lock();
+        if let Some(cap) = self.per_shard_capacity {
+            if shard.map.insert(key.clone(), value).is_none() {
+                shard.order.push_back(key);
+                while shard.map.len() > cap {
+                    let oldest = shard.order.pop_front().expect("order tracks map");
+                    shard.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            shard.map.insert(key, value);
+        }
     }
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when no shard holds any entry.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.lock().map.is_empty())
     }
 
     /// Lifetime lookup hits.
@@ -293,10 +358,17 @@ impl DecompositionCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Lifetime capacity evictions.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().clear();
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.order.clear();
         }
     }
 }
@@ -305,9 +377,11 @@ impl std::fmt::Debug for DecompositionCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DecompositionCache")
             .field("shards", &self.num_shards())
+            .field("capacity", &self.capacity())
             .field("len", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -460,7 +534,11 @@ mod tests {
             cache.insert(sample_key(seed, 0.99), dummy_entry());
         }
         assert_eq!(cache.len(), 64);
-        let populated = cache.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().map.is_empty())
+            .count();
         assert!(populated > 1, "only {populated} shard(s) populated");
     }
 
@@ -468,5 +546,57 @@ mod tests {
     fn zero_shard_request_clamps_to_one() {
         let cache = DecompositionCache::with_shards(0);
         assert_eq!(cache.num_shards(), 1);
+        assert_eq!(cache.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_per_shard() {
+        // One shard makes the FIFO order deterministic.
+        let cache = DecompositionCache::with_capacity_and_shards(4, 1);
+        assert_eq!(cache.capacity(), Some(4));
+        let keys: Vec<CacheKey> = (0..6).map(|i| sample_key(i, 0.99)).collect();
+        for key in &keys {
+            cache.insert(key.clone(), dummy_entry());
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 2);
+        // The two oldest keys were evicted; the four newest survive.
+        assert!(cache.get(&keys[0]).is_none());
+        assert!(cache.get(&keys[1]).is_none());
+        for key in &keys[2..] {
+            assert!(cache.get(key).is_some());
+        }
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = DecompositionCache::with_capacity_and_shards(2, 1);
+        let a = sample_key(1, 0.99);
+        let b = sample_key(2, 0.99);
+        cache.insert(a.clone(), dummy_entry());
+        cache.insert(b.clone(), dummy_entry());
+        cache.insert(a.clone(), dummy_entry());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_still_memoizes_through_get_or_insert_with() {
+        let cache = DecompositionCache::with_capacity(64);
+        let key = sample_key(3, 0.99);
+        let (_, hit) = cache.get_or_insert_with(&key, dummy_entry);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_insert_with(&key, || panic!("must not recompute"));
+        assert!(hit);
+    }
+
+    #[test]
+    fn tiny_capacity_is_clamped_to_one_entry_per_shard() {
+        let cache = DecompositionCache::with_capacity_and_shards(0, 4);
+        assert_eq!(cache.capacity(), Some(4));
+        cache.insert(sample_key(1, 0.99), dummy_entry());
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -5,7 +5,7 @@ use circuit::{Circuit, Operation, QubitId};
 use gates::fsim::ContinuousFamily;
 use gates::GateType;
 use optim::{multistart_minimize, BfgsOptions, MultistartOptions};
-use qmath::{hilbert_schmidt_fidelity, CMatrix, RngSeed};
+use qmath::{hilbert_schmidt_fidelity, Mat4, RngSeed};
 use serde::{Deserialize, Serialize};
 
 use crate::template::Template;
@@ -83,7 +83,7 @@ pub struct Decomposition {
 
 impl Decomposition {
     /// The 4×4 unitary realized by the optimized template.
-    pub fn realized_unitary(&self) -> CMatrix {
+    pub fn realized_unitary(&self) -> Mat4 {
         self.template.unitary(&self.params)
     }
 
@@ -131,10 +131,12 @@ impl Decomposition {
 /// Optimizes a template against a target and returns `(params, F_d)`.
 fn optimize_template(
     template: &Template,
-    target: &CMatrix,
+    target: &Mat4,
     config: &DecomposeConfig,
     stream: u64,
 ) -> (Vec<f64>, f64) {
+    // The objective is allocation-free: `Template::unitary` builds the 4×4
+    // on the stack and the fidelity reduces it to a scalar in place.
     let objective =
         |params: &[f64]| 1.0 - hilbert_schmidt_fidelity(&template.unitary(params), target);
     let n = template.parameter_count();
@@ -158,19 +160,10 @@ fn optimize_template(
 /// `config.fidelity_threshold` is returned. If no layer count up to
 /// `config.max_layers` reaches the threshold, the best attempt found is
 /// returned (its `decomposition_fidelity` tells the caller how close it got).
-pub fn decompose_fixed(
-    target: &CMatrix,
-    gate: &GateType,
-    config: &DecomposeConfig,
-) -> Decomposition {
-    assert_eq!(
-        target.rows(),
-        4,
-        "NuOp decomposes two-qubit (4x4) unitaries"
-    );
+pub fn decompose_fixed(target: &Mat4, gate: &GateType, config: &DecomposeConfig) -> Decomposition {
     let mut best: Option<Decomposition> = None;
     for layers in 0..=config.max_layers {
-        let template = Template::fixed(gate.unitary().clone(), layers);
+        let template = Template::fixed(*gate.unitary(), layers);
         let (params, fd) = optimize_template(&template, target, config, layers as u64);
         let candidate = Decomposition {
             template,
@@ -202,16 +195,11 @@ pub fn decompose_fixed(
 /// `F_u = F_d(i) · F_h(i)` over layer counts `i`, where
 /// `F_h(i) = two_qubit_fidelity^i · one_qubit_fidelity^(2(i+1))`.
 pub fn decompose_approx(
-    target: &CMatrix,
+    target: &Mat4,
     gate: &GateType,
     two_qubit_fidelity: f64,
     config: &DecomposeConfig,
 ) -> Decomposition {
-    assert_eq!(
-        target.rows(),
-        4,
-        "NuOp decomposes two-qubit (4x4) unitaries"
-    );
     assert!(
         (0.0..=1.0).contains(&two_qubit_fidelity),
         "hardware fidelity must lie in [0, 1]"
@@ -230,7 +218,7 @@ pub fn decompose_approx(
                 break;
             }
         }
-        let template = Template::fixed(gate.unitary().clone(), layers);
+        let template = Template::fixed(*gate.unitary(), layers);
         let (params, fd) = optimize_template(&template, target, config, 100 + layers as u64);
         let candidate = Decomposition {
             template,
@@ -256,15 +244,10 @@ pub fn decompose_approx(
 /// per-layer family angles are optimization variables alongside the
 /// single-qubit angles (paper §V.A, last paragraph).
 pub fn decompose_continuous(
-    target: &CMatrix,
+    target: &Mat4,
     family: ContinuousFamily,
     config: &DecomposeConfig,
 ) -> Decomposition {
-    assert_eq!(
-        target.rows(),
-        4,
-        "NuOp decomposes two-qubit (4x4) unitaries"
-    );
     let mut best: Option<Decomposition> = None;
     for layers in 0..=config.max_layers {
         let template = Template::family(family, layers);
@@ -308,7 +291,7 @@ mod tests {
 
     #[test]
     fn identity_needs_zero_layers() {
-        let d = decompose_fixed(&CMatrix::identity(4), &GateType::cz(), &quick_config());
+        let d = decompose_fixed(&Mat4::identity(), &GateType::cz(), &quick_config());
         assert_eq!(d.layers, 0);
         assert!(d.decomposition_fidelity > 0.99999);
     }
@@ -430,8 +413,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "4x4")]
-    fn non_two_qubit_target_panics() {
-        let _ = decompose_fixed(&CMatrix::identity(2), &GateType::cz(), &quick_config());
+    fn non_two_qubit_targets_are_rejected_at_the_conversion_boundary() {
+        // The 4×4 shape is now enforced by the type system: a wrong-sized
+        // CMatrix fails to convert instead of panicking inside the optimizer.
+        let err = Mat4::try_from(&qmath::CMatrix::identity(2)).unwrap_err();
+        assert_eq!(err.expected, 4);
     }
 }

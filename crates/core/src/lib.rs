@@ -33,6 +33,7 @@
 //! use qmath::{haar_random_su4, RngSeed};
 //!
 //! let mut rng = RngSeed(7).rng();
+//! // The sampled Mat4 is stack-allocated, like the whole decomposition path.
 //! let target = haar_random_su4(&mut rng);
 //! let result = decompose_fixed(&target, &GateType::cz(), &DecomposeConfig::default());
 //! // Any SU(4) needs at most 3 CZ layers.

@@ -8,7 +8,7 @@
 //! key benefit of multi-type instruction sets.
 
 use gates::GateType;
-use qmath::CMatrix;
+use qmath::Mat4;
 use serde::{Deserialize, Serialize};
 
 use crate::decompose::{decompose_approx, DecomposeConfig, Decomposition};
@@ -55,7 +55,7 @@ pub struct GateChoice {
 /// # Panics
 /// Panics if `candidates` is empty.
 pub fn decompose_with_gate_choice(
-    target: &CMatrix,
+    target: &Mat4,
     candidates: &[HardwareGate],
     config: &DecomposeConfig,
 ) -> GateChoice {

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use circuit::{Circuit, OpKind, Operation, QubitId};
 use gates::{GateSetKind, InstructionSet};
 use parking_lot::Mutex;
-use qmath::CMatrix;
+use qmath::{CMatrix, Mat4};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheKey, DecompositionCache};
@@ -161,7 +161,9 @@ impl NuOpPass {
         (d, g, hit)
     }
 
-    /// The actual numerical optimization behind a cache miss.
+    /// The actual numerical optimization behind a cache miss. The heap-held
+    /// operation matrix is converted to the stack representation exactly once
+    /// here, before the optimizer's inner loop runs.
     fn decompose_uncached(
         &self,
         target: &CMatrix,
@@ -169,6 +171,7 @@ impl NuOpPass {
         q1: QubitId,
         provider: &dyn HardwareFidelityProvider,
     ) -> (Decomposition, String) {
+        let target = &Mat4::try_from(target).expect("two-qubit operations carry a 4x4 matrix");
         match self.instruction_set.kind() {
             GateSetKind::Discrete(types) => {
                 let candidates: Vec<HardwareGate> = types
@@ -489,6 +492,6 @@ mod tests {
         let (_, stats) = pass.run(&circ, &UniformFidelity(0.999));
         assert_eq!(stats.gate_type_histogram.get("CZ"), Some(&1));
         let unused = standard::swap();
-        assert_eq!(unused.rows(), 4);
+        assert_eq!(unused.dim(), 4);
     }
 }

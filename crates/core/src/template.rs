@@ -15,14 +15,18 @@
 
 use gates::fsim::ContinuousFamily;
 use gates::standard::u3;
-use qmath::CMatrix;
+use qmath::Mat4;
 use serde::{Deserialize, Serialize};
 
 /// The two-qubit gate placed in each template layer.
+// The Fixed variant inlines a 4×4 matrix (256 bytes) by design: templates are
+// long-lived while their unitary is read in the optimizer inner loop, so the
+// variant-size imbalance against the tiny Family tag is a deliberate trade.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TemplateGate {
-    /// A fixed hardware gate type with a constant unitary.
-    Fixed(CMatrix),
+    /// A fixed hardware gate type with a constant (stack-allocated) unitary.
+    Fixed(Mat4),
     /// A continuous family whose per-layer angles are optimization variables.
     Family(ContinuousFamily),
 }
@@ -36,11 +40,7 @@ pub struct Template {
 
 impl Template {
     /// Creates a template with `layers` applications of the fixed 4×4 `gate`.
-    ///
-    /// # Panics
-    /// Panics if the matrix is not 4×4.
-    pub fn fixed(gate: CMatrix, layers: usize) -> Self {
-        assert_eq!(gate.rows(), 4, "template gate must be a two-qubit unitary");
+    pub fn fixed(gate: Mat4, layers: usize) -> Self {
         Template {
             gate: TemplateGate::Fixed(gate),
             layers,
@@ -92,7 +92,11 @@ impl Template {
     ///
     /// # Panics
     /// Panics if `params.len() != self.parameter_count()`.
-    pub fn unitary(&self, params: &[f64]) -> CMatrix {
+    ///
+    /// This is the inner kernel of the BFGS objective: everything is
+    /// stack-allocated ([`Mat4`] is `Copy`), so one evaluation performs zero
+    /// heap allocations.
+    pub fn unitary(&self, params: &[f64]) -> Mat4 {
         assert_eq!(
             params.len(),
             self.parameter_count(),
@@ -100,7 +104,7 @@ impl Template {
             self.parameter_count()
         );
         let (sq, fam) = params.split_at(self.single_qubit_parameter_count());
-        let layer_1q = |k: usize| -> CMatrix {
+        let layer_1q = |k: usize| -> Mat4 {
             let base = 6 * k;
             let a = u3(sq[base], sq[base + 1], sq[base + 2]);
             let b = u3(sq[base + 3], sq[base + 4], sq[base + 5]);
@@ -109,14 +113,14 @@ impl Template {
         let mut u = layer_1q(0);
         for layer in 0..self.layers {
             let two_q = match &self.gate {
-                TemplateGate::Fixed(m) => m.clone(),
+                TemplateGate::Fixed(m) => *m,
                 TemplateGate::Family(f) => {
                     let np = f.parameter_count();
                     f.unitary(&fam[layer * np..(layer + 1) * np])
                 }
             };
-            u = &two_q * &u;
-            u = &layer_1q(layer + 1) * &u;
+            u = two_q * u;
+            u = layer_1q(layer + 1) * u;
         }
         u
     }
@@ -126,10 +130,10 @@ impl Template {
     ///
     /// # Panics
     /// Panics if `layer >= self.layers()`.
-    pub fn layer_gate_unitary(&self, params: &[f64], layer: usize) -> CMatrix {
+    pub fn layer_gate_unitary(&self, params: &[f64], layer: usize) -> Mat4 {
         assert!(layer < self.layers, "layer out of range");
         match &self.gate {
-            TemplateGate::Fixed(m) => m.clone(),
+            TemplateGate::Fixed(m) => *m,
             TemplateGate::Family(f) => {
                 let fam = &params[self.single_qubit_parameter_count()..];
                 let np = f.parameter_count();
@@ -157,7 +161,7 @@ mod tests {
 
     #[test]
     fn parameter_counts() {
-        let t = Template::fixed(GateType::cz().unitary().clone(), 3);
+        let t = Template::fixed(*GateType::cz().unitary(), 3);
         assert_eq!(t.layers(), 3);
         assert_eq!(t.single_qubit_parameter_count(), 24);
         assert_eq!(t.family_parameter_count(), 0);
@@ -171,7 +175,7 @@ mod tests {
 
     #[test]
     fn zero_layer_template_is_a_local_unitary() {
-        let t = Template::fixed(GateType::cz().unitary().clone(), 0);
+        let t = Template::fixed(*GateType::cz().unitary(), 0);
         assert_eq!(t.parameter_count(), 6);
         let u = t.unitary(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
         assert!(u.is_unitary(1e-12));
@@ -186,7 +190,7 @@ mod tests {
     #[test]
     fn template_unitary_is_always_unitary() {
         for layers in 0..4 {
-            let t = Template::fixed(GateType::syc().unitary().clone(), layers);
+            let t = Template::fixed(*GateType::syc().unitary(), layers);
             let params: Vec<f64> = (0..t.parameter_count())
                 .map(|i| (i as f64 * 0.73).sin() * 3.0)
                 .collect();
@@ -201,9 +205,9 @@ mod tests {
     #[test]
     fn identity_parameters_reproduce_plain_gate_product() {
         // With all U3 angles zero, the template is just G^layers.
-        let cz = GateType::cz().unitary().clone();
+        let cz = *GateType::cz().unitary();
         for layers in 1..4 {
-            let t = Template::fixed(cz.clone(), layers);
+            let t = Template::fixed(cz, layers);
             let params = vec![0.0; t.parameter_count()];
             let expect = cz.pow(layers);
             assert!(t.unitary(&params).approx_eq(&expect, 1e-12));
@@ -212,7 +216,7 @@ mod tests {
 
     #[test]
     fn one_layer_cz_template_can_express_cz_exactly() {
-        let t = Template::fixed(GateType::cz().unitary().clone(), 1);
+        let t = Template::fixed(*GateType::cz().unitary(), 1);
         let params = vec![0.0; t.parameter_count()];
         let u = t.unitary(&params);
         assert!(u.approx_eq(GateType::cz().unitary(), 1e-12));
@@ -236,7 +240,7 @@ mod tests {
 
     #[test]
     fn single_qubit_layer_param_slicing() {
-        let t = Template::fixed(GateType::cz().unitary().clone(), 1);
+        let t = Template::fixed(*GateType::cz().unitary(), 1);
         let params: Vec<f64> = (0..12).map(|i| i as f64).collect();
         assert_eq!(
             t.single_qubit_layer_params(&params, 0),
@@ -251,7 +255,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "expected 12 parameters")]
     fn wrong_parameter_count_panics() {
-        let t = Template::fixed(GateType::cz().unitary().clone(), 1);
+        let t = Template::fixed(*GateType::cz().unitary(), 1);
         let _ = t.unitary(&[0.0; 6]);
     }
 

@@ -21,7 +21,7 @@ proptest! {
         layers in 0usize..3,
         seed_angles in proptest::collection::vec(-3.0f64..3.0, 24),
     ) {
-        let t = Template::fixed(GateType::syc().unitary().clone(), layers);
+        let t = Template::fixed(*GateType::syc().unitary(), layers);
         let params: Vec<f64> = seed_angles.into_iter().take(t.parameter_count()).collect();
         if params.len() == t.parameter_count() {
             prop_assert!(t.unitary(&params).is_unitary(1e-9));

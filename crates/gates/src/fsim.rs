@@ -17,7 +17,7 @@
 //! with the identities (up to single-qubit rotations) `XY(θ) = iSWAP(θ/2) =
 //! fSim(θ/2, 0)` and `CZ(φ) = fSim(0, φ)` used throughout Table II.
 
-use qmath::{CMatrix, Complex};
+use qmath::{Complex, Mat4};
 use serde::{Deserialize, Serialize};
 
 /// The Google `fSim(θ, φ)` unitary (Table I).
@@ -28,66 +28,60 @@ use serde::{Deserialize, Serialize};
 /// let cz = fsim(0.0, std::f64::consts::PI);
 /// assert!((cz[(3, 3)].re + 1.0).abs() < 1e-12);
 /// ```
-pub fn fsim(theta: f64, phi: f64) -> CMatrix {
+pub fn fsim(theta: f64, phi: f64) -> Mat4 {
     let (c, s) = (theta.cos(), theta.sin());
-    CMatrix::from_rows(
-        4,
-        &[
-            Complex::ONE,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::from_real(c),
-            Complex::new(0.0, -s),
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::new(0.0, -s),
-            Complex::from_real(c),
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::cis(-phi),
-        ],
-    )
+    Mat4::from_rows(&[
+        Complex::ONE,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::from_real(c),
+        Complex::new(0.0, -s),
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::new(0.0, -s),
+        Complex::from_real(c),
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::cis(-phi),
+    ])
 }
 
 /// The Rigetti `XY(θ)` unitary (Table I).
-pub fn xy(theta: f64) -> CMatrix {
+pub fn xy(theta: f64) -> Mat4 {
     let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-    CMatrix::from_rows(
-        4,
-        &[
-            Complex::ONE,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::from_real(c),
-            Complex::new(0.0, s),
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::new(0.0, s),
-            Complex::from_real(c),
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ONE,
-        ],
-    )
+    Mat4::from_rows(&[
+        Complex::ONE,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::from_real(c),
+        Complex::new(0.0, s),
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::new(0.0, s),
+        Complex::from_real(c),
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ONE,
+    ])
 }
 
 /// The controlled-phase family `CPHASE(φ) = fSim(0, -φ)` in the paper's sign
 /// convention, i.e. `diag(1, 1, 1, e^{iφ})`.
-pub fn cphase(phi: f64) -> CMatrix {
+pub fn cphase(phi: f64) -> Mat4 {
     crate::standard::cphase(phi)
 }
 
@@ -110,7 +104,7 @@ impl FsimPoint {
     }
 
     /// The unitary matrix at this point of the family.
-    pub fn unitary(&self) -> CMatrix {
+    pub fn unitary(&self) -> Mat4 {
         fsim(self.theta, self.phi)
     }
 
@@ -152,7 +146,7 @@ impl ContinuousFamily {
     ///
     /// # Panics
     /// Panics if `params` is shorter than [`Self::parameter_count`].
-    pub fn unitary(&self, params: &[f64]) -> CMatrix {
+    pub fn unitary(&self, params: &[f64]) -> Mat4 {
         match self {
             ContinuousFamily::FullXy => {
                 assert!(!params.is_empty(), "FullXY needs one parameter");
@@ -234,7 +228,7 @@ mod tests {
 
     #[test]
     fn fsim_zero_zero_is_identity() {
-        assert!(fsim(0.0, 0.0).approx_eq(&CMatrix::identity(4), 1e-12));
+        assert!(fsim(0.0, 0.0).approx_eq(&Mat4::identity(), 1e-12));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_3, FRAC_PI_4, FRAC_PI_6, PI};
 use std::fmt;
 
-use qmath::CMatrix;
+use qmath::Mat4;
 use serde::{Deserialize, Serialize};
 
 use crate::fsim::{fsim, FsimPoint};
@@ -31,7 +31,7 @@ use crate::standard;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GateType {
     name: String,
-    unitary: CMatrix,
+    unitary: Mat4,
     fsim_coords: Option<FsimPoint>,
 }
 
@@ -39,9 +39,8 @@ impl GateType {
     /// Creates a gate type from a name and an explicit 4×4 unitary.
     ///
     /// # Panics
-    /// Panics if the matrix is not a 4×4 unitary.
-    pub fn new(name: impl Into<String>, unitary: CMatrix) -> Self {
-        assert_eq!(unitary.rows(), 4, "two-qubit gate types are 4x4");
+    /// Panics if the matrix is not unitary.
+    pub fn new(name: impl Into<String>, unitary: Mat4) -> Self {
         assert!(unitary.is_unitary(1e-9), "gate type matrix must be unitary");
         GateType {
             name: name.into(),
@@ -64,8 +63,9 @@ impl GateType {
         &self.name
     }
 
-    /// The 4×4 unitary implemented by this gate type.
-    pub fn unitary(&self) -> &CMatrix {
+    /// The 4×4 unitary implemented by this gate type (stack-allocated; `Copy`
+    /// it freely into templates and simulators).
+    pub fn unitary(&self) -> &Mat4 {
         &self.unitary
     }
 
@@ -181,6 +181,7 @@ impl fmt::Display for GateType {
 mod tests {
     use super::*;
     use qmath::Complex;
+    use qmath::SmallMat;
 
     #[test]
     fn all_paper_types_are_unitary() {
@@ -242,7 +243,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be unitary")]
     fn gate_type_new_rejects_non_unitary() {
-        let m = CMatrix::from_real(4, &[1.0; 16]);
+        let m = SmallMat::<4>::from_real(&[1.0; 16]);
         let _ = GateType::new("bad", m);
     }
 

@@ -2,9 +2,11 @@
 //!
 //! All matrices use the computational-basis ordering `|00⟩, |01⟩, |10⟩, |11⟩`
 //! with the first qubit as the most significant bit, matching the paper's
-//! Table I.
+//! Table I. Constructors return the stack-allocated [`Mat2`] / [`Mat4`]
+//! representations so the synthesis hot path never allocates; convert with
+//! `CMatrix::from(...)` where a heap matrix is needed.
 
-use qmath::{CMatrix, Complex};
+use qmath::{Complex, Mat2, Mat4};
 
 /// Arbitrary single-qubit rotation (paper footnote 1):
 ///
@@ -15,116 +17,101 @@ use qmath::{CMatrix, Complex};
 ///
 /// NuOp templates interleave layers of `U3` gates (three free parameters per
 /// qubit) with the fixed hardware two-qubit gate.
-pub fn u3(alpha: f64, beta: f64, lambda: f64) -> CMatrix {
+pub fn u3(alpha: f64, beta: f64, lambda: f64) -> Mat2 {
     let (c, s) = ((alpha / 2.0).cos(), (alpha / 2.0).sin());
-    CMatrix::from_rows(
-        2,
-        &[
-            Complex::from_real(c),
-            -Complex::cis(lambda) * s,
-            Complex::cis(beta) * s,
-            Complex::cis(beta + lambda) * c,
-        ],
-    )
+    Mat2::from_rows(&[
+        Complex::from_real(c),
+        -Complex::cis(lambda) * s,
+        Complex::cis(beta) * s,
+        Complex::cis(beta + lambda) * c,
+    ])
 }
 
 /// Pauli X.
-pub fn x() -> CMatrix {
-    CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0])
+pub fn x() -> Mat2 {
+    Mat2::from_real(&[0.0, 1.0, 1.0, 0.0])
 }
 
 /// Pauli Y.
-pub fn y() -> CMatrix {
-    CMatrix::from_rows(
-        2,
-        &[
-            Complex::ZERO,
-            Complex::new(0.0, -1.0),
-            Complex::new(0.0, 1.0),
-            Complex::ZERO,
-        ],
-    )
+pub fn y() -> Mat2 {
+    Mat2::from_rows(&[
+        Complex::ZERO,
+        Complex::new(0.0, -1.0),
+        Complex::new(0.0, 1.0),
+        Complex::ZERO,
+    ])
 }
 
 /// Pauli Z.
-pub fn z() -> CMatrix {
-    CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0])
+pub fn z() -> Mat2 {
+    Mat2::from_real(&[1.0, 0.0, 0.0, -1.0])
 }
 
 /// Hadamard gate.
-pub fn h() -> CMatrix {
-    CMatrix::from_real(2, &[1.0, 1.0, 1.0, -1.0]).scale(std::f64::consts::FRAC_1_SQRT_2)
+pub fn h() -> Mat2 {
+    Mat2::from_real(&[1.0, 1.0, 1.0, -1.0]).scale(std::f64::consts::FRAC_1_SQRT_2)
 }
 
 /// Phase gate S = diag(1, i).
-pub fn s() -> CMatrix {
-    CMatrix::diagonal(&[Complex::ONE, Complex::I])
+pub fn s() -> Mat2 {
+    Mat2::diagonal(&[Complex::ONE, Complex::I])
 }
 
 /// T gate = diag(1, e^{iπ/4}).
-pub fn t() -> CMatrix {
-    CMatrix::diagonal(&[Complex::ONE, Complex::cis(std::f64::consts::FRAC_PI_4)])
+pub fn t() -> Mat2 {
+    Mat2::diagonal(&[Complex::ONE, Complex::cis(std::f64::consts::FRAC_PI_4)])
 }
 
 /// Rotation about X: `RX(θ) = exp(-i θ X / 2)`.
-pub fn rx(theta: f64) -> CMatrix {
+pub fn rx(theta: f64) -> Mat2 {
     let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-    CMatrix::from_rows(
-        2,
-        &[
-            Complex::from_real(c),
-            Complex::new(0.0, -s),
-            Complex::new(0.0, -s),
-            Complex::from_real(c),
-        ],
-    )
+    Mat2::from_rows(&[
+        Complex::from_real(c),
+        Complex::new(0.0, -s),
+        Complex::new(0.0, -s),
+        Complex::from_real(c),
+    ])
 }
 
 /// Rotation about Y: `RY(θ) = exp(-i θ Y / 2)`.
-pub fn ry(theta: f64) -> CMatrix {
+pub fn ry(theta: f64) -> Mat2 {
     let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-    CMatrix::from_real(2, &[c, -s, s, c])
+    Mat2::from_real(&[c, -s, s, c])
 }
 
 /// Rotation about Z: `RZ(θ) = exp(-i θ Z / 2)`.
-pub fn rz(theta: f64) -> CMatrix {
-    CMatrix::diagonal(&[Complex::cis(-theta / 2.0), Complex::cis(theta / 2.0)])
+pub fn rz(theta: f64) -> Mat2 {
+    Mat2::diagonal(&[Complex::cis(-theta / 2.0), Complex::cis(theta / 2.0)])
 }
 
 /// Single-qubit phase gate `P(φ) = diag(1, e^{iφ})`.
-pub fn phase(phi: f64) -> CMatrix {
-    CMatrix::diagonal(&[Complex::ONE, Complex::cis(phi)])
+pub fn phase(phi: f64) -> Mat2 {
+    Mat2::diagonal(&[Complex::ONE, Complex::cis(phi)])
 }
 
 /// Controlled-Z gate (Table I).
-pub fn cz() -> CMatrix {
-    CMatrix::diagonal(&[Complex::ONE, Complex::ONE, Complex::ONE, -Complex::ONE])
+pub fn cz() -> Mat4 {
+    Mat4::diagonal(&[Complex::ONE, Complex::ONE, Complex::ONE, -Complex::ONE])
 }
 
 /// Controlled-NOT with the first qubit as control.
-pub fn cnot() -> CMatrix {
-    CMatrix::from_real(
-        4,
-        &[
-            1.0, 0.0, 0.0, 0.0, //
-            0.0, 1.0, 0.0, 0.0, //
-            0.0, 0.0, 0.0, 1.0, //
-            0.0, 0.0, 1.0, 0.0,
-        ],
-    )
+pub fn cnot() -> Mat4 {
+    Mat4::from_real(&[
+        1.0, 0.0, 0.0, 0.0, //
+        0.0, 1.0, 0.0, 0.0, //
+        0.0, 0.0, 0.0, 1.0, //
+        0.0, 0.0, 1.0, 0.0,
+    ])
 }
 
 /// SWAP gate.
-pub fn swap() -> CMatrix {
-    CMatrix::from_real(
-        4,
-        &[
-            1.0, 0.0, 0.0, 0.0, //
-            0.0, 0.0, 1.0, 0.0, //
-            0.0, 1.0, 0.0, 0.0, //
-            0.0, 0.0, 0.0, 1.0,
-        ],
-    )
+pub fn swap() -> Mat4 {
+    Mat4::from_real(&[
+        1.0, 0.0, 0.0, 0.0, //
+        0.0, 0.0, 1.0, 0.0, //
+        0.0, 1.0, 0.0, 0.0, //
+        0.0, 0.0, 0.0, 1.0,
+    ])
 }
 
 /// iSWAP gate in the textbook convention (`+i` off-diagonal swap amplitudes).
@@ -132,48 +119,45 @@ pub fn swap() -> CMatrix {
 /// The paper's `iSWAP` gate type is `fSim(π/2, 0)`, which has `-i` amplitudes;
 /// the two differ only by single-qubit Z rotations and are interchangeable for
 /// expressivity purposes. See [`crate::fsim::fsim`].
-pub fn iswap() -> CMatrix {
-    CMatrix::from_rows(
-        4,
-        &[
-            Complex::ONE,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::I,
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::I,
-            Complex::ZERO,
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ONE,
-        ],
-    )
+pub fn iswap() -> Mat4 {
+    Mat4::from_rows(&[
+        Complex::ONE,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::I,
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::I,
+        Complex::ZERO,
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ONE,
+    ])
 }
 
 /// Two-qubit identity.
-pub fn identity2q() -> CMatrix {
-    CMatrix::identity(4)
+pub fn identity2q() -> Mat4 {
+    Mat4::identity()
 }
 
 /// Controlled-phase gate `CZ(φ) = diag(1, 1, 1, e^{iφ})`.
 ///
 /// QFT circuits are built from `CZ(π/2^t)` gates.
-pub fn cphase(phi: f64) -> CMatrix {
-    CMatrix::diagonal(&[Complex::ONE, Complex::ONE, Complex::ONE, Complex::cis(phi)])
+pub fn cphase(phi: f64) -> Mat4 {
+    Mat4::diagonal(&[Complex::ONE, Complex::ONE, Complex::ONE, Complex::cis(phi)])
 }
 
 /// Two-qubit ZZ-interaction `exp(-i β Z⊗Z)` used by QAOA circuits (Fig. 2b).
-pub fn zz_interaction(beta: f64) -> CMatrix {
-    CMatrix::diagonal(&[
+pub fn zz_interaction(beta: f64) -> Mat4 {
+    Mat4::diagonal(&[
         Complex::cis(-beta),
         Complex::cis(beta),
         Complex::cis(beta),
@@ -183,44 +167,42 @@ pub fn zz_interaction(beta: f64) -> CMatrix {
 
 /// Two-qubit XX+YY interaction `exp(-i t (X⊗X + Y⊗Y) / 2)` used by the
 /// Fermi–Hubbard hopping terms.
-pub fn xx_plus_yy_interaction(t: f64) -> CMatrix {
+pub fn xx_plus_yy_interaction(t: f64) -> Mat4 {
     // In the {|01>, |10>} subspace this acts as a rotation; it is exactly the
     // XY(θ) family with θ = -2 t (up to convention).
     let (c, s) = (t.cos(), t.sin());
-    CMatrix::from_rows(
-        4,
-        &[
-            Complex::ONE,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::from_real(c),
-            Complex::new(0.0, -s),
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::new(0.0, -s),
-            Complex::from_real(c),
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ONE,
-        ],
-    )
+    Mat4::from_rows(&[
+        Complex::ONE,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::from_real(c),
+        Complex::new(0.0, -s),
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::new(0.0, -s),
+        Complex::from_real(c),
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::ONE,
+    ])
 }
 
 /// Embeds two single-qubit unitaries as `a ⊗ b` on two qubits.
-pub fn kron2(a: &CMatrix, b: &CMatrix) -> CMatrix {
+pub fn kron2(a: &Mat2, b: &Mat2) -> Mat4 {
     a.kron(b)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qmath::CMatrix;
     use std::f64::consts::{FRAC_PI_2, PI};
 
     #[test]
@@ -232,6 +214,10 @@ mod tests {
             ("h", h()),
             ("s", s()),
             ("t", t()),
+        ] {
+            assert!(g.is_unitary(1e-12), "{name} is not unitary");
+        }
+        for (name, g) in [
             ("cz", cz()),
             ("cnot", cnot()),
             ("swap", swap()),
@@ -258,21 +244,21 @@ mod tests {
     #[test]
     fn hadamard_diagonalizes_x() {
         // H X H = Z
-        let hxh = &(&h() * &x()) * &h();
+        let hxh = h() * x() * h();
         assert!(hxh.approx_eq(&z(), 1e-12));
     }
 
     #[test]
     fn s_squared_is_z_and_t_squared_is_s() {
-        assert!((&s() * &s()).approx_eq(&z(), 1e-12));
-        assert!((&t() * &t()).approx_eq(&s(), 1e-12));
+        assert!((s() * s()).approx_eq(&z(), 1e-12));
+        assert!((t() * t()).approx_eq(&s(), 1e-12));
     }
 
     #[test]
     fn cnot_from_cz_and_hadamards() {
         // CNOT = (I ⊗ H) CZ (I ⊗ H)
-        let ih = CMatrix::identity(2).kron(&h());
-        let built = &(&ih * &cz()) * &ih;
+        let ih = Mat2::identity().kron(&h());
+        let built = ih * cz() * ih;
         assert!(built.approx_eq(&cnot(), 1e-12));
     }
 
@@ -281,15 +267,15 @@ mod tests {
         let cnot01 = cnot();
         // CNOT with target as first qubit = (H⊗H) CNOT (H⊗H)
         let hh = h().kron(&h());
-        let cnot10 = &(&hh * &cnot01) * &hh;
-        let built = &(&cnot01 * &cnot10) * &cnot01;
+        let cnot10 = hh * cnot01 * hh;
+        let built = cnot01 * cnot10 * cnot01;
         assert!(built.approx_eq(&swap(), 1e-12));
     }
 
     #[test]
     fn u3_special_cases() {
         // U3(0, 0, 0) = I
-        assert!(u3(0.0, 0.0, 0.0).approx_eq(&CMatrix::identity(2), 1e-12));
+        assert!(u3(0.0, 0.0, 0.0).approx_eq(&Mat2::identity(), 1e-12));
         // U3(pi, 0, pi) = X
         assert!(u3(PI, 0.0, PI).approx_eq(&x(), 1e-12));
         // U3(pi/2, 0, pi) = H
@@ -308,9 +294,9 @@ mod tests {
     fn rotations_compose_additively() {
         let a = 0.4;
         let b = 1.1;
-        assert!((&rx(a) * &rx(b)).approx_eq(&rx(a + b), 1e-12));
-        assert!((&ry(a) * &ry(b)).approx_eq(&ry(a + b), 1e-12));
-        assert!((&rz(a) * &rz(b)).approx_eq(&rz(a + b), 1e-12));
+        assert!((rx(a) * rx(b)).approx_eq(&rx(a + b), 1e-12));
+        assert!((ry(a) * ry(b)).approx_eq(&ry(a + b), 1e-12));
+        assert!((rz(a) * rz(b)).approx_eq(&rz(a + b), 1e-12));
     }
 
     #[test]
@@ -345,5 +331,12 @@ mod tests {
         let is = iswap();
         assert!((is[(1, 2)] - Complex::I).norm() < 1e-12);
         assert!((is[(2, 1)] - Complex::I).norm() < 1e-12);
+    }
+
+    #[test]
+    fn gates_convert_losslessly_to_cmatrix() {
+        let heap: CMatrix = swap().into();
+        assert!(heap.is_unitary(1e-12));
+        assert!(heap.approx_eq(&swap(), 0.0));
     }
 }

@@ -26,13 +26,13 @@ proptest! {
     #[test]
     fn fsim_composes_additively_in_theta_on_the_xy_line(a in 0.0f64..1.5, b in 0.0f64..1.5) {
         // fSim(a,0)·fSim(b,0) = fSim(a+b,0): the iSWAP-like rotations commute.
-        let lhs = &fsim(a, 0.0) * &fsim(b, 0.0);
+        let lhs = fsim(a, 0.0) * fsim(b, 0.0);
         prop_assert!(lhs.approx_eq(&fsim(a + b, 0.0), 1e-9));
     }
 
     #[test]
     fn cphase_composes_additively(a in 0.0f64..3.0, b in 0.0f64..3.0) {
-        let lhs = &standard::cphase(a) * &standard::cphase(b);
+        let lhs = standard::cphase(a) * standard::cphase(b);
         prop_assert!(lhs.approx_eq(&standard::cphase(a + b), 1e-9));
     }
 

@@ -221,6 +221,44 @@ fn bfgs_update(h: &[Vec<f64>], s: &[f64], y: &[f64], rho: f64) -> Vec<Vec<f64>> 
     out
 }
 
+/// The one-dimensional restriction `phi(alpha) = f(x + alpha p)` with a single
+/// reusable probe buffer: line-search evaluations write `x + alpha p` in place
+/// instead of collecting a fresh `Vec` per objective call, so the search is
+/// allocation-free after construction. Together with the stack-allocated
+/// `SmallMat` objectives of gate decomposition, this keeps the whole BFGS
+/// inner loop off the heap.
+struct LineEval<'a, F: ?Sized> {
+    f: &'a F,
+    x: &'a [f64],
+    p: &'a [f64],
+    probe: Vec<f64>,
+    fd_step: f64,
+}
+
+impl<F> LineEval<'_, F>
+where
+    F: Fn(&[f64]) -> f64 + ?Sized,
+{
+    fn probe_at(&mut self, alpha: f64) -> f64 {
+        for ((slot, xi), pi) in self.probe.iter_mut().zip(self.x).zip(self.p) {
+            *slot = xi + alpha * pi;
+        }
+        (self.f)(&self.probe)
+    }
+
+    fn phi(&mut self, alpha: f64, evals: &mut usize) -> f64 {
+        *evals += 1;
+        self.probe_at(alpha)
+    }
+
+    /// Directional derivative by central difference along `p`.
+    fn dphi(&mut self, alpha: f64, evals: &mut usize) -> f64 {
+        let h = self.fd_step;
+        *evals += 2;
+        (self.probe_at(alpha + h) - self.probe_at(alpha - h)) / (2.0 * h)
+    }
+}
+
 /// A bracketing + zoom line search enforcing the strong Wolfe conditions.
 /// Returns `(alpha, f(x + alpha p), evaluations)`; `alpha == 0` signals failure.
 fn wolfe_line_search<F>(
@@ -240,30 +278,12 @@ where
     if dphi0 >= 0.0 {
         return (0.0, fx, evals);
     }
-    let phi = |alpha: f64, evals: &mut usize| {
-        *evals += 1;
-        let probe: Vec<f64> = x
-            .iter()
-            .zip(p.iter())
-            .map(|(xi, pi)| xi + alpha * pi)
-            .collect();
-        f(&probe)
-    };
-    let dphi = |alpha: f64, evals: &mut usize| {
-        // Directional derivative by central difference along p.
-        let h = opts.fd_step;
-        *evals += 2;
-        let plus: Vec<f64> = x
-            .iter()
-            .zip(p.iter())
-            .map(|(xi, pi)| xi + (alpha + h) * pi)
-            .collect();
-        let minus: Vec<f64> = x
-            .iter()
-            .zip(p.iter())
-            .map(|(xi, pi)| xi + (alpha - h) * pi)
-            .collect();
-        (f(&plus) - f(&minus)) / (2.0 * h)
+    let mut line = LineEval {
+        f,
+        x,
+        p,
+        probe: vec![0.0; x.len()],
+        fd_step: opts.fd_step,
     };
 
     let mut alpha_prev = 0.0;
@@ -272,20 +292,20 @@ where
     let alpha_max = 10.0;
 
     for i in 0..opts.max_line_search_steps {
-        let phi_alpha = phi(alpha, &mut evals);
+        let phi_alpha = line.phi(alpha, &mut evals);
         if phi_alpha > phi0 + opts.c1 * alpha * dphi0 || (i > 0 && phi_alpha >= phi_prev) {
             let (a, fa) = zoom(
-                &phi, &dphi, phi0, dphi0, alpha_prev, phi_prev, alpha, opts, &mut evals,
+                &mut line, phi0, dphi0, alpha_prev, phi_prev, alpha, opts, &mut evals,
             );
             return (a, fa, evals);
         }
-        let dphi_alpha = dphi(alpha, &mut evals);
+        let dphi_alpha = line.dphi(alpha, &mut evals);
         if dphi_alpha.abs() <= -opts.c2 * dphi0 {
             return (alpha, phi_alpha, evals);
         }
         if dphi_alpha >= 0.0 {
             let (a, fa) = zoom(
-                &phi, &dphi, phi0, dphi0, alpha, phi_alpha, alpha_prev, opts, &mut evals,
+                &mut line, phi0, dphi0, alpha, phi_alpha, alpha_prev, opts, &mut evals,
             );
             return (a, fa, evals);
         }
@@ -294,7 +314,7 @@ where
         alpha = (alpha * 2.0).min(alpha_max);
     }
     // Fall back to a simple backtracking result.
-    let phi_alpha = phi(alpha, &mut evals);
+    let phi_alpha = line.phi(alpha, &mut evals);
     if phi_alpha < phi0 {
         (alpha, phi_alpha, evals)
     } else {
@@ -305,9 +325,8 @@ where
 /// The `zoom` procedure of Nocedal & Wright Algorithm 3.6, expressed on the
 /// one-dimensional restriction `phi(alpha) = f(x + alpha p)`.
 #[allow(clippy::too_many_arguments)]
-fn zoom<P, D>(
-    phi: &P,
-    dphi: &D,
+fn zoom<F>(
+    line: &mut LineEval<'_, F>,
     phi0: f64,
     dphi0: f64,
     mut alpha_lo: f64,
@@ -317,8 +336,7 @@ fn zoom<P, D>(
     evals: &mut usize,
 ) -> (f64, f64)
 where
-    P: Fn(f64, &mut usize) -> f64,
-    D: Fn(f64, &mut usize) -> f64,
+    F: Fn(&[f64]) -> f64 + ?Sized,
 {
     let mut best = (alpha_lo, phi_lo);
     for _ in 0..opts.max_line_search_steps {
@@ -327,14 +345,14 @@ where
         if (alpha_hi - alpha_lo).abs() < 1e-14 {
             break;
         }
-        let phi_alpha = phi(alpha, evals);
+        let phi_alpha = line.phi(alpha, evals);
         if phi_alpha > phi0 + opts.c1 * alpha * dphi0 || phi_alpha >= phi_lo {
             alpha_hi = alpha;
         } else {
             if phi_alpha < best.1 {
                 best = (alpha, phi_alpha);
             }
-            let dphi_alpha = dphi(alpha, evals);
+            let dphi_alpha = line.dphi(alpha, evals);
             if dphi_alpha.abs() <= -opts.c2 * dphi0 {
                 return (alpha, phi_alpha);
             }

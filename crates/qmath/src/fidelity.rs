@@ -7,23 +7,34 @@
 //! (paper Eq. 2).
 
 use crate::complex::Complex;
+#[cfg(test)]
 use crate::matrix::CMatrix;
+use crate::small::MatRef;
 
 /// Hilbert–Schmidt inner product `Tr(A† B)`.
 ///
+/// Generic over [`MatRef`], so heap-allocated [`CMatrix`](crate::CMatrix) and
+/// stack-allocated [`SmallMat`](crate::SmallMat) arguments mix freely; the
+/// `SmallMat` instantiations are the allocation-free kernel of the NuOp
+/// objective.
+///
 /// # Panics
 /// Panics if the two matrices have different shapes or are not square.
-pub fn hilbert_schmidt_inner(a: &CMatrix, b: &CMatrix) -> Complex {
+pub fn hilbert_schmidt_inner<A, B>(a: &A, b: &B) -> Complex
+where
+    A: MatRef + ?Sized,
+    B: MatRef + ?Sized,
+{
     assert!(
-        a.is_square() && b.is_square(),
+        a.nrows() == a.ncols() && b.nrows() == b.ncols(),
         "HS inner product needs square matrices"
     );
-    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
-    let n = a.rows();
+    assert_eq!(a.nrows(), b.nrows(), "dimension mismatch");
+    let n = a.nrows();
     let mut acc = Complex::ZERO;
     for r in 0..n {
         for c in 0..n {
-            acc += a[(r, c)].conj() * b[(r, c)];
+            acc += a.at(r, c).conj() * b.at(r, c);
         }
     }
     acc
@@ -41,8 +52,12 @@ pub fn hilbert_schmidt_inner(a: &CMatrix, b: &CMatrix) -> Complex {
 /// let id = CMatrix::identity(4);
 /// assert!((hilbert_schmidt_fidelity(&id, &id) - 1.0).abs() < 1e-12);
 /// ```
-pub fn hilbert_schmidt_fidelity(a: &CMatrix, b: &CMatrix) -> f64 {
-    let dim = a.rows() as f64;
+pub fn hilbert_schmidt_fidelity<A, B>(a: &A, b: &B) -> f64
+where
+    A: MatRef + ?Sized,
+    B: MatRef + ?Sized,
+{
+    let dim = a.nrows() as f64;
     hilbert_schmidt_inner(a, b).norm() / dim
 }
 
@@ -51,14 +66,22 @@ pub fn hilbert_schmidt_fidelity(a: &CMatrix, b: &CMatrix) -> f64 {
 ///
 /// This is the quantity a randomized-benchmarking experiment estimates and is
 /// the natural scale on which to combine decomposition and hardware error.
-pub fn average_gate_fidelity(a: &CMatrix, b: &CMatrix) -> f64 {
-    let d = a.rows() as f64;
+pub fn average_gate_fidelity<A, B>(a: &A, b: &B) -> f64
+where
+    A: MatRef + ?Sized,
+    B: MatRef + ?Sized,
+{
+    let d = a.nrows() as f64;
     let overlap = hilbert_schmidt_inner(a, b).norm();
     (overlap * overlap + d) / (d * d + d)
 }
 
 /// Process infidelity `1 - F_avg` between two unitaries.
-pub fn process_infidelity(a: &CMatrix, b: &CMatrix) -> f64 {
+pub fn process_infidelity<A, B>(a: &A, b: &B) -> f64
+where
+    A: MatRef + ?Sized,
+    B: MatRef + ?Sized,
+{
     1.0 - average_gate_fidelity(a, b)
 }
 

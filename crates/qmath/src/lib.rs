@@ -4,24 +4,43 @@
 //!
 //! * [`Complex`] — a `f64`-based complex scalar (the workspace does not depend on
 //!   external numerics crates).
-//! * [`CMatrix`] — a dense, heap-allocated complex matrix with the operations the
-//!   rest of the toolkit needs: multiplication, adjoint, Kronecker product, trace,
-//!   QR decomposition, matrix norms and unitarity checks.
-//! * Fixed-size convenience constructors for the ubiquitous 2×2 and 4×4 unitaries.
+//! * [`SmallMat`] — a `Copy`, const-generic, **stack-allocated** N×N complex
+//!   matrix ([`Mat2`] / [`Mat4`] aliases) with multiplication, adjoint,
+//!   Kronecker product (`Mat2 ⊗ Mat2 → Mat4`), trace, norms and unitarity
+//!   checks. This is the synthesis hot-path kernel: the NuOp objective
+//!   evaluates templates with zero heap allocations per call.
+//! * [`CMatrix`] — a dense, heap-allocated complex matrix for general N×N
+//!   work: QR decomposition, Haar sampling, eigen-solves and the `2^n`-sized
+//!   register operators built by circuit embedding.
+//! * The [`MatRef`] read-only view both types implement, so fidelity measures
+//!   and entry-wise comparisons accept either representation.
 //! * Haar-random unitary sampling (used by Quantum Volume workloads).
 //! * Fidelity measures between unitaries (Hilbert–Schmidt overlap, average gate
 //!   fidelity) used by the NuOp objective function.
 //!
+//! # Which matrix type should I use?
+//!
+//! Use [`Mat2`] / [`Mat4`] for fixed-size gate algebra (gate constructors,
+//! decomposition objectives, Weyl invariants, state-vector gate application):
+//! they are `Copy` and never allocate. Use [`CMatrix`] when the dimension is
+//! dynamic (`2^n` register operators, QR/eigen routines, Haar sampling).
+//! Convert losslessly at boundaries with `CMatrix::from(small)` /
+//! `Mat4::try_from(&cmatrix)`.
+//!
 //! # Example
 //!
 //! ```
-//! use qmath::{CMatrix, Complex};
+//! use qmath::{CMatrix, Complex, Mat2};
 //!
-//! let x = CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]);
-//! let id = &x * &x;
-//! assert!(id.approx_eq(&CMatrix::identity(2), 1e-12));
-//! let tr = id.trace();
-//! assert!((tr - Complex::new(2.0, 0.0)).norm() < 1e-12);
+//! // Stack-allocated 2×2 algebra…
+//! let x = Mat2::from_real(&[0.0, 1.0, 1.0, 0.0]);
+//! let id = x * x;
+//! assert!(id.approx_eq(&Mat2::identity(), 1e-12));
+//! assert!((id.trace() - Complex::new(2.0, 0.0)).norm() < 1e-12);
+//!
+//! // …converts losslessly to the heap representation and back.
+//! let big: CMatrix = x.into();
+//! assert_eq!(Mat2::try_from(&big).unwrap(), x);
 //! ```
 
 #![warn(missing_docs)]
@@ -30,6 +49,7 @@ pub mod complex;
 pub mod fidelity;
 pub mod matrix;
 pub mod random;
+pub mod small;
 
 pub use complex::Complex;
 pub use fidelity::{
@@ -37,6 +57,7 @@ pub use fidelity::{
 };
 pub use matrix::CMatrix;
 pub use random::{haar_random_su4, haar_random_unitary, random_special_unitary, RngSeed};
+pub use small::{Mat2, Mat4, MatRef, ShapeMismatch, SmallMat};
 
 /// Machine-precision-ish tolerance used across the workspace for unitary checks.
 pub const DEFAULT_TOL: f64 = 1e-9;

@@ -225,50 +225,26 @@ impl CMatrix {
         self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
-    /// Maximum absolute entry-wise difference with another matrix.
+    /// Maximum absolute entry-wise difference with another matrix (of either
+    /// representation — see [`MatRef`](crate::MatRef)).
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn max_abs_diff(&self, other: &CMatrix) -> f64 {
-        assert_eq!(self.rows, other.rows, "row mismatch");
-        assert_eq!(self.cols, other.cols, "col mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (*a - *b).norm())
-            .fold(0.0, f64::max)
+    pub fn max_abs_diff<M: crate::MatRef + ?Sized>(&self, other: &M) -> f64 {
+        crate::small::max_abs_diff_impl(self, other)
     }
 
     /// Entry-wise approximate equality with absolute tolerance `tol`.
-    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
-        self.rows == other.rows && self.cols == other.cols && self.max_abs_diff(other) <= tol
+    pub fn approx_eq<M: crate::MatRef + ?Sized>(&self, other: &M, tol: f64) -> bool {
+        self.rows == other.nrows() && self.cols == other.ncols() && self.max_abs_diff(other) <= tol
     }
 
     /// Approximate equality up to a global phase factor.
     ///
     /// Two unitaries that differ only by `e^{i phi}` implement the same quantum
     /// operation; this comparison is the physically meaningful one.
-    pub fn approx_eq_up_to_phase(&self, other: &CMatrix, tol: f64) -> bool {
-        if self.rows != other.rows || self.cols != other.cols {
-            return false;
-        }
-        // Find the largest-magnitude entry of `other` to estimate the phase.
-        let mut best = 0usize;
-        let mut best_norm = 0.0;
-        for (i, z) in other.data.iter().enumerate() {
-            if z.norm() > best_norm {
-                best_norm = z.norm();
-                best = i;
-            }
-        }
-        if best_norm < tol {
-            return self.frobenius_norm() < tol;
-        }
-        let phase = self.data[best] / other.data[best];
-        if (phase.norm() - 1.0).abs() > 1e-6 {
-            return false;
-        }
-        self.approx_eq(&other.scale_complex(phase), tol)
+    pub fn approx_eq_up_to_phase<M: crate::MatRef + ?Sized>(&self, other: &M, tol: f64) -> bool {
+        crate::small::approx_eq_up_to_phase_impl(self, other, tol)
     }
 
     /// True when `U† U = I` within tolerance `tol`.

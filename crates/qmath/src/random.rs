@@ -11,6 +11,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::complex::Complex;
 use crate::matrix::CMatrix;
+use crate::small::Mat4;
 
 /// A seed wrapper for reproducible experiment streams.
 ///
@@ -90,9 +91,12 @@ pub fn haar_random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
 
 /// Samples a Haar-random element of SU(4): a 4×4 unitary with determinant one.
 ///
-/// Quantum-Volume layers apply such matrices to random qubit pairs.
-pub fn haar_random_su4<R: Rng + ?Sized>(rng: &mut R) -> CMatrix {
-    random_special_unitary(4, rng)
+/// Quantum-Volume layers apply such matrices to random qubit pairs. The
+/// result is the stack-allocated [`Mat4`] because these matrices feed the
+/// synthesis hot path directly (decomposition targets, two-qubit operations);
+/// convert with `CMatrix::from` where a heap matrix is needed.
+pub fn haar_random_su4<R: Rng + ?Sized>(rng: &mut R) -> Mat4 {
+    Mat4::try_from(&random_special_unitary(4, rng)).expect("sampler produces a 4x4 matrix")
 }
 
 /// Samples a Haar-random special unitary (determinant 1) of dimension `n`.

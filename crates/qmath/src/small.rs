@@ -1,0 +1,684 @@
+//! Stack-allocated small complex matrices for the synthesis hot path.
+//!
+//! The NuOp objective function evaluates the unitary of a template circuit
+//! thousands of times per decomposition; with the heap-allocated [`CMatrix`]
+//! every multiply pays an allocation. [`SmallMat`] is the fixed-size
+//! alternative: a `Copy`, const-generic N×N complex matrix stored inline, so
+//! 2×2/4×4 products, adjoints and Kronecker products never touch the
+//! allocator. [`Mat2`] and [`Mat4`] are the two instantiations quantum gate
+//! synthesis needs.
+//!
+//! [`CMatrix`] remains the representation for general N×N work (QR, Haar
+//! sampling, `2^n`-dimensional embeddings); the two convert losslessly via
+//! `From` / `TryFrom` at the boundaries.
+//!
+//! ```
+//! use qmath::{Mat2, Mat4};
+//! let x = Mat2::from_real(&[0.0, 1.0, 1.0, 0.0]);
+//! let xx: Mat4 = x.kron(&x);
+//! assert!((xx * xx).approx_eq(&Mat4::identity(), 1e-12));
+//! ```
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::complex::Complex;
+use crate::matrix::CMatrix;
+
+/// Read-only view of a complex matrix, implemented by both [`CMatrix`] and
+/// [`SmallMat`].
+///
+/// Generic consumers (fidelity measures, entry-wise comparisons, register
+/// embeddings) accept `&impl MatRef` so heap- and stack-allocated matrices
+/// mix freely at API boundaries.
+pub trait MatRef {
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+    /// Number of columns.
+    fn ncols(&self) -> usize;
+    /// Entry at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    fn at(&self, r: usize, c: usize) -> Complex;
+}
+
+impl MatRef for CMatrix {
+    #[inline]
+    fn nrows(&self) -> usize {
+        self.rows()
+    }
+    #[inline]
+    fn ncols(&self) -> usize {
+        self.cols()
+    }
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> Complex {
+        self[(r, c)]
+    }
+}
+
+/// Shared implementation behind `CMatrix::max_abs_diff` and
+/// `SmallMat::max_abs_diff`: both representations delegate here so the
+/// comparison semantics cannot drift apart.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub(crate) fn max_abs_diff_impl<A, B>(a: &A, b: &B) -> f64
+where
+    A: MatRef + ?Sized,
+    B: MatRef + ?Sized,
+{
+    assert_eq!(a.nrows(), b.nrows(), "row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "col mismatch");
+    let mut worst = 0.0f64;
+    for r in 0..a.nrows() {
+        for c in 0..a.ncols() {
+            worst = worst.max((a.at(r, c) - b.at(r, c)).norm());
+        }
+    }
+    worst
+}
+
+/// Shared implementation behind the `approx_eq_up_to_phase` methods of both
+/// matrix representations: estimate the global phase from the
+/// largest-magnitude entry of `b`, then compare entry-wise.
+pub(crate) fn approx_eq_up_to_phase_impl<A, B>(a: &A, b: &B, tol: f64) -> bool
+where
+    A: MatRef + ?Sized,
+    B: MatRef + ?Sized,
+{
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return false;
+    }
+    let (rows, cols) = (a.nrows(), a.ncols());
+    let mut best = (0usize, 0usize);
+    let mut best_norm = 0.0;
+    for r in 0..rows {
+        for c in 0..cols {
+            let n = b.at(r, c).norm();
+            if n > best_norm {
+                best_norm = n;
+                best = (r, c);
+            }
+        }
+    }
+    if best_norm < tol {
+        let mut frob = 0.0;
+        for r in 0..rows {
+            for c in 0..cols {
+                frob += a.at(r, c).norm_sqr();
+            }
+        }
+        return frob.sqrt() < tol;
+    }
+    let phase = a.at(best.0, best.1) / b.at(best.0, best.1);
+    if (phase.norm() - 1.0).abs() > 1e-6 {
+        return false;
+    }
+    let mut worst = 0.0f64;
+    for r in 0..rows {
+        for c in 0..cols {
+            worst = worst.max((a.at(r, c) - b.at(r, c) * phase).norm());
+        }
+    }
+    worst <= tol
+}
+
+/// A dense, stack-allocated `N`×`N` complex matrix.
+///
+/// `Copy` and allocation-free: all operations work on inline storage, which is
+/// what makes the BFGS objective evaluation of gate decomposition run without
+/// heap traffic. See the [module docs](crate::small) for the division of
+/// labour with [`CMatrix`].
+#[derive(Clone, Copy, PartialEq)]
+pub struct SmallMat<const N: usize> {
+    data: [[Complex; N]; N],
+}
+
+/// A 2×2 stack-allocated matrix: single-qubit operators.
+pub type Mat2 = SmallMat<2>;
+
+/// A 4×4 stack-allocated matrix: two-qubit operators.
+pub type Mat4 = SmallMat<4>;
+
+impl<const N: usize> SmallMat<N> {
+    /// The dimension `N`.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        N
+    }
+
+    /// The all-zeros matrix.
+    #[inline]
+    pub const fn zeros() -> Self {
+        SmallMat {
+            data: [[Complex::ZERO; N]; N],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut m = SmallMat::zeros();
+        for i in 0..N {
+            m.data[i][i] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix entry by entry from `f(row, col)`.
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut m = SmallMat::zeros();
+        for (r, row) in m.data.iter_mut().enumerate() {
+            for (c, entry) in row.iter_mut().enumerate() {
+                *entry = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of complex entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != N * N`.
+    pub fn from_rows(data: &[Complex]) -> Self {
+        assert_eq!(data.len(), N * N, "expected {} entries", N * N);
+        SmallMat::from_fn(|r, c| data[r * N + c])
+    }
+
+    /// Creates a matrix from a row-major slice of real entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != N * N`.
+    pub fn from_real(data: &[f64]) -> Self {
+        assert_eq!(data.len(), N * N, "expected {} entries", N * N);
+        SmallMat::from_fn(|r, c| Complex::from_real(data[r * N + c]))
+    }
+
+    /// Creates a diagonal matrix from its diagonal entries.
+    ///
+    /// # Panics
+    /// Panics if `diag.len() != N`.
+    pub fn diagonal(diag: &[Complex]) -> Self {
+        assert_eq!(diag.len(), N, "expected {N} diagonal entries");
+        let mut m = SmallMat::zeros();
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i][i] = d;
+        }
+        m
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        SmallMat::from_fn(|r, c| self.data[c][r])
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        SmallMat::from_fn(|r, c| self.data[r][c].conj())
+    }
+
+    /// Conjugate transpose (Hermitian adjoint), `U†`.
+    pub fn dagger(&self) -> Self {
+        SmallMat::from_fn(|r, c| self.data[c][r].conj())
+    }
+
+    /// Multiplies every entry by a real scalar.
+    pub fn scale(&self, s: f64) -> Self {
+        SmallMat::from_fn(|r, c| self.data[r][c].scale(s))
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale_complex(&self, s: Complex) -> Self {
+        SmallMat::from_fn(|r, c| self.data[r][c] * s)
+    }
+
+    /// Matrix trace.
+    pub fn trace(&self) -> Complex {
+        let mut acc = Complex::ZERO;
+        for i in 0..N {
+            acc += self.data[i][i];
+        }
+        acc
+    }
+
+    /// Frobenius norm `sqrt(sum |a_ij|^2)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for row in &self.data {
+            for z in row {
+                acc += z.norm_sqr();
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &[Complex; N]) -> [Complex; N] {
+        let mut out = [Complex::ZERO; N];
+        for (row, o) in self.data.iter().zip(out.iter_mut()) {
+            let mut acc = Complex::ZERO;
+            for (a, x) in row.iter().zip(v.iter()) {
+                acc += *a * *x;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Maximum absolute entry-wise difference with another matrix.
+    ///
+    /// # Panics
+    /// Panics if `other` is not N×N.
+    pub fn max_abs_diff<M: MatRef>(&self, other: &M) -> f64 {
+        max_abs_diff_impl(self, other)
+    }
+
+    /// Entry-wise approximate equality with absolute tolerance `tol`.
+    pub fn approx_eq<M: MatRef>(&self, other: &M, tol: f64) -> bool {
+        other.nrows() == N && other.ncols() == N && self.max_abs_diff(other) <= tol
+    }
+
+    /// Approximate equality up to a global phase factor (the physically
+    /// meaningful comparison between unitaries).
+    pub fn approx_eq_up_to_phase<M: MatRef>(&self, other: &M, tol: f64) -> bool {
+        approx_eq_up_to_phase_impl(self, other, tol)
+    }
+
+    /// True when `U† U = I` within tolerance `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let prod = self.dagger() * *self;
+        prod.approx_eq(&SmallMat::<N>::identity(), tol)
+    }
+
+    /// True when the matrix equals its own adjoint within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.approx_eq(&self.dagger(), tol)
+    }
+
+    /// Raises the matrix to the `k`-th non-negative integer power.
+    pub fn pow(&self, k: usize) -> Self {
+        let mut result = SmallMat::identity();
+        for _ in 0..k {
+            result = result * *self;
+        }
+        result
+    }
+
+    /// Determinant via LU decomposition with partial pivoting (allocation
+    /// free: the elimination runs on a stack copy).
+    pub fn determinant(&self) -> Complex {
+        let mut a = self.data;
+        let mut det = Complex::ONE;
+        for k in 0..N {
+            let mut piv = k;
+            let mut piv_norm = a[k][k].norm();
+            for (r, row) in a.iter().enumerate().skip(k + 1) {
+                if row[k].norm() > piv_norm {
+                    piv = r;
+                    piv_norm = row[k].norm();
+                }
+            }
+            if piv_norm == 0.0 {
+                return Complex::ZERO;
+            }
+            if piv != k {
+                a.swap(piv, k);
+                det = -det;
+            }
+            det *= a[k][k];
+            let pivot_row = a[k];
+            for row in a.iter_mut().skip(k + 1) {
+                let factor = row[k] / pivot_row[k];
+                for (entry, &p) in row.iter_mut().zip(pivot_row.iter()).skip(k) {
+                    *entry -= factor * p;
+                }
+            }
+        }
+        det
+    }
+
+    /// Converts to a heap-allocated [`CMatrix`] (lossless).
+    pub fn to_cmatrix(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(N, N);
+        for (r, row) in self.data.iter().enumerate() {
+            for (c, z) in row.iter().enumerate() {
+                out[(r, c)] = *z;
+            }
+        }
+        out
+    }
+}
+
+impl Mat2 {
+    /// Kronecker (tensor) product `self ⊗ other`, producing the 4×4 two-qubit
+    /// operator — the hot-path specialisation of [`CMatrix::kron`].
+    ///
+    /// ```
+    /// use qmath::{Mat2, Mat4};
+    /// let id = Mat2::identity();
+    /// let x = Mat2::from_real(&[0.0, 1.0, 1.0, 0.0]);
+    /// let ix: Mat4 = id.kron(&x);
+    /// assert_eq!(ix[(0, 1)], x[(0, 1)]);
+    /// ```
+    pub fn kron(&self, other: &Mat2) -> Mat4 {
+        let mut out = Mat4::zeros();
+        for ar in 0..2 {
+            for ac in 0..2 {
+                let a = self.data[ar][ac];
+                for br in 0..2 {
+                    for bc in 0..2 {
+                        out.data[2 * ar + br][2 * ac + bc] = a * other.data[br][bc];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<const N: usize> Default for SmallMat<N> {
+    fn default() -> Self {
+        SmallMat::zeros()
+    }
+}
+
+impl<const N: usize> MatRef for SmallMat<N> {
+    #[inline]
+    fn nrows(&self) -> usize {
+        N
+    }
+    #[inline]
+    fn ncols(&self) -> usize {
+        N
+    }
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> Complex {
+        self.data[r][c]
+    }
+}
+
+impl<const N: usize> Index<(usize, usize)> for SmallMat<N> {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        &self.data[r][c]
+    }
+}
+
+impl<const N: usize> IndexMut<(usize, usize)> for SmallMat<N> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        &mut self.data[r][c]
+    }
+}
+
+impl<const N: usize> Mul for SmallMat<N> {
+    type Output = SmallMat<N>;
+    fn mul(self, rhs: SmallMat<N>) -> SmallMat<N> {
+        let mut out = SmallMat::zeros();
+        for r in 0..N {
+            for k in 0..N {
+                let a = self.data[r][k];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for c in 0..N {
+                    out.data[r][c] += a * rhs.data[k][c];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<const N: usize> Mul for &SmallMat<N> {
+    type Output = SmallMat<N>;
+    #[inline]
+    fn mul(self, rhs: &SmallMat<N>) -> SmallMat<N> {
+        *self * *rhs
+    }
+}
+
+impl<const N: usize> Mul<Complex> for SmallMat<N> {
+    type Output = SmallMat<N>;
+    #[inline]
+    fn mul(self, rhs: Complex) -> SmallMat<N> {
+        self.scale_complex(rhs)
+    }
+}
+
+impl<const N: usize> Add for SmallMat<N> {
+    type Output = SmallMat<N>;
+    fn add(self, rhs: SmallMat<N>) -> SmallMat<N> {
+        SmallMat::from_fn(|r, c| self.data[r][c] + rhs.data[r][c])
+    }
+}
+
+impl<const N: usize> Add for &SmallMat<N> {
+    type Output = SmallMat<N>;
+    #[inline]
+    fn add(self, rhs: &SmallMat<N>) -> SmallMat<N> {
+        *self + *rhs
+    }
+}
+
+impl<const N: usize> Sub for SmallMat<N> {
+    type Output = SmallMat<N>;
+    fn sub(self, rhs: SmallMat<N>) -> SmallMat<N> {
+        SmallMat::from_fn(|r, c| self.data[r][c] - rhs.data[r][c])
+    }
+}
+
+impl<const N: usize> Sub for &SmallMat<N> {
+    type Output = SmallMat<N>;
+    #[inline]
+    fn sub(self, rhs: &SmallMat<N>) -> SmallMat<N> {
+        *self - *rhs
+    }
+}
+
+impl<const N: usize> Neg for SmallMat<N> {
+    type Output = SmallMat<N>;
+    fn neg(self) -> SmallMat<N> {
+        SmallMat::from_fn(|r, c| -self.data[r][c])
+    }
+}
+
+impl<const N: usize> fmt::Debug for SmallMat<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SmallMat {N}x{N} [")?;
+        for row in &self.data {
+            write!(f, "  ")?;
+            for z in row {
+                write!(f, "{z} ")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const N: usize> fmt::Display for SmallMat<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Error returned when converting a [`CMatrix`] of the wrong shape into a
+/// [`SmallMat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// The dimension the target `SmallMat` requires.
+    pub expected: usize,
+    /// Rows of the offending matrix.
+    pub rows: usize,
+    /// Columns of the offending matrix.
+    pub cols: usize,
+}
+
+impl fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expected a {0}x{0} matrix, got {1}x{2}",
+            self.expected, self.rows, self.cols
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
+impl<const N: usize> From<SmallMat<N>> for CMatrix {
+    fn from(m: SmallMat<N>) -> CMatrix {
+        m.to_cmatrix()
+    }
+}
+
+impl<const N: usize> From<&SmallMat<N>> for CMatrix {
+    fn from(m: &SmallMat<N>) -> CMatrix {
+        m.to_cmatrix()
+    }
+}
+
+impl<const N: usize> TryFrom<&CMatrix> for SmallMat<N> {
+    type Error = ShapeMismatch;
+
+    fn try_from(m: &CMatrix) -> Result<Self, ShapeMismatch> {
+        if m.rows() != N || m.cols() != N {
+            return Err(ShapeMismatch {
+                expected: N,
+                rows: m.rows(),
+                cols: m.cols(),
+            });
+        }
+        Ok(SmallMat::from_fn(|r, c| m[(r, c)]))
+    }
+}
+
+impl<const N: usize> TryFrom<CMatrix> for SmallMat<N> {
+    type Error = ShapeMismatch;
+
+    fn try_from(m: CMatrix) -> Result<Self, ShapeMismatch> {
+        SmallMat::try_from(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> Mat2 {
+        Mat2::from_real(&[0.0, 1.0, 1.0, 0.0])
+    }
+
+    fn pauli_y() -> Mat2 {
+        Mat2::from_rows(&[
+            Complex::ZERO,
+            Complex::new(0.0, -1.0),
+            Complex::new(0.0, 1.0),
+            Complex::ZERO,
+        ])
+    }
+
+    fn pauli_z() -> Mat2 {
+        Mat2::from_real(&[1.0, 0.0, 0.0, -1.0])
+    }
+
+    #[test]
+    fn pauli_algebra_on_the_stack() {
+        let (x, y, z) = (pauli_x(), pauli_y(), pauli_z());
+        // XY = iZ
+        assert!((x * y).approx_eq(&z.scale_complex(Complex::I), 1e-12));
+        for p in [x, y, z] {
+            assert!((p * p).approx_eq(&Mat2::identity(), 1e-12));
+            assert!(p.trace().norm() < 1e-12);
+            assert!(p.is_unitary(1e-12));
+            assert!(p.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn kron_matches_cmatrix_kron() {
+        let a = pauli_x();
+        let b = pauli_z();
+        let small = a.kron(&b);
+        let big = a.to_cmatrix().kron(&b.to_cmatrix());
+        assert!(small.approx_eq(&big, 1e-15));
+        // Mixed-product property: (A⊗B)(C⊗D) = AC ⊗ BD
+        let c = pauli_y();
+        let d = pauli_z();
+        let lhs = a.kron(&b) * c.kron(&d);
+        let rhs = (a * c).kron(&(b * d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_paulis() {
+        assert!((pauli_x().determinant() + Complex::ONE).norm() < 1e-12);
+        assert!((pauli_z().determinant() + Complex::ONE).norm() < 1e-12);
+        assert!((Mat4::identity().determinant() - Complex::ONE).norm() < 1e-12);
+        let singular = Mat2::from_real(&[1.0, 2.0, 2.0, 4.0]);
+        assert!(singular.determinant().norm() < 1e-12);
+    }
+
+    #[test]
+    fn pow_and_scale() {
+        let x = pauli_x();
+        assert!(x.pow(0).approx_eq(&Mat2::identity(), 1e-12));
+        assert!(x.pow(2).approx_eq(&Mat2::identity(), 1e-12));
+        assert!(x.pow(3).approx_eq(&x, 1e-12));
+        assert!((x.scale(2.0).frobenius_norm() - 2.0 * x.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_up_to_phase_mixed_types() {
+        let x = pauli_x();
+        let phased = x.scale_complex(Complex::cis(0.7));
+        assert!(x.approx_eq_up_to_phase(&phased, 1e-12));
+        assert!(x.approx_eq_up_to_phase(&phased.to_cmatrix(), 1e-12));
+        assert!(!x.approx_eq_up_to_phase(&pauli_z(), 1e-12));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let m = Mat4::from_fn(|r, c| Complex::new(r as f64, c as f64));
+        let big: CMatrix = m.into();
+        let back = Mat4::try_from(&big).unwrap();
+        assert_eq!(back, m);
+        // Wrong shape is a typed error, not a panic.
+        let err = Mat2::try_from(&big).unwrap_err();
+        assert_eq!(err.expected, 2);
+        assert!(err.to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_product() {
+        let x = pauli_x();
+        let out = x.mul_vec(&[Complex::ONE, Complex::ZERO]);
+        assert!(out[0].norm() < 1e-12);
+        assert!((out[1] - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let x = pauli_x();
+        let z = pauli_z();
+        assert!((x + z - z).approx_eq(&x, 1e-15));
+        assert!((-x + x).approx_eq(&Mat2::zeros(), 1e-15));
+        let (xr, zr) = (&x, &z);
+        assert!((xr + zr).approx_eq(&(x + z), 1e-15));
+        assert!((xr - zr).approx_eq(&(x - z), 1e-15));
+    }
+
+    #[test]
+    fn diagonal_and_indexing() {
+        let d = Mat4::diagonal(&[Complex::ONE, Complex::I, -Complex::ONE, -Complex::I]);
+        assert_eq!(d[(1, 1)], Complex::I);
+        assert_eq!(d[(1, 2)], Complex::ZERO);
+        let mut m = Mat2::zeros();
+        m[(0, 1)] = Complex::ONE;
+        assert_eq!(m.at(0, 1), Complex::ONE);
+        assert_eq!(m.dim(), 2);
+    }
+}

@@ -1,7 +1,10 @@
 //! Property-based tests for the qmath crate.
 
 use proptest::prelude::*;
-use qmath::{haar_random_unitary, hilbert_schmidt_fidelity, CMatrix, Complex, RngSeed};
+use qmath::{
+    average_gate_fidelity, haar_random_unitary, hilbert_schmidt_fidelity, hilbert_schmidt_inner,
+    process_infidelity, CMatrix, Complex, Mat2, Mat4, RngSeed,
+};
 
 fn arb_complex() -> impl Strategy<Value = Complex> {
     (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
@@ -90,6 +93,74 @@ proptest! {
         let t1 = (&a * &b).trace();
         let t2 = (&b * &a).trace();
         prop_assert!((t1 - t2).norm() < 1e-8);
+    }
+
+    // ----- SmallMat vs CMatrix agreement (PR 4 hot-path kernel) -----
+
+    #[test]
+    fn small_mat_products_match_cmatrix(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let b = haar_random_unitary(4, &mut rng);
+        let sa = Mat4::try_from(&a).unwrap();
+        let sb = Mat4::try_from(&b).unwrap();
+        let heap = &a * &b;
+        let stack = sa * sb;
+        prop_assert!(stack.approx_eq(&heap, 1e-12));
+    }
+
+    #[test]
+    fn small_mat_adjoint_trace_and_norm_match_cmatrix(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let sa = Mat4::try_from(&a).unwrap();
+        prop_assert!(sa.dagger().approx_eq(&a.dagger(), 1e-12));
+        prop_assert!(sa.transpose().approx_eq(&a.transpose(), 1e-12));
+        prop_assert!(sa.conj().approx_eq(&a.conj(), 1e-12));
+        prop_assert!((sa.trace() - a.trace()).norm() < 1e-12);
+        prop_assert!((sa.frobenius_norm() - a.frobenius_norm()).abs() < 1e-12);
+        prop_assert!((sa.determinant() - a.determinant()).norm() < 1e-10);
+        prop_assert!(sa.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn small_mat_kron_matches_cmatrix(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(2, &mut rng);
+        let b = haar_random_unitary(2, &mut rng);
+        let sa = Mat2::try_from(&a).unwrap();
+        let sb = Mat2::try_from(&b).unwrap();
+        prop_assert!(sa.kron(&sb).approx_eq(&a.kron(&b), 1e-12));
+    }
+
+    #[test]
+    fn small_mat_fidelities_match_cmatrix(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let b = haar_random_unitary(4, &mut rng);
+        let sa = Mat4::try_from(&a).unwrap();
+        let sb = Mat4::try_from(&b).unwrap();
+        prop_assert!((hilbert_schmidt_inner(&sa, &sb) - hilbert_schmidt_inner(&a, &b)).norm() < 1e-12);
+        prop_assert!((hilbert_schmidt_fidelity(&sa, &sb) - hilbert_schmidt_fidelity(&a, &b)).abs() < 1e-12);
+        prop_assert!((average_gate_fidelity(&sa, &sb) - average_gate_fidelity(&a, &b)).abs() < 1e-12);
+        prop_assert!((process_infidelity(&sa, &sb) - process_infidelity(&a, &b)).abs() < 1e-12);
+        // Mixed heap/stack arguments agree too.
+        prop_assert!((hilbert_schmidt_fidelity(&sa, &b) - hilbert_schmidt_fidelity(&a, &sb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_mat_round_trips_through_conversions(seed in 0u64..1000) {
+        let mut rng = RngSeed(seed).rng();
+        let a = haar_random_unitary(4, &mut rng);
+        let small = Mat4::try_from(&a).unwrap();
+        let back: CMatrix = small.into();
+        prop_assert!(back.approx_eq(&a, 0.0));
+        prop_assert_eq!(Mat4::try_from(&back).unwrap(), small);
+
+        let b = haar_random_unitary(2, &mut rng);
+        let small2 = Mat2::try_from(&b).unwrap();
+        let back2 = CMatrix::from(&small2);
+        prop_assert!(back2.approx_eq(&b, 0.0));
     }
 
     #[test]

@@ -4,70 +4,92 @@
 //! `Σ K_i† K_i = I`. The trajectory simulator samples one operator per
 //! application with probability `‖K_i|ψ⟩‖²` and renormalizes, which reproduces
 //! the channel exactly in expectation.
+//!
+//! Operators are stored as stack-allocated [`SmallMat`]s: a channel is generic
+//! over its qubit dimension (`KrausChannel<2>` for single-qubit channels,
+//! `KrausChannel<4>` for two-qubit ones), so sampling and applying Kraus
+//! operators in the trajectory inner loop never allocates per operator.
 
-use qmath::{CMatrix, Complex};
+use qmath::{Complex, Mat2, SmallMat};
 use serde::{Deserialize, Serialize};
 
-/// A quantum channel as a list of Kraus operators (all of the same dimension).
+/// A quantum channel as a list of `N`×`N` Kraus operators.
+///
+/// `N` is 2 for single-qubit channels and 4 for two-qubit channels; the
+/// [`Kraus1q`] / [`Kraus2q`] aliases name those instantiations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct KrausChannel {
-    operators: Vec<CMatrix>,
+pub struct KrausChannel<const N: usize> {
+    operators: Vec<SmallMat<N>>,
 }
 
-impl KrausChannel {
+/// A single-qubit (2×2) Kraus channel.
+pub type Kraus1q = KrausChannel<2>;
+
+/// A two-qubit (4×4) Kraus channel.
+pub type Kraus2q = KrausChannel<4>;
+
+/// A depolarizing channel whose dimension matches the operation's arity.
+///
+/// [`crate::NoiseModel::noise_for`] produces one of these per noisy unitary;
+/// the simulators match on the variant to apply it to the right qubit count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArityChannel {
+    /// A channel on one qubit.
+    One(Kraus1q),
+    /// A channel on a qubit pair.
+    Two(Kraus2q),
+}
+
+impl<const N: usize> KrausChannel<N> {
     /// Creates a channel, checking the completeness relation `Σ K† K = I`.
     ///
     /// # Panics
-    /// Panics if the operator list is empty, dimensions are inconsistent, or
-    /// the completeness relation is violated beyond `1e-6`.
-    pub fn new(operators: Vec<CMatrix>) -> Self {
+    /// Panics if the operator list is empty or the completeness relation is
+    /// violated beyond `1e-6`.
+    pub fn new(operators: Vec<SmallMat<N>>) -> Self {
         assert!(
             !operators.is_empty(),
             "a channel needs at least one Kraus operator"
         );
-        let dim = operators[0].rows();
-        let mut sum = CMatrix::zeros(dim, dim);
+        let mut sum = SmallMat::<N>::zeros();
         for k in &operators {
-            assert_eq!(k.rows(), dim, "inconsistent Kraus operator dimensions");
-            sum = &sum + &(&k.dagger() * k);
+            sum = sum + k.dagger() * *k;
         }
         assert!(
-            sum.approx_eq(&CMatrix::identity(dim), 1e-6),
+            sum.approx_eq(&SmallMat::<N>::identity(), 1e-6),
             "Kraus operators do not satisfy the completeness relation"
         );
         KrausChannel { operators }
     }
 
-    /// The identity channel of the given dimension.
-    pub fn identity(dim: usize) -> Self {
+    /// The identity channel.
+    pub fn identity() -> Self {
         KrausChannel {
-            operators: vec![CMatrix::identity(dim)],
+            operators: vec![SmallMat::identity()],
         }
     }
 
     /// The Kraus operators.
-    pub fn operators(&self) -> &[CMatrix] {
+    pub fn operators(&self) -> &[SmallMat<N>] {
         &self.operators
     }
 
     /// Operator dimension (2 for single-qubit channels, 4 for two-qubit).
     pub fn dim(&self) -> usize {
-        self.operators[0].rows()
+        N
     }
 
     /// True when this is (numerically) the identity channel.
     pub fn is_identity(&self) -> bool {
-        self.operators.len() == 1
-            && self.operators[0].approx_eq(&CMatrix::identity(self.dim()), 1e-12)
+        self.operators.len() == 1 && self.operators[0].approx_eq(&SmallMat::<N>::identity(), 1e-12)
     }
 
     /// Composes two channels acting on the same space: `other ∘ self`.
-    pub fn then(&self, other: &KrausChannel) -> KrausChannel {
-        assert_eq!(self.dim(), other.dim(), "channel dimension mismatch");
+    pub fn then(&self, other: &KrausChannel<N>) -> KrausChannel<N> {
         let mut ops = Vec::with_capacity(self.operators.len() * other.operators.len());
         for a in &other.operators {
             for b in &self.operators {
-                ops.push(a * b);
+                ops.push(*a * *b);
             }
         }
         KrausChannel::new(ops)
@@ -75,70 +97,74 @@ impl KrausChannel {
 }
 
 /// The single-qubit Pauli operators `{I, X, Y, Z}`.
-pub fn pauli_basis_1q() -> [CMatrix; 4] {
+pub fn pauli_basis_1q() -> [Mat2; 4] {
     [
-        CMatrix::identity(2),
+        Mat2::identity(),
         gates::standard::x(),
         gates::standard::y(),
         gates::standard::z(),
     ]
 }
 
-/// Depolarizing channel on `n` qubits (`n` = 1 or 2) with error probability
-/// `p`: with probability `p` a uniformly random non-identity Pauli is applied.
+fn depolarizing_ops<const N: usize>(paulis: Vec<SmallMat<N>>, p: f64) -> Vec<SmallMat<N>> {
+    let num_error_terms = paulis.len() - 1;
+    paulis
+        .into_iter()
+        .enumerate()
+        .map(|(i, pauli)| {
+            let weight = if i == 0 {
+                (1.0 - p).sqrt()
+            } else {
+                (p / num_error_terms as f64).sqrt()
+            };
+            pauli.scale(weight)
+        })
+        .collect()
+}
+
+/// Single-qubit depolarizing channel with error probability `p`: with
+/// probability `p` a uniformly random non-identity Pauli is applied.
 ///
 /// # Panics
-/// Panics if `p` is outside `[0, 1]` or `n` is not 1 or 2.
-pub fn depolarizing_paulis(n: usize, p: f64) -> KrausChannel {
+/// Panics if `p` is outside `[0, 1]`.
+pub fn depolarizing_1q(p: f64) -> Kraus1q {
     assert!((0.0..=1.0).contains(&p), "probability out of range");
-    assert!(n == 1 || n == 2, "depolarizing supported on 1 or 2 qubits");
+    KrausChannel::new(depolarizing_ops(pauli_basis_1q().to_vec(), p))
+}
+
+/// Two-qubit depolarizing channel with error probability `p` over the 15
+/// non-identity two-qubit Paulis.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn depolarizing_2q(p: f64) -> Kraus2q {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
     let singles = pauli_basis_1q();
-    let paulis: Vec<CMatrix> = if n == 1 {
-        singles.to_vec()
-    } else {
-        let mut v = Vec::with_capacity(16);
-        for a in &singles {
-            for b in &singles {
-                v.push(a.kron(b));
-            }
+    let mut paulis = Vec::with_capacity(16);
+    for a in &singles {
+        for b in &singles {
+            paulis.push(a.kron(b));
         }
-        v
-    };
-    let num_error_terms = paulis.len() - 1;
-    let mut ops = Vec::with_capacity(paulis.len());
-    for (i, pauli) in paulis.into_iter().enumerate() {
-        let weight = if i == 0 {
-            (1.0 - p).sqrt()
-        } else {
-            (p / num_error_terms as f64).sqrt()
-        };
-        ops.push(pauli.scale(weight));
     }
-    KrausChannel::new(ops)
+    KrausChannel::new(depolarizing_ops(paulis, p))
 }
 
 /// Amplitude-damping channel with decay probability
 /// `γ = 1 − exp(−t/T1)` for an operation of duration `t`.
-pub fn amplitude_damping_kraus(gamma: f64) -> KrausChannel {
+pub fn amplitude_damping_kraus(gamma: f64) -> Kraus1q {
     assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
-    let k0 = CMatrix::from_rows(
-        2,
-        &[
-            Complex::ONE,
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::from_real((1.0 - gamma).sqrt()),
-        ],
-    );
-    let k1 = CMatrix::from_rows(
-        2,
-        &[
-            Complex::ZERO,
-            Complex::from_real(gamma.sqrt()),
-            Complex::ZERO,
-            Complex::ZERO,
-        ],
-    );
+    let k0 = Mat2::from_rows(&[
+        Complex::ONE,
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::from_real((1.0 - gamma).sqrt()),
+    ]);
+    let k1 = Mat2::from_rows(&[
+        Complex::ZERO,
+        Complex::from_real(gamma.sqrt()),
+        Complex::ZERO,
+        Complex::ZERO,
+    ]);
     KrausChannel::new(vec![k0, k1])
 }
 
@@ -146,19 +172,19 @@ pub fn amplitude_damping_kraus(gamma: f64) -> KrausChannel {
 ///
 /// For an operation of duration `t` on a qubit with times `(T1, T2)`, the pure
 /// dephasing rate is `1/Tφ = 1/T2 − 1/(2 T1)` and `p = (1 − exp(−t/Tφ)) / 2`.
-pub fn dephasing_kraus(p: f64) -> KrausChannel {
+pub fn dephasing_kraus(p: f64) -> Kraus1q {
     assert!(
         (0.0..=0.5 + 1e-12).contains(&p),
         "dephasing probability out of range"
     );
-    let k0 = CMatrix::identity(2).scale((1.0 - p).sqrt());
+    let k0 = Mat2::identity().scale((1.0 - p).sqrt());
     let k1 = gates::standard::z().scale(p.sqrt());
     KrausChannel::new(vec![k0, k1])
 }
 
 /// The combined thermal-relaxation channel for an idle/gate window of
 /// `duration_ns` on a qubit with `t1_us` / `t2_us`.
-pub fn thermal_relaxation(duration_ns: f64, t1_us: f64, t2_us: f64) -> KrausChannel {
+pub fn thermal_relaxation(duration_ns: f64, t1_us: f64, t2_us: f64) -> Kraus1q {
     assert!(
         duration_ns >= 0.0 && t1_us > 0.0 && t2_us > 0.0,
         "invalid relaxation parameters"
@@ -178,9 +204,9 @@ mod tests {
     #[test]
     fn depolarizing_channel_is_complete() {
         for p in [0.0, 0.01, 0.3, 1.0] {
-            let c1 = depolarizing_paulis(1, p);
+            let c1 = depolarizing_1q(p);
             assert_eq!(c1.operators().len(), 4);
-            let c2 = depolarizing_paulis(2, p);
+            let c2 = depolarizing_2q(p);
             assert_eq!(c2.operators().len(), 16);
             assert_eq!(c2.dim(), 4);
         }
@@ -188,7 +214,7 @@ mod tests {
 
     #[test]
     fn zero_error_depolarizing_is_identity_in_effect() {
-        let c = depolarizing_paulis(1, 0.0);
+        let c = depolarizing_1q(0.0);
         // The non-identity Kraus terms have zero weight.
         for k in &c.operators()[1..] {
             assert!(k.frobenius_norm() < 1e-12);
@@ -231,7 +257,7 @@ mod tests {
 
     #[test]
     fn channel_composition_keeps_completeness() {
-        let a = depolarizing_paulis(1, 0.05);
+        let a = depolarizing_1q(0.05);
         let b = dephasing_kraus(0.1);
         let c = a.then(&b);
         assert_eq!(c.operators().len(), 8);
@@ -239,8 +265,9 @@ mod tests {
 
     #[test]
     fn identity_channel_detection() {
-        assert!(KrausChannel::identity(2).is_identity());
-        assert!(!depolarizing_paulis(1, 0.1).is_identity());
+        assert!(Kraus1q::identity().is_identity());
+        assert!(Kraus2q::identity().is_identity());
+        assert!(!depolarizing_1q(0.1).is_identity());
     }
 
     #[test]
@@ -252,6 +279,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability out of range")]
     fn invalid_probability_panics() {
-        let _ = depolarizing_paulis(1, 1.5);
+        let _ = depolarizing_1q(1.5);
     }
 }

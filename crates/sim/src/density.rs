@@ -5,9 +5,9 @@
 //! validate it (see `tests/sim_agreement.rs` at the workspace root).
 
 use circuit::{Circuit, OpKind, QubitId};
-use qmath::{CMatrix, Complex};
+use qmath::{CMatrix, Complex, Mat2, Mat4};
 
-use crate::channels::KrausChannel;
+use crate::channels::{ArityChannel, Kraus1q, Kraus2q};
 use crate::noise_model::NoiseModel;
 
 /// A density matrix over an `n`-qubit register.
@@ -66,19 +66,19 @@ impl DensityMatrix {
     }
 
     /// Applies a 2×2 unitary to one qubit.
-    pub fn apply_one_qubit(&mut self, m: &CMatrix, q: QubitId) {
+    pub fn apply_one_qubit(&mut self, m: &Mat2, q: QubitId) {
         let full = circuit::embed_one_qubit(m, q, self.num_qubits);
         self.apply_full_unitary(&full);
     }
 
     /// Applies a 4×4 unitary to a qubit pair.
-    pub fn apply_two_qubit(&mut self, m: &CMatrix, q0: QubitId, q1: QubitId) {
+    pub fn apply_two_qubit(&mut self, m: &Mat4, q0: QubitId, q1: QubitId) {
         let full = circuit::embed_two_qubit(m, q0, q1, self.num_qubits);
         self.apply_full_unitary(&full);
     }
 
     /// Applies a Kraus channel on one qubit: `ρ → Σ K ρ K†`.
-    pub fn apply_channel_1q(&mut self, channel: &KrausChannel, q: QubitId) {
+    pub fn apply_channel_1q(&mut self, channel: &Kraus1q, q: QubitId) {
         let dim = self.rho.rows();
         let mut out = CMatrix::zeros(dim, dim);
         for k in channel.operators() {
@@ -89,7 +89,7 @@ impl DensityMatrix {
     }
 
     /// Applies a Kraus channel on a qubit pair.
-    pub fn apply_channel_2q(&mut self, channel: &KrausChannel, q0: QubitId, q1: QubitId) {
+    pub fn apply_channel_2q(&mut self, channel: &Kraus2q, q0: QubitId, q1: QubitId) {
         let dim = self.rho.rows();
         let mut out = CMatrix::zeros(dim, dim);
         for k in channel.operators() {
@@ -106,19 +106,27 @@ impl DensityMatrix {
         let mut dm = DensityMatrix::zero_state(circuit.num_qubits());
         for op in circuit.iter() {
             match op.kind() {
-                OpKind::Unitary1Q { matrix, .. } => dm.apply_one_qubit(matrix, op.qubits()[0]),
+                OpKind::Unitary1Q { matrix, .. } => {
+                    let m = Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix");
+                    dm.apply_one_qubit(&m, op.qubits()[0]);
+                }
                 OpKind::Unitary2Q { matrix, .. } => {
-                    dm.apply_two_qubit(matrix, op.qubits()[0], op.qubits()[1])
+                    let m = Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix");
+                    dm.apply_two_qubit(&m, op.qubits()[0], op.qubits()[1]);
                 }
                 OpKind::Measure | OpKind::Barrier => {}
             }
             let op_noise = noise.noise_for(op);
-            if let Some(channel) = &op_noise.depolarizing {
-                match op.qubits() {
-                    [q] => dm.apply_channel_1q(channel, *q),
-                    [q0, q1] => dm.apply_channel_2q(channel, *q0, *q1),
-                    _ => {}
+            match (&op_noise.depolarizing, op.qubits()) {
+                (Some(ArityChannel::One(channel)), [q]) => dm.apply_channel_1q(channel, *q),
+                (Some(ArityChannel::Two(channel)), [q0, q1]) => {
+                    dm.apply_channel_2q(channel, *q0, *q1)
                 }
+                (None, _) => {}
+                (Some(_), qubits) => unreachable!(
+                    "noise_for returned a channel whose arity disagrees with a {}-qubit op",
+                    qubits.len()
+                ),
             }
             for (q, channel) in &op_noise.relaxation {
                 dm.apply_channel_1q(channel, *q);
@@ -131,7 +139,7 @@ impl DensityMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channels::{amplitude_damping_kraus, depolarizing_paulis};
+    use crate::channels::{amplitude_damping_kraus, depolarizing_1q, depolarizing_2q};
     use circuit::Operation;
     use device::DeviceModel;
     use gates::standard;
@@ -155,7 +163,7 @@ mod tests {
         let mut dm = DensityMatrix::zero_state(1);
         dm.apply_one_qubit(&standard::h(), 0);
         assert!((dm.purity() - 1.0).abs() < 1e-10);
-        dm.apply_channel_1q(&depolarizing_paulis(1, 0.2), 0);
+        dm.apply_channel_1q(&depolarizing_1q(0.2), 0);
         assert!(dm.purity() < 1.0);
         assert!((dm.trace() - 1.0).abs() < 1e-10);
     }
@@ -166,7 +174,7 @@ mod tests {
         // p = 1 depolarizing: 3/4 chance of X/Y/Z; resulting state is
         // (|0><0| + X|0><0|X + Y..Y + Z..Z)/... not exactly maximally mixed for
         // this parameterization, but purity must drop substantially.
-        dm.apply_channel_1q(&depolarizing_paulis(1, 0.75), 0);
+        dm.apply_channel_1q(&depolarizing_1q(0.75), 0);
         assert!(dm.purity() < 0.7);
     }
 
@@ -186,7 +194,7 @@ mod tests {
         let mut dm = DensityMatrix::zero_state(2);
         dm.apply_one_qubit(&standard::h(), 0);
         dm.apply_two_qubit(&standard::cnot(), 0, 1);
-        dm.apply_channel_2q(&depolarizing_paulis(2, 0.1), 0, 1);
+        dm.apply_channel_2q(&depolarizing_2q(0.1), 0, 1);
         assert!((dm.trace() - 1.0).abs() < 1e-10);
         assert!(dm.purity() < 1.0);
     }

@@ -47,7 +47,10 @@ pub mod noise_model;
 pub mod runner;
 pub mod statevector;
 
-pub use channels::{amplitude_damping_kraus, dephasing_kraus, depolarizing_paulis, KrausChannel};
+pub use channels::{
+    amplitude_damping_kraus, dephasing_kraus, depolarizing_1q, depolarizing_2q, ArityChannel,
+    Kraus1q, Kraus2q, KrausChannel,
+};
 pub use density::DensityMatrix;
 pub use noise_model::{NoiseModel, OperationNoise};
 pub use runner::{Counts, IdealSimulator, NoisySimulator};

@@ -10,17 +10,19 @@ use circuit::{OpKind, Operation, QubitId};
 use device::DeviceModel;
 use serde::{Deserialize, Serialize};
 
-use crate::channels::{depolarizing_paulis, thermal_relaxation, KrausChannel};
+use crate::channels::{
+    depolarizing_1q, depolarizing_2q, thermal_relaxation, ArityChannel, Kraus1q,
+};
 
 /// The noise applied around one circuit operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OperationNoise {
     /// Depolarizing channel matched to the operation arity (dimension 2 or 4),
     /// or `None` for noiseless operations.
-    pub depolarizing: Option<KrausChannel>,
+    pub depolarizing: Option<ArityChannel>,
     /// Per-qubit thermal relaxation channels `(qubit, channel)` applied for the
     /// operation's duration.
-    pub relaxation: Vec<(QubitId, KrausChannel)>,
+    pub relaxation: Vec<(QubitId, Kraus1q)>,
 }
 
 /// A device-derived noise model.
@@ -81,7 +83,7 @@ impl NoiseModel {
                 let err = (1.0 - self.device.one_qubit_fidelity(q)).clamp(0.0, 1.0);
                 OperationNoise {
                     depolarizing: if err > 0.0 {
-                        Some(depolarizing_paulis(1, err))
+                        Some(ArityChannel::One(depolarizing_1q(err)))
                     } else {
                         None
                     },
@@ -94,7 +96,7 @@ impl NoiseModel {
                 let err = ((1.0 - fid) * self.two_qubit_error_scale).clamp(0.0, 1.0);
                 OperationNoise {
                     depolarizing: if err > 0.0 {
-                        Some(depolarizing_paulis(2, err))
+                        Some(ArityChannel::Two(depolarizing_2q(err)))
                     } else {
                         None
                     },
@@ -112,7 +114,7 @@ impl NoiseModel {
         }
     }
 
-    fn relaxation_for(&self, qubits: &[QubitId], duration_ns: f64) -> Vec<(QubitId, KrausChannel)> {
+    fn relaxation_for(&self, qubits: &[QubitId], duration_ns: f64) -> Vec<(QubitId, Kraus1q)> {
         if !self.with_relaxation {
             return Vec::new();
         }
@@ -141,11 +143,9 @@ mod tests {
         let ncz = model.noise_for(&cz);
         let nxy = model.noise_for(&xy);
         // Both are depolarizing channels; CZ's error weight should be larger.
-        let weight = |n: &OperationNoise| {
-            n.depolarizing
-                .as_ref()
-                .map(|c| 1.0 - c.operators()[0].frobenius_norm().powi(2) / 4.0)
-                .unwrap_or(0.0)
+        let weight = |n: &OperationNoise| match &n.depolarizing {
+            Some(ArityChannel::Two(c)) => 1.0 - c.operators()[0].frobenius_norm().powi(2) / 4.0,
+            _ => 0.0,
         };
         assert!(weight(&ncz) > weight(&nxy));
     }
@@ -154,7 +154,7 @@ mod tests {
     fn noiseless_model_has_no_channels() {
         let device = DeviceModel::sycamore(RngSeed(2));
         let model = NoiseModel::noiseless(&device);
-        let op = Operation::unitary2q("SYC", gates::GateType::syc().unitary().clone(), 0, 1);
+        let op = Operation::unitary2q("SYC", *gates::GateType::syc().unitary(), 0, 1);
         let noise = model.noise_for(&op);
         assert!(noise.depolarizing.is_none());
         assert!(noise.relaxation.is_empty());
@@ -168,18 +168,14 @@ mod tests {
         let one = model.noise_for(&Operation::h(0));
         let two = model.noise_for(&Operation::unitary2q(
             "SYC",
-            gates::GateType::syc().unitary().clone(),
+            *gates::GateType::syc().unitary(),
             0,
             1,
         ));
-        let err_weight = |n: &OperationNoise| {
-            n.depolarizing
-                .as_ref()
-                .map(|c| {
-                    let k0 = &c.operators()[0];
-                    1.0 - k0.frobenius_norm().powi(2) / k0.rows() as f64
-                })
-                .unwrap_or(0.0)
+        let err_weight = |n: &OperationNoise| match &n.depolarizing {
+            Some(ArityChannel::One(c)) => 1.0 - c.operators()[0].frobenius_norm().powi(2) / 2.0,
+            Some(ArityChannel::Two(c)) => 1.0 - c.operators()[0].frobenius_norm().powi(2) / 4.0,
+            None => 0.0,
         };
         assert!(err_weight(&one) < err_weight(&two));
     }
@@ -189,7 +185,7 @@ mod tests {
         let device = DeviceModel::sycamore(RngSeed(4));
         let mut model = NoiseModel::from_device(&device);
         model.two_qubit_error_scale = 0.0;
-        let op = Operation::unitary2q("SYC", gates::GateType::syc().unitary().clone(), 0, 1);
+        let op = Operation::unitary2q("SYC", *gates::GateType::syc().unitary(), 0, 1);
         assert!(model.noise_for(&op).depolarizing.is_none());
     }
 

@@ -4,10 +4,11 @@ use std::collections::BTreeMap;
 
 use circuit::{Circuit, OpKind};
 use qmath::RngSeed;
+use qmath::{Mat2, Mat4};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::channels::KrausChannel;
+use crate::channels::{ArityChannel, Kraus1q, Kraus2q};
 use crate::noise_model::NoiseModel;
 use crate::statevector::StateVector;
 
@@ -86,9 +87,13 @@ impl IdealSimulator {
         let mut state = StateVector::zero_state(circuit.num_qubits());
         for op in circuit.iter() {
             match op.kind() {
-                OpKind::Unitary1Q { matrix, .. } => state.apply_one_qubit(matrix, op.qubits()[0]),
+                OpKind::Unitary1Q { matrix, .. } => {
+                    let m = Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix");
+                    state.apply_one_qubit(&m, op.qubits()[0]);
+                }
                 OpKind::Unitary2Q { matrix, .. } => {
-                    state.apply_two_qubit(matrix, op.qubits()[0], op.qubits()[1])
+                    let m = Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix");
+                    state.apply_two_qubit(&m, op.qubits()[0], op.qubits()[1]);
                 }
                 OpKind::Measure | OpKind::Barrier => {}
             }
@@ -150,19 +155,29 @@ impl NoisySimulator {
         let mut state = StateVector::zero_state(circuit.num_qubits());
         for op in circuit.iter() {
             match op.kind() {
-                OpKind::Unitary1Q { matrix, .. } => state.apply_one_qubit(matrix, op.qubits()[0]),
+                OpKind::Unitary1Q { matrix, .. } => {
+                    let m = Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix");
+                    state.apply_one_qubit(&m, op.qubits()[0]);
+                }
                 OpKind::Unitary2Q { matrix, .. } => {
-                    state.apply_two_qubit(matrix, op.qubits()[0], op.qubits()[1])
+                    let m = Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix");
+                    state.apply_two_qubit(&m, op.qubits()[0], op.qubits()[1]);
                 }
                 OpKind::Measure | OpKind::Barrier => {}
             }
             let noise = self.noise.noise_for(op);
-            if let Some(channel) = &noise.depolarizing {
-                match op.qubits() {
-                    [q] => apply_channel_1q(&mut state, channel, *q, rng),
-                    [q0, q1] => apply_channel_2q(&mut state, channel, *q0, *q1, rng),
-                    _ => {}
+            match (&noise.depolarizing, op.qubits()) {
+                (Some(ArityChannel::One(channel)), [q]) => {
+                    apply_channel_1q(&mut state, channel, *q, rng)
                 }
+                (Some(ArityChannel::Two(channel)), [q0, q1]) => {
+                    apply_channel_2q(&mut state, channel, *q0, *q1, rng)
+                }
+                (None, _) => {}
+                (Some(_), qubits) => unreachable!(
+                    "noise_for returned a channel whose arity disagrees with a {}-qubit op",
+                    qubits.len()
+                ),
             }
             for (q, channel) in &noise.relaxation {
                 apply_channel_1q(&mut state, channel, *q, rng);
@@ -192,7 +207,7 @@ impl NoisySimulator {
 /// Samples and applies one Kraus operator of a single-qubit channel.
 fn apply_channel_1q<R: Rng + ?Sized>(
     state: &mut StateVector,
-    channel: &KrausChannel,
+    channel: &Kraus1q,
     q: usize,
     rng: &mut R,
 ) {
@@ -219,7 +234,7 @@ fn apply_channel_1q<R: Rng + ?Sized>(
 /// Samples and applies one Kraus operator of a two-qubit channel.
 fn apply_channel_2q<R: Rng + ?Sized>(
     state: &mut StateVector,
-    channel: &KrausChannel,
+    channel: &Kraus2q,
     q0: usize,
     q1: usize,
     rng: &mut R,

@@ -1,7 +1,7 @@
 //! Dense state-vector representation and gate application.
 
 use circuit::QubitId;
-use qmath::{CMatrix, Complex};
+use qmath::{Complex, Mat2, Mat4};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -81,11 +81,13 @@ impl StateVector {
 
     /// Applies a 2×2 unitary (or Kraus operator) to qubit `q` in place.
     ///
+    /// The operator is the stack-allocated [`Mat2`]; per-gate application
+    /// reads it straight from registers with no per-call allocation.
+    ///
     /// # Panics
-    /// Panics if `q` is out of range or the matrix is not 2×2.
-    pub fn apply_one_qubit(&mut self, m: &CMatrix, q: QubitId) {
+    /// Panics if `q` is out of range.
+    pub fn apply_one_qubit(&mut self, m: &Mat2, q: QubitId) {
         assert!(q < self.num_qubits, "qubit out of range");
-        assert_eq!(m.rows(), 2, "expected a 2x2 matrix");
         let shift = self.num_qubits - 1 - q;
         let mask = 1usize << shift;
         let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
@@ -107,14 +109,13 @@ impl StateVector {
     /// `q0` is the most significant qubit of the matrix.
     ///
     /// # Panics
-    /// Panics if the qubits are out of range or equal, or the matrix is not 4×4.
-    pub fn apply_two_qubit(&mut self, m: &CMatrix, q0: QubitId, q1: QubitId) {
+    /// Panics if the qubits are out of range or equal.
+    pub fn apply_two_qubit(&mut self, m: &Mat4, q0: QubitId, q1: QubitId) {
         assert!(
             q0 < self.num_qubits && q1 < self.num_qubits,
             "qubit out of range"
         );
         assert_ne!(q0, q1, "qubits must be distinct");
-        assert_eq!(m.rows(), 4, "expected a 4x4 matrix");
         let s0 = self.num_qubits - 1 - q0;
         let s1 = self.num_qubits - 1 - q1;
         let mask0 = 1usize << s0;
@@ -286,7 +287,7 @@ mod tests {
         let mut s = StateVector::zero_state(1);
         s.apply_one_qubit(&standard::h(), 0);
         // A non-unitary Kraus-like operator.
-        let k = CMatrix::from_real(2, &[1.0, 0.0, 0.0, 0.5]);
+        let k = Mat2::from_real(&[1.0, 0.0, 0.0, 0.5]);
         s.apply_one_qubit(&k, 0);
         assert!(s.norm_sqr() < 1.0);
         s.normalize();

@@ -18,7 +18,7 @@
 //! The numbers here reproduce the Cirq columns of Fig. 6 and give the baseline
 //! that NuOp's counts are compared against.
 
-use qmath::CMatrix;
+use qmath::Mat4;
 use serde::{Deserialize, Serialize};
 
 use crate::weyl::minimal_cnot_count;
@@ -54,8 +54,8 @@ impl CirqTargetGate {
 /// generic unitary).
 ///
 /// # Panics
-/// Panics if `target` is not a 4×4 unitary.
-pub fn cirq_gate_count(target: &CMatrix, gate: CirqTargetGate) -> Option<usize> {
+/// Panics if `target` is not unitary.
+pub fn cirq_gate_count(target: &Mat4, gate: CirqTargetGate) -> Option<usize> {
     let cnots = minimal_cnot_count(target);
     match gate {
         CirqTargetGate::Cz => Some(cnots),
@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn cz_baseline_matches_kak_counts() {
         assert_eq!(
-            cirq_gate_count(&CMatrix::identity(4), CirqTargetGate::Cz),
+            cirq_gate_count(&Mat4::identity(), CirqTargetGate::Cz),
             Some(0)
         );
         assert_eq!(

@@ -16,7 +16,7 @@
 //! * 2 CNOTs ⇔ `tr γ` is real,
 //! * 3 CNOTs otherwise.
 
-use qmath::{CMatrix, Complex};
+use qmath::{Complex, Mat4};
 use serde::{Deserialize, Serialize};
 
 use gates::standard;
@@ -48,7 +48,7 @@ impl WeylCoordinates {
 }
 
 /// Returns the special-unitary representative `U / det(U)^{1/4}` of a 4×4 unitary.
-fn to_su4(u: &CMatrix) -> CMatrix {
+fn to_su4(u: &Mat4) -> Mat4 {
     let det = u.determinant();
     let phase = Complex::cis(-det.arg() / 4.0);
     u.scale_complex(phase)
@@ -56,16 +56,16 @@ fn to_su4(u: &CMatrix) -> CMatrix {
 
 /// The Makhlin/SBM invariant `γ(U) = U (Y⊗Y) Uᵀ (Y⊗Y)` of the SU(4)
 /// representative of `u`.
-fn gamma(u: &CMatrix) -> CMatrix {
+fn gamma(u: &Mat4) -> Mat4 {
     let su = to_su4(u);
     let yy = standard::y().kron(&standard::y());
     let ut = su.transpose();
-    &(&(&su * &yy) * &ut) * &yy
+    su * yy * ut * yy
 }
 
 /// Trace of the `γ` invariant. This single complex number decides the minimal
 /// CNOT count (see module docs).
-pub fn gamma_trace(u: &CMatrix) -> Complex {
+pub fn gamma_trace(u: &Mat4) -> Complex {
     gamma(u).trace()
 }
 
@@ -74,8 +74,7 @@ pub fn gamma_trace(u: &CMatrix) -> Complex {
 ///
 /// # Panics
 /// Panics if `u` is not a 4×4 unitary.
-pub fn minimal_cnot_count(u: &CMatrix) -> usize {
-    assert_eq!(u.rows(), 4, "expected a two-qubit unitary");
+pub fn minimal_cnot_count(u: &Mat4) -> usize {
     assert!(u.is_unitary(1e-8), "expected a unitary matrix");
     let tol = 1e-6;
     let g = gamma(u);
@@ -86,8 +85,8 @@ pub fn minimal_cnot_count(u: &CMatrix) -> usize {
     }
     // One CNOT: tr γ = 0 and γ² = −I.
     if tr.norm() < tol {
-        let g2 = &g * &g;
-        let minus_id = CMatrix::identity(4).scale(-1.0);
+        let g2 = g * g;
+        let minus_id = Mat4::identity().scale(-1.0);
         if g2.approx_eq(&minus_id, 1e-6) {
             return 1;
         }
@@ -109,13 +108,12 @@ pub fn minimal_cnot_count(u: &CMatrix) -> usize {
 ///
 /// # Panics
 /// Panics if `u` is not a 4×4 unitary.
-pub fn weyl_coordinates(u: &CMatrix) -> WeylCoordinates {
-    assert_eq!(u.rows(), 4, "expected a two-qubit unitary");
+pub fn weyl_coordinates(u: &Mat4) -> WeylCoordinates {
     assert!(u.is_unitary(1e-8), "expected a unitary matrix");
     let su = to_su4(u);
     let b = magic_basis();
-    let m = &(&b.dagger() * &su) * &b;
-    let mm = &m.transpose() * &m;
+    let m = b.dagger() * su * b;
+    let mm = m.transpose() * m;
     // Eigenvalues of the (unitary, symmetric) matrix mᵀm are e^{2iθ_k} with
     // Σθ_k ≡ 0 (mod π).
     let eigenvalues = unitary_eigenvalues_4x4(&mm);
@@ -156,52 +154,48 @@ fn fold_coordinate(c: f64) -> f64 {
 }
 
 /// The magic (Bell) basis change matrix.
-fn magic_basis() -> CMatrix {
+fn magic_basis() -> Mat4 {
     let s = std::f64::consts::FRAC_1_SQRT_2;
-    CMatrix::from_rows(
-        4,
-        &[
-            Complex::new(s, 0.0),
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::new(0.0, s),
-            //
-            Complex::ZERO,
-            Complex::new(0.0, s),
-            Complex::new(s, 0.0),
-            Complex::ZERO,
-            //
-            Complex::ZERO,
-            Complex::new(0.0, s),
-            Complex::new(-s, 0.0),
-            Complex::ZERO,
-            //
-            Complex::new(s, 0.0),
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::new(0.0, -s),
-        ],
-    )
+    Mat4::from_rows(&[
+        Complex::new(s, 0.0),
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::new(0.0, s),
+        //
+        Complex::ZERO,
+        Complex::new(0.0, s),
+        Complex::new(s, 0.0),
+        Complex::ZERO,
+        //
+        Complex::ZERO,
+        Complex::new(0.0, s),
+        Complex::new(-s, 0.0),
+        Complex::ZERO,
+        //
+        Complex::new(s, 0.0),
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::new(0.0, -s),
+    ])
 }
 
 /// Eigenvalues of a 4×4 unitary matrix via its characteristic polynomial
 /// (coefficients from the Faddeev–LeVerrier recursion) and Durand–Kerner
 /// root iteration. Adequate for matrices whose eigenvalues lie on the unit
 /// circle, which is all this module needs.
-fn unitary_eigenvalues_4x4(m: &CMatrix) -> [Complex; 4] {
-    assert_eq!(m.rows(), 4);
+fn unitary_eigenvalues_4x4(m: &Mat4) -> [Complex; 4] {
     // Faddeev–LeVerrier: p(λ) = λ^4 + c3 λ^3 + c2 λ^2 + c1 λ + c0
-    let id = CMatrix::identity(4);
-    let mut mk = m.clone();
+    let id = Mat4::identity();
+    let mut mk = *m;
     let c3 = -mk.trace();
-    let mut aux = &mk + &id.scale_complex(c3);
-    mk = m * &aux;
+    let mut aux = mk + id.scale_complex(c3);
+    mk = *m * aux;
     let c2 = mk.trace().scale(-0.5);
-    aux = &mk + &id.scale_complex(c2);
-    mk = m * &aux;
+    aux = mk + id.scale_complex(c2);
+    mk = *m * aux;
     let c1 = mk.trace().scale(-1.0 / 3.0);
-    aux = &mk + &id.scale_complex(c1);
-    mk = m * &aux;
+    aux = mk + id.scale_complex(c1);
+    mk = *m * aux;
     let c0 = mk.trace().scale(-0.25);
 
     let poly = move |z: Complex| {
@@ -243,11 +237,11 @@ mod tests {
     use super::*;
     use gates::fsim::{fsim, xy};
     use gates::GateType;
-    use qmath::{haar_random_su4, haar_random_unitary, RngSeed};
+    use qmath::{haar_random_su4, haar_random_unitary, Mat2, RngSeed};
 
     #[test]
     fn identity_and_local_gates_need_zero_cnots() {
-        assert_eq!(minimal_cnot_count(&CMatrix::identity(4)), 0);
+        assert_eq!(minimal_cnot_count(&Mat4::identity()), 0);
         let local = standard::h().kron(&standard::t());
         assert_eq!(minimal_cnot_count(&local), 0);
         assert!(weyl_coordinates(&local).is_local(1e-3));
@@ -287,11 +281,11 @@ mod tests {
         let mut rng = RngSeed(5).rng();
         for _ in 0..5 {
             let u = haar_random_su4(&mut rng);
-            let a = haar_random_unitary(2, &mut rng);
-            let b = haar_random_unitary(2, &mut rng);
-            let c = haar_random_unitary(2, &mut rng);
-            let d = haar_random_unitary(2, &mut rng);
-            let dressed = &(&a.kron(&b) * &u) * &c.kron(&d);
+            let a = Mat2::try_from(&haar_random_unitary(2, &mut rng)).unwrap();
+            let b = Mat2::try_from(&haar_random_unitary(2, &mut rng)).unwrap();
+            let c = Mat2::try_from(&haar_random_unitary(2, &mut rng)).unwrap();
+            let d = Mat2::try_from(&haar_random_unitary(2, &mut rng)).unwrap();
+            let dressed = a.kron(&b) * u * c.kron(&d);
             let w1 = weyl_coordinates(&u);
             let w2 = weyl_coordinates(&dressed);
             assert!(w1.approx_eq(&w2, 1e-5), "w1={w1:?} w2={w2:?}");
@@ -316,7 +310,7 @@ mod tests {
 
     #[test]
     fn distinct_classes_have_distinct_coordinates() {
-        let id = weyl_coordinates(&CMatrix::identity(4));
+        let id = weyl_coordinates(&Mat4::identity());
         let cz = weyl_coordinates(&standard::cz());
         let swap = weyl_coordinates(&standard::swap());
         let iswap = weyl_coordinates(&standard::iswap());
@@ -348,13 +342,13 @@ mod tests {
 
     #[test]
     fn gamma_trace_of_identity_is_four() {
-        let tr = gamma_trace(&CMatrix::identity(4));
+        let tr = gamma_trace(&Mat4::identity());
         assert!((tr.norm() - 4.0).abs() < 1e-9);
     }
 
     #[test]
     fn eigenvalue_solver_matches_diagonal_matrix() {
-        let d = CMatrix::diagonal(&[
+        let d = Mat4::diagonal(&[
             Complex::cis(0.1),
             Complex::cis(1.2),
             Complex::cis(-2.0),

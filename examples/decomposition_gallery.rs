@@ -6,13 +6,13 @@
 
 use gates::{standard, GateType};
 use nuop_core::{decompose_fixed, DecomposeConfig};
-use qmath::{haar_random_su4, RngSeed};
+use qmath::{haar_random_su4, Mat4, RngSeed};
 
 fn main() {
     let cfg = DecomposeConfig::default();
     let mut rng = RngSeed(42).rng();
 
-    let targets: Vec<(&str, qmath::CMatrix)> = vec![
+    let targets: Vec<(&str, Mat4)> = vec![
         ("QV / random SU(4)", haar_random_su4(&mut rng)),
         ("QAOA ZZ(0.25)", standard::zz_interaction(0.25)),
         (

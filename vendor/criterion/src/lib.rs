@@ -6,6 +6,10 @@
 //! `criterion_main!` macros. Timing is a plain wall-clock mean over the
 //! configured sample count, printed one line per benchmark; there are no
 //! statistics, plots or baselines.
+//!
+//! Like real criterion, `-- --test` (forwarded by `cargo bench`) switches to
+//! smoke mode: every routine runs exactly once so CI can verify the bench
+//! kernels still execute without paying measurement time.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -85,17 +89,19 @@ fn report(group: &str, id: &str, bencher: &Bencher) {
 
 /// A named collection of related benchmarks sharing a sample count.
 pub struct BenchmarkGroup<'a> {
-    #[allow(dead_code)]
     criterion: &'a mut Criterion,
     name: String,
     samples: usize,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets how many times each routine runs per measurement.
+    /// Sets how many times each routine runs per measurement (ignored in
+    /// `--test` smoke mode, which pins one iteration).
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
         assert!(samples > 0, "sample_size must be positive");
-        self.samples = samples;
+        if !self.criterion.test_mode {
+            self.samples = samples;
+        }
         self
     }
 
@@ -144,19 +150,29 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug, Default)]
 pub struct Criterion {
     default_samples: usize,
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Applies command-line configuration (the shim ignores all flags that
-    /// `cargo bench` forwards, e.g. `--bench` and name filters).
+    /// Applies command-line configuration. `--test` (criterion's smoke-test
+    /// flag, reachable via `cargo bench -- --test`) caps every benchmark at a
+    /// single iteration; all other forwarded flags are ignored.
     pub fn configure_from_args(mut self) -> Self {
         self.default_samples = 10;
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        if self.test_mode {
+            println!("criterion shim: --test mode, one iteration per benchmark");
+        }
         self
     }
 
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let samples = self.default_samples.max(1);
+        let samples = if self.test_mode {
+            1
+        } else {
+            self.default_samples.max(1)
+        };
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
@@ -169,7 +185,11 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = self.default_samples.max(1);
+        let samples = if self.test_mode {
+            1
+        } else {
+            self.default_samples.max(1)
+        };
         let mut group = BenchmarkGroup {
             criterion: self,
             name: String::new(),
