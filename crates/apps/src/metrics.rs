@@ -140,7 +140,7 @@ mod tests {
     use super::*;
     use crate::workloads::{qaoa_circuit, qv_circuit};
     use qmath::RngSeed;
-    use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+    use sim::{ExecutionEngine, IdealSimulator, NoiseModel, SimJob};
 
     fn uniform_counts(num_qubits: usize, shots_per_state: usize) -> Counts {
         let mut counts = Counts::new(num_qubits);
@@ -199,13 +199,18 @@ mod tests {
 
     #[test]
     fn noise_reduces_every_metric() {
+        // Clean and noisy runs of the same circuit as one engine batch.
         let c = qv_circuit(3, RngSeed(8));
         let ideal = IdealSimulator::probabilities(&c);
-        let clean = IdealSimulator::sample(&c, 5000, RngSeed(9));
         let device = device::DeviceModel::ideal(3, 0.93);
         let mut nm = NoiseModel::from_device(&device);
         nm.with_readout_error = false;
-        let noisy = NoisySimulator::new(nm).run(&c, 2000, RngSeed(10));
+        let mut results = ExecutionEngine::new().run_batch(&[
+            SimJob::ideal(c.clone(), 5000, RngSeed(9)),
+            SimJob::noisy(c, nm, 2000, RngSeed(10)),
+        ]);
+        let noisy = results.pop().expect("noisy job ran").counts;
+        let clean = results.pop().expect("ideal job ran").counts;
         assert!(
             heavy_output_probability(&noisy, &ideal) < heavy_output_probability(&clean, &ideal)
         );

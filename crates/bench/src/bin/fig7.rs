@@ -2,7 +2,7 @@
 //! hardware error rate (multiples of the SYC 0.62% error), scored by QV HOP
 //! and QAOA XED on the Sycamore model.
 
-use bench::{compiler_for, evaluate_set, qaoa_suite, qv_suite, Metric, Scale};
+use bench::{compiler_for, evaluate_set, qaoa_suite, qv_suite, Scale};
 use compiler::CompilerOptions;
 use device::DeviceModel;
 use gates::InstructionSet;
@@ -72,36 +72,41 @@ fn evaluate_exact(
     shots: usize,
     seed: RngSeed,
 ) -> f64 {
-    use apps::{
-        cross_entropy_difference, heavy_output_probability, linear_xeb_fidelity, success_rate,
-    };
-    use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+    use sim::{ExecutionEngine, NoiseModel, SimJob};
     // Compile against a zero-error view (exact decomposition), execute on
     // the real noisy device calibration.
     let perfect = device.without_noise_variation().with_error_scale(0.0);
     let exact_compiler =
         compiler_for(&perfect, set, options).expect("valid compiler configuration");
-    let mut total = 0.0;
-    for (i, bench_circuit) in suite.iter().enumerate() {
-        let compiled = exact_compiler
-            .compile(&bench_circuit.circuit)
-            .expect("suite compiles");
-        let noisy_sub = device.subdevice(&compiled.region);
-        let counts = NoisySimulator::new(NoiseModel::from_device(&noisy_sub)).run(
-            &compiled.circuit,
-            shots,
-            seed.child(i as u64),
-        );
-        let logical = compiled.logical_counts(&counts);
-        let ideal = IdealSimulator::probabilities(&bench_circuit.circuit.without_measurements());
-        total += match bench_circuit.metric {
-            Metric::Hop => heavy_output_probability(&logical, &ideal),
-            Metric::Xed => cross_entropy_difference(&logical, &ideal),
-            Metric::Xeb => linear_xeb_fidelity(&logical, &ideal),
-            Metric::SuccessRate => {
-                success_rate(&logical, bench_circuit.expected_outcome.expect("expected"))
-            }
-        };
-    }
+    let compiled: Vec<_> = suite
+        .iter()
+        .map(|bench_circuit| {
+            exact_compiler
+                .compile(&bench_circuit.circuit)
+                .expect("suite compiles")
+        })
+        .collect();
+    // One batched simulation across the whole suite: each job carries the
+    // *noisy* calibration of the region the exact compiler picked.
+    let jobs: Vec<SimJob> = compiled
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let noisy_sub = device.subdevice(&c.region);
+            SimJob::noisy(
+                c.circuit.clone(),
+                NoiseModel::from_device(&noisy_sub),
+                shots,
+                seed.child(i as u64),
+            )
+        })
+        .collect();
+    let results = ExecutionEngine::new().run_batch(&jobs);
+    let total: f64 = suite
+        .iter()
+        .zip(compiled.iter())
+        .zip(results.iter())
+        .map(|((bench_circuit, c), result)| bench::score_counts(bench_circuit, c, &result.counts))
+        .sum();
     total / suite.len() as f64
 }

@@ -19,7 +19,7 @@ use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
 use serde::{Deserialize, Serialize};
-use sim::{IdealSimulator, NoiseModel, NoisySimulator};
+use sim::{Counts, ExecutionEngine, IdealSimulator, NoiseModel, SimJob};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -182,16 +182,21 @@ pub fn compiler_for(
         .build()
 }
 
-/// Simulates and scores one compiled benchmark circuit.
-pub fn score_compiled(
-    bench: &BenchCircuit,
-    compiled: &CompiledCircuit,
-    shots: usize,
-    seed: RngSeed,
-) -> f64 {
-    let noise = NoiseModel::from_device(&compiled.subdevice);
-    let counts = NoisySimulator::new(noise).run(&compiled.circuit, shots, seed);
-    let logical = compiled.logical_counts(&counts);
+/// The simulation job for one compiled benchmark circuit: its physical
+/// circuit under the carved-out subdevice's calibrated noise.
+pub fn sim_job(compiled: &CompiledCircuit, shots: usize, seed: RngSeed) -> SimJob {
+    SimJob::noisy(
+        compiled.circuit.clone(),
+        NoiseModel::from_device(&compiled.subdevice),
+        shots,
+        seed,
+    )
+}
+
+/// Scores already-measured counts of a compiled benchmark circuit against the
+/// ideal distribution of its logical circuit.
+pub fn score_counts(bench: &BenchCircuit, compiled: &CompiledCircuit, counts: &Counts) -> f64 {
+    let logical = compiled.logical_counts(counts);
     let ideal = IdealSimulator::probabilities(&bench.circuit.without_measurements());
     match bench.metric {
         Metric::Hop => heavy_output_probability(&logical, &ideal),
@@ -202,6 +207,19 @@ pub fn score_compiled(
             bench.expected_outcome.expect("expected outcome set"),
         ),
     }
+}
+
+/// Simulates and scores one compiled benchmark circuit (a single-job
+/// [`ExecutionEngine`] run; suites should prefer
+/// [`evaluate_set`] / [`ExecutionEngine::run_batch`]).
+pub fn score_compiled(
+    bench: &BenchCircuit,
+    compiled: &CompiledCircuit,
+    shots: usize,
+    seed: RngSeed,
+) -> f64 {
+    let result = ExecutionEngine::new().run_job(&sim_job(compiled, shots, seed));
+    score_counts(bench, compiled, &result.counts)
 }
 
 /// Compiles, simulates and scores one benchmark circuit with a reusable
@@ -217,14 +235,30 @@ pub fn run_circuit(
     Ok((metric, compiled))
 }
 
-/// Evaluates an instruction set over a whole suite.
-///
-/// The suite is compiled as one [`Compiler::compile_batch`] fan-out: worker
-/// threads share the compiler's decomposition cache, so suites with repeated
-/// unitaries only pay for each distinct decomposition once.
+/// Evaluates an instruction set over a whole suite with a default-configured
+/// [`ExecutionEngine`]. See [`evaluate_set_with_engine`].
 pub fn evaluate_set(
     suite: &[BenchCircuit],
     compiler: &Compiler,
+    shots: usize,
+    seed: RngSeed,
+) -> Result<SetResult, CompileError> {
+    evaluate_set_with_engine(suite, compiler, &ExecutionEngine::new(), shots, seed)
+}
+
+/// Evaluates an instruction set over a whole suite.
+///
+/// The suite is compiled as one [`Compiler::compile_batch`] fan-out (worker
+/// threads share the compiler's decomposition cache, so suites with repeated
+/// unitaries only pay for each distinct decomposition once) and then simulated
+/// as one [`ExecutionEngine::run_batch`] call: every circuit is lowered to its
+/// Kraus channels once and its shots are sharded across the engine's worker
+/// threads, with per-shard seed streams keeping scores independent of the
+/// thread count.
+pub fn evaluate_set_with_engine(
+    suite: &[BenchCircuit],
+    compiler: &Compiler,
+    engine: &ExecutionEngine,
     shots: usize,
     seed: RngSeed,
 ) -> Result<SetResult, CompileError> {
@@ -234,12 +268,18 @@ pub fn evaluate_set(
         .compile_batch(&circuits)
         .into_iter()
         .collect::<Result<_, _>>()?;
+    let jobs: Vec<SimJob> = compiled
+        .iter()
+        .enumerate()
+        .map(|(i, c)| sim_job(c, shots, seed.child(i as u64)))
+        .collect();
+    let results = engine.run_batch(&jobs);
     let mut metric_sum = 0.0;
     let mut gate_sum = 0.0;
     let mut swap_sum = 0.0;
     let mut fid_sum = 0.0;
-    for (i, (bench, compiled)) in suite.iter().zip(compiled.iter()).enumerate() {
-        metric_sum += score_compiled(bench, compiled, shots, seed.child(i as u64));
+    for ((bench, compiled), result) in suite.iter().zip(compiled.iter()).zip(results.iter()) {
+        metric_sum += score_counts(bench, compiled, &result.counts);
         gate_sum += compiled.two_qubit_gate_count() as f64;
         swap_sum += compiled.swap_count as f64;
         fid_sum += compiled.pass_stats.estimated_circuit_fidelity;

@@ -4,11 +4,12 @@
 //! module provides the exact channel evolution `ρ → Σ_i K_i ρ K_i†` used to
 //! validate it (see `tests/sim_agreement.rs` at the workspace root).
 
-use circuit::{Circuit, OpKind, QubitId};
+use circuit::{Circuit, QubitId};
 use qmath::{CMatrix, Complex, Mat2, Mat4};
 
 use crate::channels::{ArityChannel, Kraus1q, Kraus2q};
 use crate::noise_model::NoiseModel;
+use crate::precompiled::{PrecompiledCircuit, PrecompiledKind};
 
 /// A density matrix over an `n`-qubit register.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,33 +103,40 @@ impl DensityMatrix {
     /// Evolves the density matrix through a circuit under a noise model
     /// (measurements and barriers contribute only their relaxation noise;
     /// readout error is not included — it acts on classical outcomes).
+    ///
+    /// Lowers the circuit once via [`PrecompiledCircuit`] — the same
+    /// simulation-ready ops the trajectory engine consumes, so the exact and
+    /// Monte-Carlo paths cannot drift apart.
     pub fn evolve(circuit: &Circuit, noise: &NoiseModel) -> DensityMatrix {
-        let mut dm = DensityMatrix::zero_state(circuit.num_qubits());
-        for op in circuit.iter() {
-            match op.kind() {
-                OpKind::Unitary1Q { matrix, .. } => {
-                    let m = Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix");
-                    dm.apply_one_qubit(&m, op.qubits()[0]);
+        DensityMatrix::evolve_precompiled(&PrecompiledCircuit::new(circuit, noise))
+    }
+
+    /// Evolves the exact density matrix through an already-lowered circuit.
+    pub fn evolve_precompiled(pre: &PrecompiledCircuit) -> DensityMatrix {
+        let mut dm = DensityMatrix::zero_state(pre.num_qubits());
+        for op in pre.ops() {
+            match &op.kind {
+                PrecompiledKind::Unitary1Q { matrix, qubit } => {
+                    dm.apply_one_qubit(matrix, *qubit);
                 }
-                OpKind::Unitary2Q { matrix, .. } => {
-                    let m = Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix");
-                    dm.apply_two_qubit(&m, op.qubits()[0], op.qubits()[1]);
+                PrecompiledKind::Unitary2Q { matrix, q0, q1 } => {
+                    dm.apply_two_qubit(matrix, *q0, *q1);
                 }
-                OpKind::Measure | OpKind::Barrier => {}
+                PrecompiledKind::Silent => {}
             }
-            let op_noise = noise.noise_for(op);
-            match (&op_noise.depolarizing, op.qubits()) {
-                (Some(ArityChannel::One(channel)), [q]) => dm.apply_channel_1q(channel, *q),
-                (Some(ArityChannel::Two(channel)), [q0, q1]) => {
-                    dm.apply_channel_2q(channel, *q0, *q1)
+            match (&op.depolarizing, &op.kind) {
+                (Some(ArityChannel::One(channel)), PrecompiledKind::Unitary1Q { qubit, .. }) => {
+                    dm.apply_channel_1q(channel, *qubit);
+                }
+                (Some(ArityChannel::Two(channel)), PrecompiledKind::Unitary2Q { q0, q1, .. }) => {
+                    dm.apply_channel_2q(channel, *q0, *q1);
                 }
                 (None, _) => {}
-                (Some(_), qubits) => unreachable!(
-                    "noise_for returned a channel whose arity disagrees with a {}-qubit op",
-                    qubits.len()
-                ),
+                (Some(_), _) => {
+                    unreachable!("precompiled channel arity disagrees with its operation")
+                }
             }
-            for (q, channel) in &op_noise.relaxation {
+            for (q, channel) in &op.relaxation {
                 dm.apply_channel_1q(channel, *q);
             }
         }

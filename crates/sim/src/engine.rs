@@ -1,0 +1,573 @@
+//! The parallel batched-shot execution engine.
+//!
+//! Monte-Carlo trajectory sampling is embarrassingly parallel: every shot is
+//! an independent random realization of the same noisy circuit. The
+//! [`ExecutionEngine`] exploits that in two steps:
+//!
+//! 1. each job's circuit is lowered **once** into a
+//!    [`PrecompiledCircuit`] — per-op `Mat2`/`Mat4` kernels plus prebuilt,
+//!    completeness-checked Kraus channels — removing the ~shots× redundant
+//!    channel construction of the naive per-shot path, and
+//! 2. the shot loop is split into fixed-size **shards** distributed over
+//!    scoped worker threads.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical regardless of thread count**. Shard boundaries
+//! depend only on the configured [shot-chunk size](EngineBuilder::shot_chunk_size),
+//! never on how many workers happen to run, and every shard derives its own
+//! ChaCha stream from `(seed, shard_index)` (the [`SeedPolicy::PerShard`]
+//! default) or `(seed, shot_index)` ([`SeedPolicy::PerShot`], which reproduces
+//! the historical single-threaded `NoisySimulator::run` bit for bit). Merged
+//! histograms are sums, so the merge order cannot be observed either.
+//!
+//! # Example
+//!
+//! ```
+//! use circuit::{Circuit, Operation};
+//! use device::DeviceModel;
+//! use qmath::RngSeed;
+//! use sim::{ExecutionEngine, NoiseModel, SimJob};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.push(Operation::h(0));
+//! bell.push(Operation::cnot(0, 1));
+//! bell.measure_all();
+//!
+//! let noise = NoiseModel::from_device(&DeviceModel::ideal(2, 0.99));
+//! let engine = ExecutionEngine::builder().threads(4).build();
+//! let jobs = vec![
+//!     SimJob::noisy(bell.clone(), noise, 400, RngSeed(7)),
+//!     SimJob::ideal(bell, 400, RngSeed(8)),
+//! ];
+//! let results = engine.run_batch(&jobs);
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results[0].counts.total(), 400);
+//! assert!(results[1].report.shots_per_sec() > 0.0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use circuit::Circuit;
+use qmath::RngSeed;
+use serde::{Deserialize, Serialize};
+
+use crate::noise_model::NoiseModel;
+use crate::precompiled::PrecompiledCircuit;
+use crate::runner::Counts;
+
+/// Default number of shots per shard.
+///
+/// Small enough that typical figure workloads (hundreds to tens of thousands
+/// of shots) split into many more shards than cores, large enough that shard
+/// bookkeeping is negligible next to a trajectory.
+pub const DEFAULT_SHOT_CHUNK: usize = 64;
+
+/// How per-shot randomness is derived from a job's seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SeedPolicy {
+    /// One ChaCha stream per **shard**, derived from `(seed, shard_index)`;
+    /// shots within the shard consume it sequentially. The cheapest policy
+    /// (one RNG initialization per chunk) and the engine default.
+    #[default]
+    PerShard,
+    /// One ChaCha stream per **shot**, derived from `(seed, shot_index)`.
+    /// Reproduces the historical single-threaded `NoisySimulator::run`
+    /// bit for bit; use it when comparing against pre-engine pinned results.
+    PerShot,
+}
+
+/// One unit of simulation work: a circuit, its noise, a shot budget and the
+/// seed its randomness derives from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJob {
+    /// The circuit to execute (measurement ops are ignored; the full register
+    /// is sampled at the end of each trajectory).
+    pub circuit: Circuit,
+    /// Noise model, or `None` for ideal execution.
+    pub noise: Option<NoiseModel>,
+    /// Number of measurement shots.
+    pub shots: usize,
+    /// Seed of this job's randomness.
+    pub seed: RngSeed,
+}
+
+impl SimJob {
+    /// A noisy trajectory-sampling job.
+    pub fn noisy(circuit: Circuit, noise: NoiseModel, shots: usize, seed: RngSeed) -> Self {
+        SimJob {
+            circuit,
+            noise: Some(noise),
+            shots,
+            seed,
+        }
+    }
+
+    /// An ideal (noise-free) sampling job.
+    pub fn ideal(circuit: Circuit, shots: usize, seed: RngSeed) -> Self {
+        SimJob {
+            circuit,
+            noise: None,
+            shots,
+            seed,
+        }
+    }
+}
+
+/// What one job cost, mirroring the compiler crate's per-stage
+/// `CompileReport`: lowering time, simulation time and the achieved
+/// throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Shots executed.
+    pub shots: usize,
+    /// Shards the shot loop was split into.
+    pub shards: usize,
+    /// Worker threads that served the job (capped at the shard count).
+    pub threads: usize,
+    /// Wall-clock time to lower the circuit into a [`PrecompiledCircuit`].
+    pub precompile: Duration,
+    /// Wall-clock time of the sharded shot loop.
+    pub simulate: Duration,
+}
+
+impl EngineReport {
+    /// Total wall-clock time for the job.
+    pub fn total_duration(&self) -> Duration {
+        self.precompile + self.simulate
+    }
+
+    /// Achieved throughput in shots per second (0 when nothing ran).
+    pub fn shots_per_sec(&self) -> f64 {
+        let secs = self.simulate.as_secs_f64();
+        if secs > 0.0 {
+            self.shots as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Result of one [`SimJob`]: the merged measurement histogram plus the
+/// engine's cost report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Measurement counts, merged across all shards.
+    pub counts: Counts,
+    /// Timings and throughput for this job.
+    pub report: EngineReport,
+}
+
+/// Builder for an [`ExecutionEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    shot_chunk_size: usize,
+    seed_policy: SeedPolicy,
+}
+
+impl EngineBuilder {
+    /// Caps the worker-thread pool at `threads` (at least 1). Defaults to the
+    /// machine's available parallelism. Thread count never changes results —
+    /// only how fast they arrive.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the number of shots per shard (default
+    /// [`DEFAULT_SHOT_CHUNK`]). Under [`SeedPolicy::PerShard`] this value is
+    /// part of the deterministic result: the same seed with a different chunk
+    /// size derives different shard streams.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn shot_chunk_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "shot chunk size must be positive");
+        self.shot_chunk_size = size;
+        self
+    }
+
+    /// Chooses how shot randomness derives from the job seed (default
+    /// [`SeedPolicy::PerShard`]).
+    pub fn seed_policy(mut self, policy: SeedPolicy) -> Self {
+        self.seed_policy = policy;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> ExecutionEngine {
+        ExecutionEngine {
+            threads: self.threads.unwrap_or_else(default_threads),
+            shot_chunk_size: self.shot_chunk_size,
+            seed_policy: self.seed_policy,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The parallel batched-shot execution engine. See the [module
+/// docs](crate::engine) for the determinism guarantee.
+///
+/// ```
+/// use sim::{ExecutionEngine, SeedPolicy};
+///
+/// // Defaults: all available cores, 64-shot shards, per-shard streams.
+/// let engine = ExecutionEngine::new();
+/// assert!(engine.threads() >= 1);
+///
+/// // Fully configured:
+/// let engine = ExecutionEngine::builder()
+///     .threads(8)
+///     .shot_chunk_size(128)
+///     .seed_policy(SeedPolicy::PerShard)
+///     .build();
+/// assert_eq!(engine.threads(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutionEngine {
+    threads: usize,
+    shot_chunk_size: usize,
+    seed_policy: SeedPolicy,
+}
+
+impl Default for ExecutionEngine {
+    fn default() -> Self {
+        ExecutionEngine::builder().build()
+    }
+}
+
+impl ExecutionEngine {
+    /// An engine with default settings (all cores, [`DEFAULT_SHOT_CHUNK`],
+    /// [`SeedPolicy::PerShard`]).
+    pub fn new() -> Self {
+        ExecutionEngine::default()
+    }
+
+    /// Starts building a configured engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            threads: None,
+            shot_chunk_size: DEFAULT_SHOT_CHUNK,
+            seed_policy: SeedPolicy::default(),
+        }
+    }
+
+    /// The worker-thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Shots per shard.
+    pub fn shot_chunk_size(&self) -> usize {
+        self.shot_chunk_size
+    }
+
+    /// The seed policy.
+    pub fn seed_policy(&self) -> SeedPolicy {
+        self.seed_policy
+    }
+
+    /// Runs a batch of jobs and returns one [`SimResult`] per job, in order.
+    ///
+    /// Each job is lowered once and its shot loop sharded across the worker
+    /// pool; jobs run back to back so per-job wall-clock timings stay
+    /// meaningful.
+    pub fn run_batch(&self, jobs: &[SimJob]) -> Vec<SimResult> {
+        jobs.iter().map(|job| self.run_job(job)).collect()
+    }
+
+    /// Runs a single job.
+    pub fn run_job(&self, job: &SimJob) -> SimResult {
+        let started = Instant::now();
+        let pre = match &job.noise {
+            Some(noise) => PrecompiledCircuit::new(&job.circuit, noise),
+            None => PrecompiledCircuit::ideal(&job.circuit),
+        };
+        let precompile = started.elapsed();
+        self.run_precompiled_timed(&pre, job.shots, job.seed, precompile)
+    }
+
+    /// Runs `shots` shots of an already-lowered circuit. Use this to amortize
+    /// lowering across repeated runs of the same circuit (the single-job
+    /// wrappers in [`crate::runner`] and the benches do).
+    pub fn run_precompiled(
+        &self,
+        pre: &PrecompiledCircuit,
+        shots: usize,
+        seed: RngSeed,
+    ) -> SimResult {
+        self.run_precompiled_timed(pre, shots, seed, Duration::ZERO)
+    }
+
+    fn run_precompiled_timed(
+        &self,
+        pre: &PrecompiledCircuit,
+        shots: usize,
+        seed: RngSeed,
+        precompile: Duration,
+    ) -> SimResult {
+        let started = Instant::now();
+        let (counts, shards, threads) = self.sample_shots(pre, shots, seed);
+        SimResult {
+            counts,
+            report: EngineReport {
+                shots,
+                shards,
+                threads,
+                precompile,
+                simulate: started.elapsed(),
+            },
+        }
+    }
+
+    /// The sharded shot loop. Returns `(counts, shards, worker threads)`.
+    fn sample_shots(
+        &self,
+        pre: &PrecompiledCircuit,
+        shots: usize,
+        seed: RngSeed,
+    ) -> (Counts, usize, usize) {
+        let mut counts = Counts::new(pre.num_qubits());
+        if shots == 0 {
+            return (counts, 0, 0);
+        }
+        let chunk = self.shot_chunk_size;
+        let shards = shots.div_ceil(chunk);
+        let workers = self.threads.min(shards);
+        // Noiseless trajectories are deterministic and consume no randomness,
+        // so the state is evolved once and every shot only samples from it.
+        // The per-shot/per-shard RNG draws are unchanged, which keeps this
+        // fast path bit-identical to re-running the trajectory every shot.
+        let cached_state = if pre.is_noiseless() {
+            let mut rng = seed.rng();
+            Some(pre.run_trajectory(&mut rng))
+        } else {
+            None
+        };
+        let policy = self.seed_policy;
+        let cached = cached_state.as_ref();
+        let run_shard = |shard: usize, local: &mut Counts| {
+            let start = shard * chunk;
+            let end = (start + chunk).min(shots);
+            match policy {
+                SeedPolicy::PerShard => {
+                    let mut rng = seed.child(shard as u64).rng();
+                    for _ in start..end {
+                        local.record(sample_one(pre, cached, &mut rng));
+                    }
+                }
+                SeedPolicy::PerShot => {
+                    for shot in start..end {
+                        let mut rng = seed.child(shot as u64).rng();
+                        local.record(sample_one(pre, cached, &mut rng));
+                    }
+                }
+            }
+        };
+        if workers <= 1 {
+            for shard in 0..shards {
+                run_shard(shard, &mut counts);
+            }
+            return (counts, shards, 1);
+        }
+        let cursor = AtomicUsize::new(0);
+        let merged: Mutex<Vec<Counts>> = Mutex::new(Vec::with_capacity(workers));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Counts::new(pre.num_qubits());
+                    loop {
+                        let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards {
+                            break;
+                        }
+                        run_shard(shard, &mut local);
+                    }
+                    merged.lock().expect("worker panicked").push(local);
+                });
+            }
+        });
+        // Histogram addition is commutative, so the merge order (worker
+        // completion order) cannot leak into the result.
+        for local in merged.into_inner().expect("worker panicked") {
+            counts
+                .merge(&local)
+                .expect("workers sample the same register");
+        }
+        (counts, shards, workers)
+    }
+}
+
+/// One shot: either a full noisy trajectory, or a sample from the cached
+/// noiseless final state (identical RNG draws — see the fast-path comment in
+/// [`ExecutionEngine`]'s shot loop).
+fn sample_one<R: rand::Rng + ?Sized>(
+    pre: &PrecompiledCircuit,
+    cached: Option<&crate::statevector::StateVector>,
+    rng: &mut R,
+) -> usize {
+    match cached {
+        Some(state) => {
+            let outcome = state.sample_measurement(rng);
+            pre.apply_readout_error(outcome, rng)
+        }
+        None => pre.sample_shot(rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Operation;
+    use device::DeviceModel;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(0));
+        c.push(Operation::cnot(0, 1));
+        c.measure_all();
+        c
+    }
+
+    fn noisy_job(shots: usize, seed: u64) -> SimJob {
+        let device = DeviceModel::ideal(2, 0.95);
+        SimJob::noisy(
+            bell_circuit(),
+            NoiseModel::from_device(&device),
+            shots,
+            RngSeed(seed),
+        )
+    }
+
+    fn engine_with(threads: usize) -> ExecutionEngine {
+        ExecutionEngine::builder().threads(threads).build()
+    }
+
+    #[test]
+    fn counts_are_bit_identical_across_thread_counts() {
+        let job = noisy_job(700, 11);
+        let reference = engine_with(1).run_job(&job);
+        for threads in [2usize, 3, 8] {
+            let parallel = engine_with(threads).run_job(&job);
+            assert_eq!(parallel.counts, reference.counts, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn per_shot_policy_is_also_thread_count_invariant() {
+        let job = noisy_job(300, 13);
+        let mk = |threads| {
+            ExecutionEngine::builder()
+                .threads(threads)
+                .seed_policy(SeedPolicy::PerShot)
+                .build()
+                .run_job(&job)
+        };
+        assert_eq!(mk(1).counts, mk(8).counts);
+    }
+
+    #[test]
+    fn chunk_size_changes_per_shard_streams_but_not_per_shot() {
+        let job = noisy_job(256, 17);
+        let with_chunk = |chunk, policy| {
+            ExecutionEngine::builder()
+                .threads(4)
+                .shot_chunk_size(chunk)
+                .seed_policy(policy)
+                .build()
+                .run_job(&job)
+                .counts
+        };
+        // Per-shot streams depend only on the global shot index.
+        assert_eq!(
+            with_chunk(32, SeedPolicy::PerShot),
+            with_chunk(64, SeedPolicy::PerShot)
+        );
+        // Both chunkings are valid samples of the same distribution.
+        assert_eq!(with_chunk(32, SeedPolicy::PerShard).total(), 256);
+    }
+
+    #[test]
+    fn run_batch_preserves_job_order_and_totals() {
+        let engine = engine_with(4);
+        let jobs = vec![noisy_job(100, 1), noisy_job(50, 2), noisy_job(75, 3)];
+        let results = engine.run_batch(&jobs);
+        let totals: Vec<usize> = results.iter().map(|r| r.counts.total()).collect();
+        assert_eq!(totals, vec![100, 50, 75]);
+        for r in &results {
+            assert_eq!(r.report.shots, r.counts.total());
+            assert!(r.report.threads >= 1);
+            assert!(r.report.shards >= 1);
+        }
+    }
+
+    #[test]
+    fn zero_shots_yield_an_empty_histogram() {
+        let result = engine_with(4).run_job(&noisy_job(0, 5));
+        assert_eq!(result.counts.total(), 0);
+        assert_eq!(result.report.shards, 0);
+        assert_eq!(result.report.shots_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn ideal_jobs_only_produce_ideal_outcomes() {
+        let engine = engine_with(4);
+        let result = engine.run_job(&SimJob::ideal(bell_circuit(), 500, RngSeed(9)));
+        // A Bell circuit never yields |01> or |10> ideally.
+        assert_eq!(result.counts.count(1) + result.counts.count(2), 0);
+        assert_eq!(result.counts.total(), 500);
+    }
+
+    #[test]
+    fn noiseless_fast_path_matches_general_path() {
+        // A noiseless *noisy-model* job takes the cached-state fast path;
+        // forcing the general path by attaching readout error must leave the
+        // underlying trajectory statistics unchanged. Here we check the fast
+        // path against the per-shot policy's legacy-compatible stream.
+        let device = DeviceModel::ideal(2, 1.0);
+        let job = SimJob::noisy(
+            bell_circuit(),
+            NoiseModel::noiseless(&device),
+            400,
+            RngSeed(23),
+        );
+        let fast = ExecutionEngine::builder()
+            .threads(2)
+            .seed_policy(SeedPolicy::PerShot)
+            .build()
+            .run_job(&job);
+        // Reference: run every trajectory explicitly with the same per-shot
+        // streams (the historical code path).
+        let pre = PrecompiledCircuit::new(&job.circuit, job.noise.as_ref().unwrap());
+        let mut reference = Counts::new(2);
+        for shot in 0..400u64 {
+            let mut rng = RngSeed(23).child(shot).rng();
+            reference.record(pre.sample_shot(&mut rng));
+        }
+        assert_eq!(fast.counts, reference);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let result = engine_with(2).run_job(&noisy_job(200, 31));
+        assert_eq!(
+            result.report.total_duration(),
+            result.report.precompile + result.report.simulate
+        );
+        assert!(result.report.shots_per_sec() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shot chunk size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = ExecutionEngine::builder().shot_chunk_size(0);
+    }
+}

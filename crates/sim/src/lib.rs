@@ -9,17 +9,24 @@
 //!   T1/T2 and gate duration, and classical readout error.
 //! * [`noise_model`] — builds the per-operation noise from a
 //!   [`device::DeviceModel`] calibration table.
+//! * [`precompiled`] — circuits lowered **once** into simulation-ready ops:
+//!   per-op `Mat2`/`Mat4` kernels plus prebuilt, completeness-checked Kraus
+//!   channels (instead of rebuilding them every shot).
+//! * [`engine`] — the parallel batched-shot [`ExecutionEngine`]: shots are
+//!   sharded across scoped worker threads with per-shard ChaCha streams, so
+//!   counts are bit-identical regardless of thread count.
 //! * [`runner`] — Monte-Carlo trajectory execution: each shot samples one
 //!   noise realization, which converges to the density-matrix result while
-//!   scaling to 20+ qubits.
+//!   scaling to 20+ qubits. [`NoisySimulator::run`] and
+//!   [`IdealSimulator::sample`] are thin single-job wrappers over the engine.
 //! * [`density`] — an exact density-matrix simulator for small registers, used
-//!   to validate the trajectory sampler.
+//!   to validate the trajectory sampler (it consumes the same precompiled ops).
 //!
 //! # Example
 //!
 //! ```
 //! use circuit::{Circuit, Operation};
-//! use sim::{IdealSimulator, NoisySimulator, NoiseModel};
+//! use sim::{ExecutionEngine, IdealSimulator, NoisySimulator, NoiseModel, SimJob};
 //! use qmath::RngSeed;
 //!
 //! let mut bell = Circuit::new(2);
@@ -35,15 +42,24 @@
 //! // Noisy counts still concentrate on the Bell outcomes.
 //! let device = device::DeviceModel::ideal(2, 0.995);
 //! let noise = NoiseModel::from_device(&device);
-//! let counts = NoisySimulator::new(noise).run(&bell, 200, RngSeed(5));
+//! let counts = NoisySimulator::new(noise.clone()).run(&bell, 200, RngSeed(5));
 //! assert_eq!(counts.total(), 200);
+//!
+//! // The same job through the batch engine, with timings.
+//! let result = ExecutionEngine::new()
+//!     .run_batch(&[SimJob::noisy(bell, noise, 200, RngSeed(5))])
+//!     .remove(0);
+//! assert_eq!(result.counts.total(), 200);
+//! assert!(result.report.shots_per_sec() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod channels;
 pub mod density;
+pub mod engine;
 pub mod noise_model;
+pub mod precompiled;
 pub mod runner;
 pub mod statevector;
 
@@ -52,6 +68,10 @@ pub use channels::{
     Kraus1q, Kraus2q, KrausChannel,
 };
 pub use density::DensityMatrix;
+pub use engine::{
+    EngineBuilder, EngineReport, ExecutionEngine, SeedPolicy, SimJob, SimResult, DEFAULT_SHOT_CHUNK,
+};
 pub use noise_model::{NoiseModel, OperationNoise};
-pub use runner::{Counts, IdealSimulator, NoisySimulator};
+pub use precompiled::{PrecompiledCircuit, PrecompiledKind, PrecompiledOp};
+pub use runner::{Counts, CountsMismatch, IdealSimulator, NoisySimulator};
 pub use statevector::StateVector;

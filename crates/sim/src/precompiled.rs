@@ -1,0 +1,362 @@
+//! Circuits lowered once into a simulation-ready form.
+//!
+//! `NoisySimulator` historically re-derived everything per shot: each
+//! trajectory converted every op's `CMatrix` into its `Mat2`/`Mat4` kernel and
+//! rebuilt (and completeness-checked) every Kraus channel from the calibration
+//! data. Trajectory sampling runs thousands of shots over the same circuit, so
+//! that work was repeated ~shots× for no benefit.
+//!
+//! A [`PrecompiledCircuit`] performs that lowering exactly once:
+//!
+//! * every unitary is converted to its stack-allocated [`Mat2`]/[`Mat4`] form,
+//! * every op's depolarizing [`ArityChannel`] and per-qubit relaxation
+//!   [`Kraus1q`] channels are built (and completeness-checked by
+//!   [`KrausChannel::new`](crate::KrausChannel::new)) up front,
+//! * readout-error probabilities are resolved into a flat per-qubit table.
+//!
+//! Both the Monte-Carlo engine ([`crate::engine`]) and the exact
+//! density-matrix simulator ([`crate::DensityMatrix::evolve`]) consume the
+//! same precompiled ops, so the two validation paths cannot drift apart.
+
+use circuit::{Circuit, OpKind, QubitId};
+use qmath::{Mat2, Mat4};
+use rand::Rng;
+
+use crate::channels::{ArityChannel, Kraus1q, Kraus2q};
+use crate::noise_model::NoiseModel;
+use crate::statevector::StateVector;
+
+/// The unitary part of a lowered operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrecompiledKind {
+    /// A single-qubit unitary, already converted to its 2×2 kernel.
+    Unitary1Q {
+        /// The stack-allocated gate matrix.
+        matrix: Mat2,
+        /// Target qubit.
+        qubit: QubitId,
+    },
+    /// A two-qubit unitary, already converted to its 4×4 kernel.
+    Unitary2Q {
+        /// The stack-allocated gate matrix (`q0` is the most significant
+        /// qubit of the matrix).
+        matrix: Mat4,
+        /// First (most significant) qubit.
+        q0: QubitId,
+        /// Second qubit.
+        q1: QubitId,
+    },
+    /// A measurement or barrier: no unitary, only the attached noise.
+    Silent,
+}
+
+/// One circuit operation lowered to its simulation-ready form: the unitary
+/// kernel plus the prebuilt noise channels that follow it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecompiledOp {
+    /// The unitary kernel (or [`PrecompiledKind::Silent`]).
+    pub kind: PrecompiledKind,
+    /// Depolarizing channel matched to the op's arity, `None` when noiseless.
+    pub depolarizing: Option<ArityChannel>,
+    /// Per-qubit thermal-relaxation channels for the op's duration.
+    pub relaxation: Vec<(QubitId, Kraus1q)>,
+}
+
+/// A circuit lowered once into simulation-ready ops.
+///
+/// Build one with [`PrecompiledCircuit::new`] (noisy) or
+/// [`PrecompiledCircuit::ideal`] (no noise), then run as many trajectories
+/// against it as needed — no per-shot matrix conversion or channel
+/// construction remains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecompiledCircuit {
+    num_qubits: usize,
+    ops: Vec<PrecompiledOp>,
+    /// Per-qubit readout flip probability (all zeros when disabled).
+    readout_error: Vec<f64>,
+}
+
+impl PrecompiledCircuit {
+    /// Lowers `circuit` under `noise`, building every Kraus channel exactly
+    /// once.
+    ///
+    /// # Panics
+    /// Panics if an operation carries a matrix of the wrong dimension (which
+    /// [`circuit::Operation`] construction already prevents).
+    pub fn new(circuit: &Circuit, noise: &NoiseModel) -> Self {
+        let ops = circuit
+            .iter()
+            .map(|op| {
+                let op_noise = noise.noise_for(op);
+                PrecompiledOp {
+                    kind: lower_kind(op),
+                    depolarizing: op_noise.depolarizing,
+                    relaxation: op_noise.relaxation,
+                }
+            })
+            .collect();
+        let readout_error = (0..circuit.num_qubits())
+            .map(|q| noise.readout_error(q))
+            .collect();
+        PrecompiledCircuit {
+            num_qubits: circuit.num_qubits(),
+            ops,
+            readout_error,
+        }
+    }
+
+    /// Lowers `circuit` with no noise attached: trajectories are then
+    /// deterministic and only measurement sampling consumes randomness.
+    pub fn ideal(circuit: &Circuit) -> Self {
+        let ops = circuit
+            .iter()
+            .map(|op| PrecompiledOp {
+                kind: lower_kind(op),
+                depolarizing: None,
+                relaxation: Vec::new(),
+            })
+            .collect();
+        PrecompiledCircuit {
+            num_qubits: circuit.num_qubits(),
+            ops,
+            readout_error: vec![0.0; circuit.num_qubits()],
+        }
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The lowered operations, in circuit order.
+    pub fn ops(&self) -> &[PrecompiledOp] {
+        &self.ops
+    }
+
+    /// Per-qubit readout flip probabilities.
+    pub fn readout_error(&self) -> &[f64] {
+        &self.readout_error
+    }
+
+    /// True when no stochastic noise is attached anywhere: no depolarizing or
+    /// relaxation channels and zero readout error. Trajectories of a noiseless
+    /// circuit are deterministic, so the engine evolves the state once and
+    /// only samples measurements per shot.
+    pub fn is_noiseless(&self) -> bool {
+        self.readout_error.iter().all(|&p| p == 0.0)
+            && self.ops.iter().all(|op| {
+                op.depolarizing.is_none()
+                    && op
+                        .relaxation
+                        .iter()
+                        .all(|(_, channel)| channel.is_identity())
+            })
+    }
+
+    /// Runs one noisy trajectory from `|0…0⟩` and returns the (normalized)
+    /// final state. Consumes randomness only for the Kraus channels that are
+    /// actually attached.
+    pub fn run_trajectory<R: Rng + ?Sized>(&self, rng: &mut R) -> StateVector {
+        let mut state = StateVector::zero_state(self.num_qubits);
+        for op in &self.ops {
+            match &op.kind {
+                PrecompiledKind::Unitary1Q { matrix, qubit } => {
+                    state.apply_one_qubit(matrix, *qubit);
+                }
+                PrecompiledKind::Unitary2Q { matrix, q0, q1 } => {
+                    state.apply_two_qubit(matrix, *q0, *q1);
+                }
+                PrecompiledKind::Silent => {}
+            }
+            match &op.depolarizing {
+                Some(ArityChannel::One(channel)) => {
+                    let q = match &op.kind {
+                        PrecompiledKind::Unitary1Q { qubit, .. } => *qubit,
+                        _ => unreachable!("1Q channel attached to a non-1Q op"),
+                    };
+                    apply_channel_1q(&mut state, channel, q, rng);
+                }
+                Some(ArityChannel::Two(channel)) => {
+                    let (q0, q1) = match &op.kind {
+                        PrecompiledKind::Unitary2Q { q0, q1, .. } => (*q0, *q1),
+                        _ => unreachable!("2Q channel attached to a non-2Q op"),
+                    };
+                    apply_channel_2q(&mut state, channel, q0, q1, rng);
+                }
+                None => {}
+            }
+            for (q, channel) in &op.relaxation {
+                apply_channel_1q(&mut state, channel, *q, rng);
+            }
+        }
+        state
+    }
+
+    /// Runs one complete shot: trajectory, measurement sample, readout error.
+    /// Randomness is consumed in the same order as the historical
+    /// `NoisySimulator::run` path, so a per-shot seeded RNG reproduces its
+    /// results bit for bit.
+    pub fn sample_shot<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let state = self.run_trajectory(rng);
+        let outcome = state.sample_measurement(rng);
+        self.apply_readout_error(outcome, rng)
+    }
+
+    /// Flips each measured bit independently with its readout-error
+    /// probability.
+    pub fn apply_readout_error<R: Rng + ?Sized>(&self, outcome: usize, rng: &mut R) -> usize {
+        let mut noisy = outcome;
+        for (q, &p) in self.readout_error.iter().enumerate() {
+            if p > 0.0 && rng.gen_bool(p) {
+                noisy ^= 1 << (self.num_qubits - 1 - q);
+            }
+        }
+        noisy
+    }
+}
+
+/// Converts one circuit operation's unitary into its stack-allocated kernel —
+/// the single lowering rule shared by the noisy and ideal constructors.
+fn lower_kind(op: &circuit::Operation) -> PrecompiledKind {
+    match op.kind() {
+        OpKind::Unitary1Q { matrix, .. } => PrecompiledKind::Unitary1Q {
+            matrix: Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix"),
+            qubit: op.qubits()[0],
+        },
+        OpKind::Unitary2Q { matrix, .. } => PrecompiledKind::Unitary2Q {
+            matrix: Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix"),
+            q0: op.qubits()[0],
+            q1: op.qubits()[1],
+        },
+        OpKind::Measure | OpKind::Barrier => PrecompiledKind::Silent,
+    }
+}
+
+/// Samples and applies one Kraus operator of a single-qubit channel.
+pub(crate) fn apply_channel_1q<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    channel: &Kraus1q,
+    q: usize,
+    rng: &mut R,
+) {
+    if channel.is_identity() {
+        return;
+    }
+    let mut r: f64 = rng.gen_range(0.0..1.0);
+    let last = channel.operators().len() - 1;
+    for (i, k) in channel.operators().iter().enumerate() {
+        let mut probe = state.clone();
+        probe.apply_one_qubit(k, q);
+        let p = probe.norm_sqr();
+        if r < p || i == last {
+            if p > 1e-300 {
+                probe.normalize();
+                *state = probe;
+            }
+            return;
+        }
+        r -= p;
+    }
+}
+
+/// Samples and applies one Kraus operator of a two-qubit channel.
+pub(crate) fn apply_channel_2q<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    channel: &Kraus2q,
+    q0: usize,
+    q1: usize,
+    rng: &mut R,
+) {
+    if channel.is_identity() {
+        return;
+    }
+    let mut r: f64 = rng.gen_range(0.0..1.0);
+    let last = channel.operators().len() - 1;
+    for (i, k) in channel.operators().iter().enumerate() {
+        let mut probe = state.clone();
+        probe.apply_two_qubit(k, q0, q1);
+        let p = probe.norm_sqr();
+        if r < p || i == last {
+            if p > 1e-300 {
+                probe.normalize();
+                *state = probe;
+            }
+            return;
+        }
+        r -= p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Operation;
+    use device::DeviceModel;
+    use qmath::RngSeed;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Operation::h(0));
+        c.push(Operation::cnot(0, 1));
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn lowering_preserves_op_structure() {
+        let device = DeviceModel::aspen8(RngSeed(1));
+        let noise = NoiseModel::from_device(&device);
+        let pre = PrecompiledCircuit::new(&bell_circuit(), &noise);
+        assert_eq!(pre.num_qubits(), 2);
+        assert_eq!(pre.ops().len(), 3);
+        assert!(matches!(
+            pre.ops()[0].kind,
+            PrecompiledKind::Unitary1Q { qubit: 0, .. }
+        ));
+        assert!(matches!(
+            pre.ops()[1].kind,
+            PrecompiledKind::Unitary2Q { q0: 0, q1: 1, .. }
+        ));
+        assert!(matches!(pre.ops()[2].kind, PrecompiledKind::Silent));
+        // Noisy device: channels were prebuilt.
+        assert!(pre.ops()[1].depolarizing.is_some());
+        assert!(!pre.is_noiseless());
+    }
+
+    #[test]
+    fn ideal_lowering_is_noiseless() {
+        let pre = PrecompiledCircuit::ideal(&bell_circuit());
+        assert!(pre.is_noiseless());
+        assert!(pre.readout_error().iter().all(|&p| p == 0.0));
+        assert!(pre.ops().iter().all(|op| op.depolarizing.is_none()));
+    }
+
+    #[test]
+    fn noiseless_model_lowering_is_noiseless() {
+        let device = DeviceModel::ideal(2, 1.0);
+        let noise = NoiseModel::noiseless(&device);
+        let pre = PrecompiledCircuit::new(&bell_circuit(), &noise);
+        assert!(pre.is_noiseless());
+    }
+
+    #[test]
+    fn trajectory_matches_direct_statevector_when_noiseless() {
+        let pre = PrecompiledCircuit::ideal(&bell_circuit());
+        let mut rng = RngSeed(3).rng();
+        let state = pre.run_trajectory(&mut rng);
+        let p = state.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_shot_stays_in_range() {
+        let device = DeviceModel::aspen8(RngSeed(4));
+        let noise = NoiseModel::from_device(&device);
+        let pre = PrecompiledCircuit::new(&bell_circuit(), &noise);
+        let mut rng = RngSeed(5).rng();
+        for _ in 0..50 {
+            assert!(pre.sample_shot(&mut rng) < 4);
+        }
+    }
+}

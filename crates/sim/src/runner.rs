@@ -1,4 +1,12 @@
 //! Ideal and Monte-Carlo (trajectory) circuit execution.
+//!
+//! [`IdealSimulator::sample`] and [`NoisySimulator::run`] are thin single-job
+//! wrappers over the [`ExecutionEngine`]: the circuit
+//! is lowered once into a [`PrecompiledCircuit`]
+//! and the shot loop is sharded across worker threads. Use the engine
+//! directly ([`ExecutionEngine::run_batch`])
+//! when executing many circuits or when the per-job
+//! [`EngineReport`](crate::EngineReport) timings are wanted.
 
 use std::collections::BTreeMap;
 
@@ -8,9 +16,33 @@ use qmath::{Mat2, Mat4};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::channels::{ArityChannel, Kraus1q, Kraus2q};
+use crate::channels::ArityChannel;
+use crate::engine::{ExecutionEngine, SeedPolicy};
 use crate::noise_model::NoiseModel;
+use crate::precompiled::{apply_channel_1q, apply_channel_2q, PrecompiledCircuit};
 use crate::statevector::StateVector;
+
+/// Error returned by [`Counts::merge`] when the two histograms cover
+/// different register sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountsMismatch {
+    /// Qubit count of the histogram being merged into.
+    pub left: usize,
+    /// Qubit count of the histogram being merged from.
+    pub right: usize,
+}
+
+impl std::fmt::Display for CountsMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot merge counts over {} qubits into counts over {} qubits",
+            self.right, self.left
+        )
+    }
+}
+
+impl std::error::Error for CountsMismatch {}
 
 /// Measurement outcome histogram: basis index → number of shots.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -53,8 +85,37 @@ impl Counts {
         self.counts.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Adds every observation of `other` into this histogram (the engine uses
+    /// this to combine per-worker shard results).
+    ///
+    /// Merging is commutative and associative, so the order in which partial
+    /// histograms arrive cannot be observed in the result.
+    pub fn merge(&mut self, other: &Counts) -> Result<(), CountsMismatch> {
+        if self.num_qubits != other.num_qubits {
+            return Err(CountsMismatch {
+                left: self.num_qubits,
+                right: other.num_qubits,
+            });
+        }
+        for (basis_index, count) in other.iter() {
+            *self.counts.entry(basis_index).or_insert(0) += count;
+        }
+        Ok(())
+    }
+
+    /// True when `basis_index` addresses a state of this register.
+    fn in_range(&self, basis_index: usize) -> bool {
+        self.num_qubits >= usize::BITS as usize || (basis_index >> self.num_qubits) == 0
+    }
+
     /// Empirical probability of a basis index.
+    ///
+    /// Out-of-range indices (`≥ 2^num_qubits`) have probability 0.0; the call
+    /// never panics.
     pub fn probability(&self, basis_index: usize) -> f64 {
+        if !self.in_range(basis_index) {
+            return 0.0;
+        }
         let total = self.total();
         if total == 0 {
             0.0
@@ -63,11 +124,21 @@ impl Counts {
         }
     }
 
-    /// The big-endian bitstring of a basis index, e.g. `"010"`.
+    /// The big-endian bitstring of a basis index, e.g. `"010"`, always
+    /// zero-padded to exactly `num_qubits` characters.
+    ///
+    /// The call never panics: bits beyond the register (out-of-range indices)
+    /// are truncated, and qubits beyond the index width read as `'0'`.
     pub fn bitstring(&self, basis_index: usize) -> String {
         (0..self.num_qubits)
             .map(|q| {
-                if basis_index & (1 << (self.num_qubits - 1 - q)) != 0 {
+                let shift = self.num_qubits - 1 - q;
+                let bit = if shift < usize::BITS as usize {
+                    (basis_index >> shift) & 1
+                } else {
+                    0
+                };
+                if bit == 1 {
                     '1'
                 } else {
                     '0'
@@ -107,14 +178,17 @@ impl IdealSimulator {
     }
 
     /// Samples `shots` measurements from the ideal distribution.
+    ///
+    /// This is a single-job wrapper over the
+    /// [`ExecutionEngine`]: the final state is
+    /// computed once and sampling is sharded across worker threads, with
+    /// per-shard seed streams keeping the result independent of the thread
+    /// count.
     pub fn sample(circuit: &Circuit, shots: usize, seed: RngSeed) -> Counts {
-        let state = IdealSimulator::final_state(circuit);
-        let mut rng = seed.rng();
-        let mut counts = Counts::new(circuit.num_qubits());
-        for _ in 0..shots {
-            counts.record(state.sample_measurement(&mut rng));
-        }
-        counts
+        let pre = PrecompiledCircuit::ideal(circuit);
+        ExecutionEngine::new()
+            .run_precompiled(&pre, shots, seed)
+            .counts
     }
 }
 
@@ -134,23 +208,42 @@ impl NoisySimulator {
         &self.noise
     }
 
+    /// Lowers `circuit` under this simulator's noise model once. Reuse the
+    /// result with [`ExecutionEngine::run_precompiled`]
+    /// when the same circuit is executed repeatedly.
+    pub fn precompile(&self, circuit: &Circuit) -> PrecompiledCircuit {
+        PrecompiledCircuit::new(circuit, &self.noise)
+    }
+
     /// Runs `shots` noisy trajectories of `circuit` and returns the measured
     /// counts. Each trajectory applies the circuit's unitaries interleaved with
     /// sampled Kraus operators, then samples one measurement outcome and
     /// applies readout error.
+    ///
+    /// This is a single-job wrapper over the
+    /// [`ExecutionEngine`]: the circuit's matrices and
+    /// Kraus channels are lowered once (instead of once per shot) and the shot
+    /// loop is sharded across worker threads. The
+    /// [`SeedPolicy::PerShot`] stream derivation
+    /// keeps the counts **bit-identical** to the historical single-threaded
+    /// implementation for any `(circuit, shots, seed)`.
     pub fn run(&self, circuit: &Circuit, shots: usize, seed: RngSeed) -> Counts {
-        let mut counts = Counts::new(circuit.num_qubits());
-        for shot in 0..shots {
-            let mut rng = seed.child(shot as u64).rng();
-            let state = self.run_trajectory(circuit, &mut rng);
-            let mut outcome = state.sample_measurement(&mut rng);
-            outcome = self.apply_readout_error(outcome, circuit.num_qubits(), &mut rng);
-            counts.record(outcome);
-        }
-        counts
+        let pre = self.precompile(circuit);
+        ExecutionEngine::builder()
+            .seed_policy(SeedPolicy::PerShot)
+            .build()
+            .run_precompiled(&pre, shots, seed)
+            .counts
     }
 
     /// Runs a single noisy trajectory and returns the (normalized) final state.
+    ///
+    /// Note: this is the *uncached* reference path — it re-derives each op's
+    /// matrices and Kraus channels on every call. It is kept as the naive
+    /// baseline for validation and the `sim_engine` benchmark; hot loops
+    /// should go through [`NoisySimulator::precompile`] /
+    /// [`PrecompiledCircuit::run_trajectory`](crate::PrecompiledCircuit::run_trajectory)
+    /// instead.
     pub fn run_trajectory<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> StateVector {
         let mut state = StateVector::zero_state(circuit.num_qubits());
         for op in circuit.iter() {
@@ -184,78 +277,6 @@ impl NoisySimulator {
             }
         }
         state
-    }
-
-    /// Flips each measured bit independently with its readout-error probability.
-    fn apply_readout_error<R: Rng + ?Sized>(
-        &self,
-        outcome: usize,
-        num_qubits: usize,
-        rng: &mut R,
-    ) -> usize {
-        let mut noisy = outcome;
-        for q in 0..num_qubits {
-            let p = self.noise.readout_error(q);
-            if p > 0.0 && rng.gen_bool(p) {
-                noisy ^= 1 << (num_qubits - 1 - q);
-            }
-        }
-        noisy
-    }
-}
-
-/// Samples and applies one Kraus operator of a single-qubit channel.
-fn apply_channel_1q<R: Rng + ?Sized>(
-    state: &mut StateVector,
-    channel: &Kraus1q,
-    q: usize,
-    rng: &mut R,
-) {
-    if channel.is_identity() {
-        return;
-    }
-    let mut r: f64 = rng.gen_range(0.0..1.0);
-    let last = channel.operators().len() - 1;
-    for (i, k) in channel.operators().iter().enumerate() {
-        let mut probe = state.clone();
-        probe.apply_one_qubit(k, q);
-        let p = probe.norm_sqr();
-        if r < p || i == last {
-            if p > 1e-300 {
-                probe.normalize();
-                *state = probe;
-            }
-            return;
-        }
-        r -= p;
-    }
-}
-
-/// Samples and applies one Kraus operator of a two-qubit channel.
-fn apply_channel_2q<R: Rng + ?Sized>(
-    state: &mut StateVector,
-    channel: &Kraus2q,
-    q0: usize,
-    q1: usize,
-    rng: &mut R,
-) {
-    if channel.is_identity() {
-        return;
-    }
-    let mut r: f64 = rng.gen_range(0.0..1.0);
-    let last = channel.operators().len() - 1;
-    for (i, k) in channel.operators().iter().enumerate() {
-        let mut probe = state.clone();
-        probe.apply_two_qubit(k, q0, q1);
-        let p = probe.norm_sqr();
-        if r < p || i == last {
-            if p > 1e-300 {
-                probe.normalize();
-                *state = probe;
-            }
-            return;
-        }
-        r -= p;
     }
 }
 
@@ -341,6 +362,49 @@ mod tests {
         let a = sim.run(&bell_circuit(), 100, RngSeed(9));
         let b = sim.run(&bell_circuit(), 100, RngSeed(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counts_merge_sums_observations() {
+        let mut a = Counts::new(2);
+        a.record(0);
+        a.record(3);
+        let mut b = Counts::new(2);
+        b.record(3);
+        b.record(1);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(3), 2);
+        assert_eq!(a.count(1), 1);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Counts::new(2)).unwrap();
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn counts_merge_rejects_register_mismatch() {
+        let mut a = Counts::new(2);
+        let b = Counts::new(3);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err, CountsMismatch { left: 2, right: 3 });
+        assert!(err.to_string().contains("3 qubits"));
+    }
+
+    #[test]
+    fn probability_and_bitstring_are_panic_free_out_of_range() {
+        let mut counts = Counts::new(2);
+        counts.record(1);
+        // Out-of-range basis index: probability 0, no panic.
+        assert_eq!(counts.probability(4), 0.0);
+        assert_eq!(counts.probability(usize::MAX), 0.0);
+        // Bitstrings are always exactly num_qubits chars, zero-padded.
+        assert_eq!(counts.bitstring(0), "00");
+        assert_eq!(counts.bitstring(5), "01"); // high bits truncated
+        let wide = Counts::new(70);
+        let s = wide.bitstring(3);
+        assert_eq!(s.len(), 70);
+        assert!(s.starts_with('0'));
+        assert!(s.ends_with("11"));
     }
 
     #[test]
