@@ -2,12 +2,15 @@
 //! hardware error rate (multiples of the SYC 0.62% error), scored by QV HOP
 //! and QAOA XED on the Sycamore model.
 
-use bench::{compiler_for, evaluate_set, qaoa_suite, qv_suite, Scale};
+use bench::{
+    compiler_for, engine_from_args, evaluate_set_with_engine, qaoa_suite, qv_suite, Scale,
+};
 use compiler::CompilerOptions;
 use device::DeviceModel;
 use gates::InstructionSet;
 use nuop_core::DecomposeConfig;
 use qmath::RngSeed;
+use sim::ExecutionEngine;
 
 fn main() {
     let scale = Scale::from_args();
@@ -21,6 +24,8 @@ fn main() {
     let qv = qv_suite(qv_n, circuits, seed.child(1));
     let qaoa = qaoa_suite(qaoa_n, circuits, seed.child(2));
     let set = InstructionSet::s(1); // SYC
+                                    // Honours --fusion off|safe and --sim-threads N (neither changes counts).
+    let engine = engine_from_args();
 
     let exact_options = CompilerOptions {
         decompose: DecomposeConfig {
@@ -42,15 +47,32 @@ fn main() {
         // both suites, sharing its decomposition cache.
         let approx_compiler = compiler_for(&device, &set, &scale.compiler_options())
             .expect("valid compiler configuration");
-        let qv_a =
-            evaluate_set(&qv, &approx_compiler, shots, seed.child(10)).expect("suite compiles");
+        let qv_a = evaluate_set_with_engine(&qv, &approx_compiler, &engine, shots, seed.child(10))
+            .expect("suite compiles");
         let qaoa_a =
-            evaluate_set(&qaoa, &approx_compiler, shots, seed.child(11)).expect("suite compiles");
+            evaluate_set_with_engine(&qaoa, &approx_compiler, &engine, shots, seed.child(11))
+                .expect("suite compiles");
         // Exact mode: compile against a perfect-fidelity view of the device so
         // the decomposition never trades accuracy for gate count, then run on
         // the noisy device.
-        let qv_e = evaluate_exact(&qv, &device, &set, &exact_options, shots, seed.child(12));
-        let qaoa_e = evaluate_exact(&qaoa, &device, &set, &exact_options, shots, seed.child(13));
+        let qv_e = evaluate_exact(
+            &qv,
+            &device,
+            &set,
+            &exact_options,
+            &engine,
+            shots,
+            seed.child(12),
+        );
+        let qaoa_e = evaluate_exact(
+            &qaoa,
+            &device,
+            &set,
+            &exact_options,
+            &engine,
+            shots,
+            seed.child(13),
+        );
         println!(
             "{:<22} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
             format!("{factor:.1}x"),
@@ -69,10 +91,11 @@ fn evaluate_exact(
     device: &DeviceModel,
     set: &InstructionSet,
     options: &CompilerOptions,
+    engine: &ExecutionEngine,
     shots: usize,
     seed: RngSeed,
 ) -> f64 {
-    use sim::{ExecutionEngine, NoiseModel, SimJob};
+    use sim::{NoiseModel, SimJob};
     // Compile against a zero-error view (exact decomposition), execute on
     // the real noisy device calibration.
     let perfect = device.without_noise_variation().with_error_scale(0.0);
@@ -101,7 +124,7 @@ fn evaluate_exact(
             )
         })
         .collect();
-    let results = ExecutionEngine::new().run_batch(&jobs);
+    let results = engine.run_batch(&jobs);
     let total: f64 = suite
         .iter()
         .zip(compiled.iter())

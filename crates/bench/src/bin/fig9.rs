@@ -3,7 +3,8 @@
 //! (a) 3-qubit QV HOP, (b) 4-qubit QAOA XED, (c) 3-qubit QFT success rate.
 
 use bench::{
-    compiler_for, evaluate_set, print_results, qaoa_suite, qft_suite, qv_suite, Metric, Scale,
+    compiler_for, engine_from_args, evaluate_set_with_engine, print_results, qaoa_suite, qft_suite,
+    qv_suite, Metric, Scale,
 };
 use compiler::Compiler;
 use device::DeviceModel;
@@ -25,6 +26,8 @@ fn main() {
     let seed = RngSeed(0xF9);
     let device = DeviceModel::aspen8(seed.child(0));
     let options = scale.compiler_options();
+    // Honours --fusion off|safe and --sim-threads N (neither changes counts).
+    let engine = engine_from_args();
 
     let experiments = [
         (
@@ -53,7 +56,8 @@ fn main() {
         let results: Vec<_> = compilers
             .iter()
             .map(|compiler| {
-                evaluate_set(&suite, compiler, shots, seed.child(7)).expect("suite compiles")
+                evaluate_set_with_engine(&suite, compiler, &engine, shots, seed.child(7))
+                    .expect("suite compiles")
             })
             .collect();
         print_results(title, metric, &results);

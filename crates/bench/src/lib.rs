@@ -19,7 +19,7 @@ use device::DeviceModel;
 use gates::InstructionSet;
 use qmath::RngSeed;
 use serde::{Deserialize, Serialize};
-use sim::{Counts, ExecutionEngine, IdealSimulator, NoiseModel, SimJob};
+use sim::{Counts, ExecutionEngine, FusionPolicy, IdealSimulator, NoiseModel, SimJob};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +67,42 @@ impl Scale {
             Scale::Paper => CompilerOptions::default(),
         }
     }
+}
+
+/// Builds the simulation engine the figure binaries share, honouring two
+/// optional command-line knobs:
+///
+/// - `--fusion off|safe` — gate-fusion policy jobs are lowered under
+///   (default `safe`; never changes counts, see `sim::precompiled`).
+/// - `--sim-threads N` — worker-thread cap for the engine (default: the
+///   machine's available parallelism). Thread count never changes results.
+///
+/// Unknown or malformed values fall back to the defaults, matching
+/// [`Scale::from_args`]'s tolerant parsing.
+pub fn engine_from_args() -> ExecutionEngine {
+    engine_from_arg_list(&std::env::args().collect::<Vec<_>>())
+}
+
+/// [`engine_from_args`] over an explicit argument list (testable core).
+pub fn engine_from_arg_list(args: &[String]) -> ExecutionEngine {
+    let mut builder = ExecutionEngine::builder();
+    for window in args.windows(2) {
+        match window[0].as_str() {
+            "--fusion" if window[1].eq_ignore_ascii_case("off") => {
+                builder = builder.fusion(FusionPolicy::Off);
+            }
+            "--fusion" if window[1].eq_ignore_ascii_case("safe") => {
+                builder = builder.fusion(FusionPolicy::Safe);
+            }
+            "--sim-threads" => {
+                if let Ok(threads) = window[1].parse::<usize>() {
+                    builder = builder.threads(threads);
+                }
+            }
+            _ => {}
+        }
+    }
+    builder.build()
 }
 
 /// Which metric scores a benchmark circuit.
@@ -375,6 +411,20 @@ mod tests {
             evaluate_set(&suite, &compiler, 50, RngSeed(9)),
             Err(CompileError::RegionUnavailable { .. })
         ));
+    }
+
+    #[test]
+    fn engine_args_parse_fusion_and_threads() {
+        let args: Vec<String> = ["fig", "--fusion", "off", "--sim-threads", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let engine = engine_from_arg_list(&args);
+        assert_eq!(engine.fusion(), FusionPolicy::Off);
+        assert_eq!(engine.threads(), 3);
+        // Defaults: Safe fusion, malformed values ignored.
+        let engine = engine_from_arg_list(&["fig".to_string(), "--sim-threads".to_string()]);
+        assert_eq!(engine.fusion(), FusionPolicy::Safe);
     }
 
     #[test]

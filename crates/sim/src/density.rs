@@ -7,9 +7,9 @@
 use circuit::{Circuit, QubitId};
 use qmath::{CMatrix, Complex, Mat2, Mat4};
 
-use crate::channels::{ArityChannel, Kraus1q, Kraus2q};
+use crate::channels::{Kraus1q, Kraus2q};
 use crate::noise_model::NoiseModel;
-use crate::precompiled::{PrecompiledCircuit, PrecompiledKind};
+use crate::precompiled::{AttachedChannel, PrecompiledCircuit, PrecompiledKind};
 
 /// A density matrix over an `n`-qubit register.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,17 +124,14 @@ impl DensityMatrix {
                 }
                 PrecompiledKind::Silent => {}
             }
-            match (&op.depolarizing, &op.kind) {
-                (Some(ArityChannel::One(channel)), PrecompiledKind::Unitary1Q { qubit, .. }) => {
+            match &op.depolarizing {
+                Some(AttachedChannel::One { channel, qubit }) => {
                     dm.apply_channel_1q(channel, *qubit);
                 }
-                (Some(ArityChannel::Two(channel)), PrecompiledKind::Unitary2Q { q0, q1, .. }) => {
+                Some(AttachedChannel::Two { channel, q0, q1 }) => {
                     dm.apply_channel_2q(channel, *q0, *q1);
                 }
-                (None, _) => {}
-                (Some(_), _) => {
-                    unreachable!("precompiled channel arity disagrees with its operation")
-                }
+                None => {}
             }
             for (q, channel) in &op.relaxation {
                 dm.apply_channel_1q(channel, *q);

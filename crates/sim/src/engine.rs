@@ -7,9 +7,25 @@
 //! 1. each job's circuit is lowered **once** into a
 //!    [`PrecompiledCircuit`] — per-op `Mat2`/`Mat4` kernels plus prebuilt,
 //!    completeness-checked Kraus channels — removing the ~shots× redundant
-//!    channel construction of the naive per-shot path, and
+//!    channel construction of the naive per-shot path; under the default
+//!    [`FusionPolicy::Safe`] adjacent ops are additionally **fused** into
+//!    single kernels wherever no RNG-consuming channel separates them (see
+//!    [`crate::precompiled`]), and
 //! 2. the shot loop is split into fixed-size **shards** distributed over
 //!    scoped worker threads.
+//!
+//! # Shot-parallel vs amplitude-parallel regimes
+//!
+//! For small registers the engine shards *shots* across its worker pool —
+//! many cheap independent trajectories. At
+//! [`PARALLEL_SWEEP_MIN_QUBITS`]
+//! qubits and above, a single state no longer fits comfortably in cache and
+//! one trajectory dominates the cost, so the engine flips regime: shots run
+//! sequentially and each *amplitude sweep* is split across the same worker
+//! budget instead (see
+//! [`StateVector::apply_one_qubit_threaded`](crate::statevector::StateVector::apply_one_qubit_threaded)).
+//! Both regimes are bit-identical to the serial path, so the switch is purely
+//! a scheduling decision.
 //!
 //! # Determinism
 //!
@@ -55,8 +71,9 @@ use qmath::RngSeed;
 use serde::{Deserialize, Serialize};
 
 use crate::noise_model::NoiseModel;
-use crate::precompiled::PrecompiledCircuit;
+use crate::precompiled::{FusionPolicy, PrecompiledCircuit};
 use crate::runner::Counts;
+use crate::statevector::{MeasurementSampler, StateVector, PARALLEL_SWEEP_MIN_QUBITS};
 
 /// Default number of shots per shard.
 ///
@@ -125,8 +142,13 @@ pub struct EngineReport {
     pub shots: usize,
     /// Shards the shot loop was split into.
     pub shards: usize,
-    /// Worker threads that served the job (capped at the shard count).
+    /// Worker threads that served the job: the shot-loop workers (capped at
+    /// the shard count) or, in the amplitude-parallel regime, the per-sweep
+    /// worker count.
     pub threads: usize,
+    /// Source ops eliminated by gate fusion during lowering (0 under
+    /// [`FusionPolicy::Off`]).
+    pub fused_ops: usize,
     /// Wall-clock time to lower the circuit into a [`PrecompiledCircuit`].
     pub precompile: Duration,
     /// Wall-clock time of the sharded shot loop.
@@ -166,6 +188,7 @@ pub struct EngineBuilder {
     threads: Option<usize>,
     shot_chunk_size: usize,
     seed_policy: SeedPolicy,
+    fusion: FusionPolicy,
 }
 
 impl EngineBuilder {
@@ -197,12 +220,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Chooses the gate-fusion policy jobs are lowered under (default
+    /// [`FusionPolicy::Safe`], which never changes counts — see
+    /// [`crate::precompiled`]).
+    pub fn fusion(mut self, policy: FusionPolicy) -> Self {
+        self.fusion = policy;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> ExecutionEngine {
         ExecutionEngine {
             threads: self.threads.unwrap_or_else(default_threads),
             shot_chunk_size: self.shot_chunk_size,
             seed_policy: self.seed_policy,
+            fusion: self.fusion,
         }
     }
 }
@@ -236,6 +268,7 @@ pub struct ExecutionEngine {
     threads: usize,
     shot_chunk_size: usize,
     seed_policy: SeedPolicy,
+    fusion: FusionPolicy,
 }
 
 impl Default for ExecutionEngine {
@@ -257,6 +290,7 @@ impl ExecutionEngine {
             threads: None,
             shot_chunk_size: DEFAULT_SHOT_CHUNK,
             seed_policy: SeedPolicy::default(),
+            fusion: FusionPolicy::default(),
         }
     }
 
@@ -275,6 +309,11 @@ impl ExecutionEngine {
         self.seed_policy
     }
 
+    /// The gate-fusion policy jobs are lowered under.
+    pub fn fusion(&self) -> FusionPolicy {
+        self.fusion
+    }
+
     /// Runs a batch of jobs and returns one [`SimResult`] per job, in order.
     ///
     /// Each job is lowered once and its shot loop sharded across the worker
@@ -288,8 +327,8 @@ impl ExecutionEngine {
     pub fn run_job(&self, job: &SimJob) -> SimResult {
         let started = Instant::now();
         let pre = match &job.noise {
-            Some(noise) => PrecompiledCircuit::new(&job.circuit, noise),
-            None => PrecompiledCircuit::ideal(&job.circuit),
+            Some(noise) => PrecompiledCircuit::with_fusion(&job.circuit, noise, self.fusion),
+            None => PrecompiledCircuit::ideal_with_fusion(&job.circuit, self.fusion),
         };
         let precompile = started.elapsed();
         self.run_precompiled_timed(&pre, job.shots, job.seed, precompile)
@@ -322,6 +361,7 @@ impl ExecutionEngine {
                 shots,
                 shards,
                 threads,
+                fused_ops: pre.fused_ops(),
                 precompile,
                 simulate: started.elapsed(),
             },
@@ -341,19 +381,35 @@ impl ExecutionEngine {
         }
         let chunk = self.shot_chunk_size;
         let shards = shots.div_ceil(chunk);
-        let workers = self.threads.min(shards);
+        // Regime selection: below the sweep threshold the worker budget goes
+        // to sharding shots; at or above it one trajectory dominates, so shots
+        // run sequentially and the budget splits each amplitude sweep instead.
+        // Either way the result is bit-identical to the fully serial loop.
+        let amp_threads = if pre.num_qubits() >= PARALLEL_SWEEP_MIN_QUBITS {
+            self.threads
+        } else {
+            1
+        };
+        let workers = if amp_threads > 1 {
+            1
+        } else {
+            self.threads.min(shards)
+        };
         // Noiseless trajectories are deterministic and consume no randomness,
-        // so the state is evolved once and every shot only samples from it.
-        // The per-shot/per-shard RNG draws are unchanged, which keeps this
-        // fast path bit-identical to re-running the trajectory every shot.
+        // so the state is evolved once and every shot only samples from it
+        // (via a cumulative table + binary search instead of a per-shot
+        // linear scan). The per-shot/per-shard RNG draws are unchanged, which
+        // keeps this fast path bit-identical to re-running the trajectory
+        // every shot.
         let cached_state = if pre.is_noiseless() {
             let mut rng = seed.rng();
-            Some(pre.run_trajectory(&mut rng))
+            Some(pre.run_trajectory_threaded(&mut rng, amp_threads))
         } else {
             None
         };
+        let sampler = cached_state.as_ref().map(StateVector::measurement_sampler);
         let policy = self.seed_policy;
-        let cached = cached_state.as_ref();
+        let cached = sampler.as_ref();
         let run_shard = |shard: usize, local: &mut Counts| {
             let start = shard * chunk;
             let end = (start + chunk).min(shots);
@@ -361,13 +417,13 @@ impl ExecutionEngine {
                 SeedPolicy::PerShard => {
                     let mut rng = seed.child(shard as u64).rng();
                     for _ in start..end {
-                        local.record(sample_one(pre, cached, &mut rng));
+                        local.record(sample_one(pre, cached, amp_threads, &mut rng));
                     }
                 }
                 SeedPolicy::PerShot => {
                     for shot in start..end {
                         let mut rng = seed.child(shot as u64).rng();
-                        local.record(sample_one(pre, cached, &mut rng));
+                        local.record(sample_one(pre, cached, amp_threads, &mut rng));
                     }
                 }
             }
@@ -376,7 +432,7 @@ impl ExecutionEngine {
             for shard in 0..shards {
                 run_shard(shard, &mut counts);
             }
-            return (counts, shards, 1);
+            return (counts, shards, amp_threads.max(1));
         }
         let cursor = AtomicUsize::new(0);
         let merged: Mutex<Vec<Counts>> = Mutex::new(Vec::with_capacity(workers));
@@ -406,20 +462,22 @@ impl ExecutionEngine {
     }
 }
 
-/// One shot: either a full noisy trajectory, or a sample from the cached
-/// noiseless final state (identical RNG draws — see the fast-path comment in
+/// One shot: either a full noisy trajectory (with amplitude sweeps split over
+/// `amp_threads` workers), or a binary-search sample from the cached noiseless
+/// final state (identical RNG draws — see the fast-path comment in
 /// [`ExecutionEngine`]'s shot loop).
 fn sample_one<R: rand::Rng + ?Sized>(
     pre: &PrecompiledCircuit,
-    cached: Option<&crate::statevector::StateVector>,
+    cached: Option<&MeasurementSampler>,
+    amp_threads: usize,
     rng: &mut R,
 ) -> usize {
     match cached {
-        Some(state) => {
-            let outcome = state.sample_measurement(rng);
+        Some(sampler) => {
+            let outcome = sampler.sample(rng);
             pre.apply_readout_error(outcome, rng)
         }
-        None => pre.sample_shot(rng),
+        None => pre.sample_shot_threaded(rng, amp_threads),
     }
 }
 

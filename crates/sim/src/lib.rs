@@ -3,7 +3,11 @@
 //! This crate replaces the paper's use of the Qiskit Aer simulator (§VI):
 //!
 //! * [`statevector`] — a dense state-vector simulator with efficient in-place
-//!   application of 1- and 2-qubit gates and measurement sampling.
+//!   application of 1- and 2-qubit gates and measurement sampling. Amplitude
+//!   sweeps visit only the base indices of the touched subspace and split
+//!   across scoped worker threads above
+//!   [`PARALLEL_SWEEP_MIN_QUBITS`],
+//!   bit-identically for any thread count.
 //! * [`channels`] — Kraus-operator noise channels: depolarizing (scaled by the
 //!   calibrated gate error), amplitude damping and dephasing derived from
 //!   T1/T2 and gate duration, and classical readout error.
@@ -11,7 +15,9 @@
 //!   [`device::DeviceModel`] calibration table.
 //! * [`precompiled`] — circuits lowered **once** into simulation-ready ops:
 //!   per-op `Mat2`/`Mat4` kernels plus prebuilt, completeness-checked Kraus
-//!   channels (instead of rebuilding them every shot).
+//!   channels (instead of rebuilding them every shot), with optional **gate
+//!   fusion** ([`FusionPolicy`]) coalescing adjacent ops into single kernels
+//!   wherever no RNG-consuming channel separates them.
 //! * [`engine`] — the parallel batched-shot [`ExecutionEngine`]: shots are
 //!   sharded across scoped worker threads with per-shard ChaCha streams, so
 //!   counts are bit-identical regardless of thread count.
@@ -72,6 +78,8 @@ pub use engine::{
     EngineBuilder, EngineReport, ExecutionEngine, SeedPolicy, SimJob, SimResult, DEFAULT_SHOT_CHUNK,
 };
 pub use noise_model::{NoiseModel, OperationNoise};
-pub use precompiled::{PrecompiledCircuit, PrecompiledKind, PrecompiledOp};
+pub use precompiled::{
+    AttachedChannel, FusionPolicy, PrecompiledCircuit, PrecompiledKind, PrecompiledOp,
+};
 pub use runner::{Counts, CountsMismatch, IdealSimulator, NoisySimulator};
-pub use statevector::StateVector;
+pub use statevector::{MeasurementSampler, StateVector, PARALLEL_SWEEP_MIN_QUBITS};

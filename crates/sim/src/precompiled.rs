@@ -1,4 +1,5 @@
-//! Circuits lowered once into a simulation-ready form.
+//! Circuits lowered once into a simulation-ready form, with optional gate
+//! fusion.
 //!
 //! `NoisySimulator` historically re-derived everything per shot: each
 //! trajectory converted every op's `CMatrix` into its `Mat2`/`Mat4` kernel and
@@ -9,22 +10,60 @@
 //! A [`PrecompiledCircuit`] performs that lowering exactly once:
 //!
 //! * every unitary is converted to its stack-allocated [`Mat2`]/[`Mat4`] form,
-//! * every op's depolarizing [`ArityChannel`] and per-qubit relaxation
-//!   [`Kraus1q`] channels are built (and completeness-checked by
+//! * every op's depolarizing channel and per-qubit relaxation [`Kraus1q`]
+//!   channels are built (and completeness-checked by
 //!   [`KrausChannel::new`](crate::KrausChannel::new)) up front,
 //! * readout-error probabilities are resolved into a flat per-qubit table.
 //!
+//! # Gate fusion
+//!
+//! Under [`FusionPolicy::Safe`] the lowering additionally **fuses** runs of
+//! adjacent ops into single kernels before any trajectory runs: consecutive
+//! one-qubit gates on the same qubit multiply into one [`Mat2`], one-qubit
+//! gates absorb into an adjacent two-qubit gate on their qubit (embedded via
+//! `kron`), and consecutive two-qubit gates on the same pair (either
+//! orientation) multiply into one [`Mat4`]. Ops separated only by gates on
+//! disjoint qubits count as adjacent — disjoint unitaries commute — so a
+//! layered circuit's rotation layer fuses into the entangler layer that
+//! follows it. A `Mat4` product costs ~74 ns,
+//! while one amplitude sweep costs O(2^n) — fusing `k` ops amortizes `k` full
+//! state sweeps into one, which is what keeps large-register simulation
+//! compute-bound instead of memory-bound.
+//!
+//! Fusion never crosses an RNG-consuming noise channel: an op can only be
+//! fused *into a later op* when its own attached channels are absent or
+//! identity (identity channels consume no randomness). On the ideal path all
+//! channels are empty, so fusion is unrestricted; on the noisy path
+//! trajectory semantics and the RNG consumption order are preserved exactly,
+//! which is what makes `Safe`-fused counts bit-identical to unfused runs.
+//!
 //! Both the Monte-Carlo engine ([`crate::engine`]) and the exact
 //! density-matrix simulator ([`crate::DensityMatrix::evolve`]) consume the
-//! same precompiled ops, so the two validation paths cannot drift apart.
+//! same precompiled (and fused) ops, so the two validation paths cannot drift
+//! apart.
 
 use circuit::{Circuit, OpKind, QubitId};
 use qmath::{Mat2, Mat4};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::channels::{ArityChannel, Kraus1q, Kraus2q};
 use crate::noise_model::NoiseModel;
 use crate::statevector::StateVector;
+
+/// How aggressively [`PrecompiledCircuit`] coalesces adjacent ops into single
+/// kernels before simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FusionPolicy {
+    /// No fusion: one lowered op per circuit op (the pre-fusion behaviour).
+    Off,
+    /// Fuse adjacent ops whenever no RNG-consuming channel sits between them.
+    /// Trajectory semantics and RNG consumption are preserved exactly, so
+    /// counts stay bit-identical to unfused runs; on noiseless circuits this
+    /// is unrestricted fusion. The execution-engine default.
+    #[default]
+    Safe,
+}
 
 /// The unitary part of a lowered operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,47 +89,137 @@ pub enum PrecompiledKind {
     Silent,
 }
 
+/// A depolarizing channel attached to a lowered op, carrying its own target
+/// qubits.
+///
+/// Before gate fusion the channel's targets always coincided with the op's
+/// qubits, so [`ArityChannel`] alone was enough. A fused op can carry a
+/// channel narrower than its kernel (a 1Q gate with 1Q noise absorbed into a
+/// 2Q kernel keeps its 1Q channel), so the targets are stored explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttachedChannel {
+    /// A single-qubit channel.
+    One {
+        /// The Kraus channel.
+        channel: Kraus1q,
+        /// The qubit it acts on.
+        qubit: QubitId,
+    },
+    /// A two-qubit channel (`q0` is the most significant qubit).
+    Two {
+        /// The Kraus channel.
+        channel: Kraus2q,
+        /// First (most significant) qubit.
+        q0: QubitId,
+        /// Second qubit.
+        q1: QubitId,
+    },
+}
+
+impl AttachedChannel {
+    /// Builds the attachment from an arity-matched channel and the op's
+    /// qubits.
+    fn from_arity(channel: ArityChannel, qubits: &[QubitId]) -> Self {
+        match (channel, qubits) {
+            (ArityChannel::One(channel), [q]) => AttachedChannel::One { channel, qubit: *q },
+            (ArityChannel::Two(channel), [q0, q1]) => AttachedChannel::Two {
+                channel,
+                q0: *q0,
+                q1: *q1,
+            },
+            (channel, qubits) => unreachable!(
+                "noise_for returned a dim-{} channel for a {}-qubit op",
+                match channel {
+                    ArityChannel::One(_) => 2,
+                    ArityChannel::Two(_) => 4,
+                },
+                qubits.len()
+            ),
+        }
+    }
+
+    /// True when the channel consumes no randomness when applied.
+    pub fn is_identity(&self) -> bool {
+        match self {
+            AttachedChannel::One { channel, .. } => channel.is_identity(),
+            AttachedChannel::Two { channel, .. } => channel.is_identity(),
+        }
+    }
+}
+
 /// One circuit operation lowered to its simulation-ready form: the unitary
 /// kernel plus the prebuilt noise channels that follow it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrecompiledOp {
     /// The unitary kernel (or [`PrecompiledKind::Silent`]).
     pub kind: PrecompiledKind,
-    /// Depolarizing channel matched to the op's arity, `None` when noiseless.
-    pub depolarizing: Option<ArityChannel>,
+    /// Depolarizing channel with its target qubits, `None` when noiseless.
+    pub depolarizing: Option<AttachedChannel>,
     /// Per-qubit thermal-relaxation channels for the op's duration.
     pub relaxation: Vec<(QubitId, Kraus1q)>,
+}
+
+impl PrecompiledOp {
+    /// True when applying this op draws no randomness: its depolarizing
+    /// channel is absent or identity and every relaxation channel is identity.
+    /// Fusing a *later* op into such an op cannot disturb the RNG stream.
+    fn consumes_no_rng(&self) -> bool {
+        self.depolarizing
+            .as_ref()
+            .map(|c| c.is_identity())
+            .unwrap_or(true)
+            && self
+                .relaxation
+                .iter()
+                .all(|(_, channel)| channel.is_identity())
+    }
 }
 
 /// A circuit lowered once into simulation-ready ops.
 ///
 /// Build one with [`PrecompiledCircuit::new`] (noisy) or
-/// [`PrecompiledCircuit::ideal`] (no noise), then run as many trajectories
-/// against it as needed — no per-shot matrix conversion or channel
-/// construction remains.
+/// [`PrecompiledCircuit::ideal`] (no noise) — both unfused, matching the
+/// historical lowering bit for bit — or with the
+/// [`with_fusion`](PrecompiledCircuit::with_fusion) /
+/// [`ideal_with_fusion`](PrecompiledCircuit::ideal_with_fusion) variants to
+/// coalesce adjacent ops first (see the [module docs](crate::precompiled)).
+/// Then run as many trajectories against it as needed — no per-shot matrix
+/// conversion or channel construction remains.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrecompiledCircuit {
     num_qubits: usize,
     ops: Vec<PrecompiledOp>,
     /// Per-qubit readout flip probability (all zeros when disabled).
     readout_error: Vec<f64>,
+    /// The fusion policy the circuit was lowered under.
+    fusion: FusionPolicy,
+    /// Number of source ops eliminated by fusion (0 under
+    /// [`FusionPolicy::Off`]).
+    fused_ops: usize,
 }
 
 impl PrecompiledCircuit {
-    /// Lowers `circuit` under `noise`, building every Kraus channel exactly
-    /// once.
+    /// Lowers `circuit` under `noise` without fusion, building every Kraus
+    /// channel exactly once.
     ///
     /// # Panics
     /// Panics if an operation carries a matrix of the wrong dimension (which
     /// [`circuit::Operation`] construction already prevents).
     pub fn new(circuit: &Circuit, noise: &NoiseModel) -> Self {
+        PrecompiledCircuit::with_fusion(circuit, noise, FusionPolicy::Off)
+    }
+
+    /// Lowers `circuit` under `noise` with the given [`FusionPolicy`].
+    pub fn with_fusion(circuit: &Circuit, noise: &NoiseModel, fusion: FusionPolicy) -> Self {
         let ops = circuit
             .iter()
             .map(|op| {
                 let op_noise = noise.noise_for(op);
                 PrecompiledOp {
                     kind: lower_kind(op),
-                    depolarizing: op_noise.depolarizing,
+                    depolarizing: op_noise
+                        .depolarizing
+                        .map(|c| AttachedChannel::from_arity(c, op.qubits())),
                     relaxation: op_noise.relaxation,
                 }
             })
@@ -98,16 +227,19 @@ impl PrecompiledCircuit {
         let readout_error = (0..circuit.num_qubits())
             .map(|q| noise.readout_error(q))
             .collect();
-        PrecompiledCircuit {
-            num_qubits: circuit.num_qubits(),
-            ops,
-            readout_error,
-        }
+        PrecompiledCircuit::finish(circuit.num_qubits(), ops, readout_error, fusion)
     }
 
-    /// Lowers `circuit` with no noise attached: trajectories are then
-    /// deterministic and only measurement sampling consumes randomness.
+    /// Lowers `circuit` with no noise attached and no fusion: trajectories are
+    /// then deterministic and only measurement sampling consumes randomness.
     pub fn ideal(circuit: &Circuit) -> Self {
+        PrecompiledCircuit::ideal_with_fusion(circuit, FusionPolicy::Off)
+    }
+
+    /// Lowers `circuit` with no noise attached and the given [`FusionPolicy`]
+    /// (with no channels anywhere, [`FusionPolicy::Safe`] fusion is
+    /// unrestricted).
+    pub fn ideal_with_fusion(circuit: &Circuit, fusion: FusionPolicy) -> Self {
         let ops = circuit
             .iter()
             .map(|op| PrecompiledOp {
@@ -116,10 +248,28 @@ impl PrecompiledCircuit {
                 relaxation: Vec::new(),
             })
             .collect();
+        let readout_error = vec![0.0; circuit.num_qubits()];
+        PrecompiledCircuit::finish(circuit.num_qubits(), ops, readout_error, fusion)
+    }
+
+    /// Applies the fusion policy to freshly lowered ops and assembles the
+    /// circuit.
+    fn finish(
+        num_qubits: usize,
+        ops: Vec<PrecompiledOp>,
+        readout_error: Vec<f64>,
+        fusion: FusionPolicy,
+    ) -> Self {
+        let (ops, fused_ops) = match fusion {
+            FusionPolicy::Off => (ops, 0),
+            FusionPolicy::Safe => fuse_ops(ops),
+        };
         PrecompiledCircuit {
-            num_qubits: circuit.num_qubits(),
+            num_qubits,
             ops,
-            readout_error: vec![0.0; circuit.num_qubits()],
+            readout_error,
+            fusion,
+            fused_ops,
         }
     }
 
@@ -138,50 +288,59 @@ impl PrecompiledCircuit {
         &self.readout_error
     }
 
+    /// The fusion policy the circuit was lowered under.
+    pub fn fusion(&self) -> FusionPolicy {
+        self.fusion
+    }
+
+    /// Number of source ops eliminated by gate fusion (each one an amplitude
+    /// sweep a trajectory no longer pays for).
+    pub fn fused_ops(&self) -> usize {
+        self.fused_ops
+    }
+
     /// True when no stochastic noise is attached anywhere: no depolarizing or
     /// relaxation channels and zero readout error. Trajectories of a noiseless
     /// circuit are deterministic, so the engine evolves the state once and
     /// only samples measurements per shot.
     pub fn is_noiseless(&self) -> bool {
         self.readout_error.iter().all(|&p| p == 0.0)
-            && self.ops.iter().all(|op| {
-                op.depolarizing.is_none()
-                    && op
-                        .relaxation
-                        .iter()
-                        .all(|(_, channel)| channel.is_identity())
-            })
+            && self.ops.iter().all(|op| op.consumes_no_rng())
     }
 
     /// Runs one noisy trajectory from `|0…0⟩` and returns the (normalized)
     /// final state. Consumes randomness only for the Kraus channels that are
     /// actually attached.
     pub fn run_trajectory<R: Rng + ?Sized>(&self, rng: &mut R) -> StateVector {
+        self.run_trajectory_threaded(rng, 1)
+    }
+
+    /// [`run_trajectory`](PrecompiledCircuit::run_trajectory) with each
+    /// amplitude sweep split across up to `threads` worker threads (see
+    /// [`StateVector::apply_one_qubit_threaded`]). Bit-identical to the serial
+    /// trajectory for any thread count.
+    pub fn run_trajectory_threaded<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        threads: usize,
+    ) -> StateVector {
         let mut state = StateVector::zero_state(self.num_qubits);
         for op in &self.ops {
             match &op.kind {
                 PrecompiledKind::Unitary1Q { matrix, qubit } => {
-                    state.apply_one_qubit(matrix, *qubit);
+                    state.apply_one_qubit_threaded(matrix, *qubit, threads);
                 }
                 PrecompiledKind::Unitary2Q { matrix, q0, q1 } => {
-                    state.apply_two_qubit(matrix, *q0, *q1);
+                    state.apply_two_qubit_threaded(matrix, *q0, *q1, threads);
                 }
                 PrecompiledKind::Silent => {}
             }
             match &op.depolarizing {
-                Some(ArityChannel::One(channel)) => {
-                    let q = match &op.kind {
-                        PrecompiledKind::Unitary1Q { qubit, .. } => *qubit,
-                        _ => unreachable!("1Q channel attached to a non-1Q op"),
-                    };
-                    apply_channel_1q(&mut state, channel, q, rng);
+                Some(AttachedChannel::One { channel, qubit }) => {
+                    apply_channel_1q(&mut state, channel, *qubit, rng);
                 }
-                Some(ArityChannel::Two(channel)) => {
-                    let (q0, q1) = match &op.kind {
-                        PrecompiledKind::Unitary2Q { q0, q1, .. } => (*q0, *q1),
-                        _ => unreachable!("2Q channel attached to a non-2Q op"),
-                    };
-                    apply_channel_2q(&mut state, channel, q0, q1, rng);
+                Some(AttachedChannel::Two { channel, q0, q1 }) => {
+                    apply_channel_2q(&mut state, channel, *q0, *q1, rng);
                 }
                 None => {}
             }
@@ -197,7 +356,14 @@ impl PrecompiledCircuit {
     /// `NoisySimulator::run` path, so a per-shot seeded RNG reproduces its
     /// results bit for bit.
     pub fn sample_shot<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let state = self.run_trajectory(rng);
+        self.sample_shot_threaded(rng, 1)
+    }
+
+    /// [`sample_shot`](PrecompiledCircuit::sample_shot) with amplitude-sweep
+    /// parallelism (same RNG stream, bit-identical outcome for any thread
+    /// count).
+    pub fn sample_shot_threaded<R: Rng + ?Sized>(&self, rng: &mut R, threads: usize) -> usize {
+        let state = self.run_trajectory_threaded(rng, threads);
         let outcome = state.sample_measurement(rng);
         self.apply_readout_error(outcome, rng)
     }
@@ -230,6 +396,178 @@ fn lower_kind(op: &circuit::Operation) -> PrecompiledKind {
         },
         OpKind::Measure | OpKind::Barrier => PrecompiledKind::Silent,
     }
+}
+
+/// Reorders a two-qubit kernel defined on `(q1, q0)` into the equivalent
+/// kernel on `(q0, q1)` by swapping the tensor factors:
+/// `out[(i, j)] = m[(perm(i), perm(j))]` with `perm` exchanging the two bits
+/// of the 2-bit index.
+fn swap_tensor_factors(m: &Mat4) -> Mat4 {
+    const PERM: [usize; 4] = [0, 2, 1, 3];
+    Mat4::from_fn(|r, c| m[(PERM[r], PERM[c])])
+}
+
+/// Embeds a one-qubit kernel acting on `q` into the 4×4 space of the ordered
+/// pair `(q0, q1)` (`q0` is the most significant qubit).
+///
+/// # Panics
+/// Panics if `q` is in neither slot (callers check adjacency first).
+fn embed_in_pair(m: &Mat2, q: QubitId, q0: QubitId, q1: QubitId) -> Mat4 {
+    if q == q0 {
+        m.kron(&Mat2::identity())
+    } else {
+        assert_eq!(q, q1, "qubit not in the target pair");
+        Mat2::identity().kron(m)
+    }
+}
+
+/// Attempts to combine the kernels of `prev` (applied first) and `cur`
+/// (applied second) into one kernel; `None` when they are not fusable
+/// (disjoint qubits, a partial pair overlap, or a Silent op).
+fn combine_kinds(prev: &PrecompiledKind, cur: &PrecompiledKind) -> Option<PrecompiledKind> {
+    use PrecompiledKind::{Silent, Unitary1Q, Unitary2Q};
+    match (prev, cur) {
+        (
+            Unitary1Q {
+                matrix: a,
+                qubit: qa,
+            },
+            Unitary1Q {
+                matrix: b,
+                qubit: qb,
+            },
+        ) if qa == qb => Some(Unitary1Q {
+            matrix: *b * *a,
+            qubit: *qa,
+        }),
+        (
+            Unitary1Q {
+                matrix: a,
+                qubit: qa,
+            },
+            Unitary2Q { matrix: b, q0, q1 },
+        ) if qa == q0 || qa == q1 => Some(Unitary2Q {
+            matrix: *b * embed_in_pair(a, *qa, *q0, *q1),
+            q0: *q0,
+            q1: *q1,
+        }),
+        (
+            Unitary2Q { matrix: a, q0, q1 },
+            Unitary1Q {
+                matrix: b,
+                qubit: qb,
+            },
+        ) if qb == q0 || qb == q1 => Some(Unitary2Q {
+            matrix: embed_in_pair(b, *qb, *q0, *q1) * *a,
+            q0: *q0,
+            q1: *q1,
+        }),
+        (
+            Unitary2Q {
+                matrix: a,
+                q0: p0,
+                q1: p1,
+            },
+            Unitary2Q { matrix: b, q0, q1 },
+        ) if (q0, q1) == (p0, p1) => Some(Unitary2Q {
+            matrix: *b * *a,
+            q0: *p0,
+            q1: *p1,
+        }),
+        (
+            Unitary2Q {
+                matrix: a,
+                q0: p0,
+                q1: p1,
+            },
+            Unitary2Q { matrix: b, q0, q1 },
+        ) if (q0, q1) == (p1, p0) => Some(Unitary2Q {
+            matrix: swap_tensor_factors(b) * *a,
+            q0: *p0,
+            q1: *p1,
+        }),
+        (_, Silent) | (Silent, _) => None,
+        _ => None,
+    }
+}
+
+/// The qubits a kernel touches, or `None` for [`PrecompiledKind::Silent`].
+fn kind_qubits(kind: &PrecompiledKind) -> Option<(QubitId, Option<QubitId>)> {
+    match kind {
+        PrecompiledKind::Unitary1Q { qubit, .. } => Some((*qubit, None)),
+        PrecompiledKind::Unitary2Q { q0, q1, .. } => Some((*q0, Some(*q1))),
+        PrecompiledKind::Silent => None,
+    }
+}
+
+/// True when the qubit set `(a, b)` shares no qubit with `set`.
+fn disjoint_from(set: &[QubitId], (a, b): (QubitId, Option<QubitId>)) -> bool {
+    !set.contains(&a) && b.is_none_or(|b| !set.contains(&b))
+}
+
+/// True when two kernel qubit sets share a qubit.
+fn qubits_overlap(a: (QubitId, Option<QubitId>), b: (QubitId, Option<QubitId>)) -> bool {
+    let contains = |set: (QubitId, Option<QubitId>), q: QubitId| set.0 == q || set.1 == Some(q);
+    contains(a, b.0) || b.1.is_some_and(|q| contains(a, q))
+}
+
+/// The greedy fusion pass.
+///
+/// For each incoming op the pass scans backward through the output for an op
+/// touching its qubits that can legally move forward to it: every op in
+/// between must commute with the candidate, which the scan tracks as the
+/// `blocked` set of qubits touched since (disjoint unitaries commute, so
+/// fusing across them is exact — this is what lets a layered circuit's
+/// rotation layer fuse into the entangler layer that follows it, even with
+/// other entanglers in between). The scan stops at any op that draws
+/// randomness and at measurements and barriers; a candidate whose qubits
+/// intersect `blocked` (or whose kernel shape cannot combine) is itself added
+/// to `blocked` and the scan continues deeper.
+///
+/// The fused op keeps the *later* op's channels (the earlier op's identity
+/// channels are dropped — they consumed no RNG), so the channel application
+/// order of a trajectory is unchanged. Returns the fused list and the number
+/// of ops eliminated.
+fn fuse_ops(ops: Vec<PrecompiledOp>) -> (Vec<PrecompiledOp>, usize) {
+    let mut out: Vec<PrecompiledOp> = Vec::with_capacity(ops.len());
+    let mut fused = 0usize;
+    for op in ops {
+        let mut cur = op;
+        // Each successful fuse can widen `cur`'s qubit set (1q absorbed into
+        // 2q), so restart the backward scan until nothing more absorbs.
+        'retry: while let Some(cur_q) = kind_qubits(&cur.kind) {
+            let mut blocked: Vec<QubitId> = Vec::new();
+            for i in (0..out.len()).rev() {
+                let prev = &out[i];
+                if !prev.consumes_no_rng() {
+                    break 'retry;
+                }
+                let Some(prev_q) = kind_qubits(&prev.kind) else {
+                    break 'retry;
+                };
+                if qubits_overlap(cur_q, prev_q) && disjoint_from(&blocked, prev_q) {
+                    if let Some(kind) = combine_kinds(&prev.kind, &cur.kind) {
+                        cur.kind = kind;
+                        out.remove(i);
+                        fused += 1;
+                        continue 'retry;
+                    }
+                }
+                blocked.push(prev_q.0);
+                blocked.extend(prev_q.1);
+                // Once every one of cur's qubits is blocked, no deeper op can
+                // still commute its way forward.
+                if !disjoint_from(&blocked, (cur_q.0, None))
+                    && cur_q.1.is_none_or(|q| !disjoint_from(&blocked, (q, None)))
+                {
+                    break 'retry;
+                }
+            }
+            break;
+        }
+        out.push(cur);
+    }
+    (out, fused)
 }
 
 /// Samples and applies one Kraus operator of a single-qubit channel.
@@ -321,6 +659,8 @@ mod tests {
         // Noisy device: channels were prebuilt.
         assert!(pre.ops()[1].depolarizing.is_some());
         assert!(!pre.is_noiseless());
+        assert_eq!(pre.fusion(), FusionPolicy::Off);
+        assert_eq!(pre.fused_ops(), 0);
     }
 
     #[test]
@@ -358,5 +698,94 @@ mod tests {
         for _ in 0..50 {
             assert!(pre.sample_shot(&mut rng) < 4);
         }
+    }
+
+    #[test]
+    fn ideal_fusion_collapses_the_bell_circuit_to_one_kernel() {
+        // H(0); CNOT(0,1); measure — the H absorbs into the CNOT.
+        let pre = PrecompiledCircuit::ideal_with_fusion(&bell_circuit(), FusionPolicy::Safe);
+        assert_eq!(pre.fused_ops(), 1);
+        assert_eq!(pre.ops().len(), 2); // fused kernel + Silent measure
+        let expected = gates::standard::cnot() * gates::standard::h().kron(&Mat2::identity());
+        match &pre.ops()[0].kind {
+            PrecompiledKind::Unitary2Q {
+                matrix,
+                q0: 0,
+                q1: 1,
+            } => {
+                assert!(matrix.approx_eq(&expected, 1e-12));
+            }
+            other => panic!("expected a fused 2Q kernel, got {other:?}"),
+        }
+        let state = pre.run_trajectory(&mut RngSeed(1).rng());
+        let p = state.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_handles_runs_and_reversed_pairs() {
+        let mut c = Circuit::new(3);
+        c.push(Operation::rx(0, 0.3));
+        c.push(Operation::rz(0, 0.7)); // 1q run on qubit 0
+        c.push(Operation::h(1));
+        c.push(Operation::cnot(0, 1)); // absorbs H(1), then the rx/rz run
+        c.push(Operation::cnot(1, 0)); // reversed pair: still fuses
+        c.push(Operation::x(2)); // disjoint qubit: fused across, not into
+        c.push(Operation::cnot(0, 1));
+        let pre = PrecompiledCircuit::ideal_with_fusion(&c, FusionPolicy::Safe);
+        // rx, rz, h, cnot(0,1), cnot(1,0) collapse into one kernel, and the
+        // final cnot fuses across the disjoint x(2) into it; x(2) survives.
+        assert_eq!(pre.fused_ops(), 5);
+        assert_eq!(pre.ops().len(), 2);
+        // Agreement with the unfused lowering.
+        let unfused = PrecompiledCircuit::ideal(&c);
+        let a = pre.run_trajectory(&mut RngSeed(2).rng());
+        let b = unfused.run_trajectory(&mut RngSeed(2).rng());
+        for i in 0..8 {
+            assert!((a.amplitude(i) - b.amplitude(i)).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn safe_fusion_never_crosses_noise() {
+        // Real calibration noise on every op: nothing may fuse, and the
+        // lowered ops must equal the unfused lowering exactly.
+        let device = DeviceModel::aspen8(RngSeed(7));
+        let noise = NoiseModel::from_device(&device);
+        let fused = PrecompiledCircuit::with_fusion(&bell_circuit(), &noise, FusionPolicy::Safe);
+        let unfused = PrecompiledCircuit::new(&bell_circuit(), &noise);
+        assert_eq!(fused.fused_ops(), 0);
+        assert_eq!(fused.ops(), unfused.ops());
+    }
+
+    #[test]
+    fn fused_one_qubit_noise_keeps_its_target_qubit() {
+        // 2q-error-only noise: 1q gates are noise-free and absorb into the
+        // CNOT, whose 2q channel survives on the fused kernel.
+        let device = DeviceModel::ideal(2, 0.9);
+        let mut noise = NoiseModel::from_device(&device);
+        noise.with_relaxation = false;
+        noise.with_readout_error = false;
+        let fused = PrecompiledCircuit::with_fusion(&bell_circuit(), &noise, FusionPolicy::Safe);
+        assert_eq!(fused.fused_ops(), 1);
+        let op = &fused.ops()[0];
+        assert!(matches!(
+            op.kind,
+            PrecompiledKind::Unitary2Q { q0: 0, q1: 1, .. }
+        ));
+        assert!(matches!(
+            op.depolarizing,
+            Some(AttachedChannel::Two { q0: 0, q1: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn swap_tensor_factors_matches_swap_conjugation() {
+        let syc = gates::GateType::syc();
+        let reordered = swap_tensor_factors(syc.unitary());
+        let swap = gates::standard::swap();
+        let conjugated = swap * *syc.unitary() * swap;
+        assert!(reordered.approx_eq(&conjugated, 1e-12));
     }
 }

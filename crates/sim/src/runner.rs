@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::channels::ArityChannel;
 use crate::engine::{ExecutionEngine, SeedPolicy};
 use crate::noise_model::NoiseModel;
-use crate::precompiled::{apply_channel_1q, apply_channel_2q, PrecompiledCircuit};
+use crate::precompiled::{apply_channel_1q, apply_channel_2q, FusionPolicy, PrecompiledCircuit};
 use crate::statevector::StateVector;
 
 /// Error returned by [`Counts::merge`] when the two histograms cover
@@ -180,12 +180,13 @@ impl IdealSimulator {
     /// Samples `shots` measurements from the ideal distribution.
     ///
     /// This is a single-job wrapper over the
-    /// [`ExecutionEngine`]: the final state is
+    /// [`ExecutionEngine`]: the circuit is lowered with unrestricted gate
+    /// fusion (no channels exist on the ideal path), the final state is
     /// computed once and sampling is sharded across worker threads, with
     /// per-shard seed streams keeping the result independent of the thread
     /// count.
     pub fn sample(circuit: &Circuit, shots: usize, seed: RngSeed) -> Counts {
-        let pre = PrecompiledCircuit::ideal(circuit);
+        let pre = PrecompiledCircuit::ideal_with_fusion(circuit, FusionPolicy::Safe);
         ExecutionEngine::new()
             .run_precompiled(&pre, shots, seed)
             .counts
@@ -211,6 +212,13 @@ impl NoisySimulator {
     /// Lowers `circuit` under this simulator's noise model once. Reuse the
     /// result with [`ExecutionEngine::run_precompiled`]
     /// when the same circuit is executed repeatedly.
+    ///
+    /// The lowering is deliberately **unfused** so that
+    /// [`NoisySimulator::run`]'s bit-exact match with the historical
+    /// single-threaded implementation holds by construction; use
+    /// [`PrecompiledCircuit::with_fusion`](crate::PrecompiledCircuit::with_fusion)
+    /// (or the engine, whose default is [`FusionPolicy::Safe`]) for the fused
+    /// lowering — `Safe` fusion leaves counts bit-identical anyway.
     pub fn precompile(&self, circuit: &Circuit) -> PrecompiledCircuit {
         PrecompiledCircuit::new(circuit, &self.noise)
     }

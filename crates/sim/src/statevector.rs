@@ -1,9 +1,91 @@
 //! Dense state-vector representation and gate application.
+//!
+//! # Amplitude sweeps
+//!
+//! Gate application iterates only the *base indices* of the register — the
+//! `2^(n-1)` (one-qubit) or `2^(n-2)` (two-qubit) indices whose target bits
+//! are zero — instead of scanning all `2^n` amplitudes and mask-testing each
+//! one. Above [`PARALLEL_SWEEP_MIN_QUBITS`] the
+//! [`apply_one_qubit_threaded`](StateVector::apply_one_qubit_threaded) /
+//! [`apply_two_qubit_threaded`](StateVector::apply_two_qubit_threaded)
+//! variants additionally split that base-index space across scoped worker
+//! threads. Every base index owns a disjoint set of amplitudes and each
+//! amplitude's update is computed from the same inputs with the same
+//! arithmetic regardless of the split, so results are **bit-identical for any
+//! thread count**.
+
+use std::ops::Range;
 
 use circuit::QubitId;
 use qmath::{Complex, Mat2, Mat4};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Number of qubits at or above which the `apply_*_threaded` sweeps split the
+/// amplitude space across worker threads. Below this (≤ 8192 amplitudes) the
+/// scoped-thread setup costs more than the sweep itself and the state is
+/// updated serially regardless of the requested thread count.
+pub const PARALLEL_SWEEP_MIN_QUBITS: usize = 14;
+
+/// Returns `k` with a zero bit inserted at position `shift`: bits below
+/// `shift` stay in place, bits at and above it move up by one. Enumerates the
+/// base indices of a sweep (`insert_zero_bit(k, s)` for `k = 0..2^(n-1)`
+/// visits exactly the indices whose bit `s` is clear, in increasing order).
+#[inline(always)]
+fn insert_zero_bit(k: usize, shift: usize) -> usize {
+    ((k >> shift) << (shift + 1)) | (k & ((1usize << shift) - 1))
+}
+
+/// Raw cursor into the amplitude buffer, shared by the scoped sweep workers.
+///
+/// Safety contract: every worker receives a disjoint base-index range, and
+/// distinct base indices address disjoint amplitude pairs/quadruples, so no
+/// amplitude is ever aliased across threads during one sweep.
+#[derive(Clone, Copy)]
+struct AmpCursor(*mut Complex);
+
+impl AmpCursor {
+    /// Accessor (rather than direct field use) so closures capture the whole
+    /// `Sync` wrapper instead of edition-2021 precise-capturing the raw
+    /// pointer field.
+    #[inline(always)]
+    fn ptr(self) -> *mut Complex {
+        self.0
+    }
+}
+
+// SAFETY: the cursor is only dereferenced inside one sweep, where workers own
+// disjoint index sets (see the struct docs).
+unsafe impl Send for AmpCursor {}
+unsafe impl Sync for AmpCursor {}
+
+/// Runs `kernel` over `0..base_count`, split into contiguous chunks across at
+/// most `threads` scoped workers. Serial when the register is below
+/// [`PARALLEL_SWEEP_MIN_QUBITS`] or only one worker is requested; the kernel
+/// performs identical per-index arithmetic either way.
+fn run_sweep(
+    base_count: usize,
+    num_qubits: usize,
+    threads: usize,
+    kernel: impl Fn(Range<usize>) + Sync,
+) {
+    let workers = threads.max(1).min(base_count.max(1));
+    if workers <= 1 || num_qubits < PARALLEL_SWEEP_MIN_QUBITS {
+        kernel(0..base_count);
+        return;
+    }
+    let chunk = base_count.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let kernel = &kernel;
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = (start + chunk).min(base_count);
+            if start < end {
+                scope.spawn(move || kernel(start..end));
+            }
+        }
+    });
+}
 
 /// A pure state of an `n`-qubit register, stored as `2^n` amplitudes in
 /// big-endian basis ordering (qubit 0 is the most significant bit).
@@ -82,35 +164,76 @@ impl StateVector {
     /// Applies a 2×2 unitary (or Kraus operator) to qubit `q` in place.
     ///
     /// The operator is the stack-allocated [`Mat2`]; per-gate application
-    /// reads it straight from registers with no per-call allocation.
+    /// reads it straight from registers with no per-call allocation. The sweep
+    /// visits only the `2^(n-1)` base indices (bit `q` clear), touching each
+    /// amplitude pair exactly once.
     ///
     /// # Panics
     /// Panics if `q` is out of range.
     pub fn apply_one_qubit(&mut self, m: &Mat2, q: QubitId) {
+        self.apply_one_qubit_threaded(m, q, 1);
+    }
+
+    /// [`apply_one_qubit`](StateVector::apply_one_qubit) with the base-index
+    /// sweep split across up to `threads` scoped worker threads (registers
+    /// below [`PARALLEL_SWEEP_MIN_QUBITS`] stay serial). Bit-identical to the
+    /// serial sweep for any thread count.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    pub fn apply_one_qubit_threaded(&mut self, m: &Mat2, q: QubitId, threads: usize) {
         assert!(q < self.num_qubits, "qubit out of range");
         let shift = self.num_qubits - 1 - q;
         let mask = 1usize << shift;
         let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
-        let dim = self.amplitudes.len();
-        let mut i = 0usize;
-        while i < dim {
-            if i & mask == 0 {
-                let j = i | mask;
-                let a0 = self.amplitudes[i];
-                let a1 = self.amplitudes[j];
-                self.amplitudes[i] = m00 * a0 + m01 * a1;
-                self.amplitudes[j] = m10 * a0 + m11 * a1;
+        let half = self.amplitudes.len() / 2;
+        let cursor = AmpCursor(self.amplitudes.as_mut_ptr());
+        let kernel = move |range: Range<usize>| {
+            let amps = cursor.ptr();
+            // Walk the range in contiguous runs: base indices whose low bits
+            // (below `shift`) increment without carrying map to consecutive
+            // amplitude indices, so the inner loop is a straight pointer walk
+            // the compiler can unroll and vectorize.
+            let mut k = range.start;
+            while k < range.end {
+                let run = (mask - (k & (mask - 1))).min(range.end - k);
+                let i0 = insert_zero_bit(k, shift);
+                // SAFETY: distinct base indices map to distinct (i, j) pairs
+                // and workers own disjoint base-index ranges (see AmpCursor).
+                unsafe {
+                    for o in 0..run {
+                        let i = i0 + o;
+                        let j = i | mask;
+                        let a0 = *amps.add(i);
+                        let a1 = *amps.add(j);
+                        *amps.add(i) = m00 * a0 + m01 * a1;
+                        *amps.add(j) = m10 * a0 + m11 * a1;
+                    }
+                }
+                k += run;
             }
-            i += 1;
-        }
+        };
+        run_sweep(half, self.num_qubits, threads, kernel);
     }
 
     /// Applies a 4×4 unitary (or Kraus operator) to qubits `(q0, q1)` in place;
-    /// `q0` is the most significant qubit of the matrix.
+    /// `q0` is the most significant qubit of the matrix. The sweep visits only
+    /// the `2^(n-2)` base indices (both target bits clear).
     ///
     /// # Panics
     /// Panics if the qubits are out of range or equal.
     pub fn apply_two_qubit(&mut self, m: &Mat4, q0: QubitId, q1: QubitId) {
+        self.apply_two_qubit_threaded(m, q0, q1, 1);
+    }
+
+    /// [`apply_two_qubit`](StateVector::apply_two_qubit) with the base-index
+    /// sweep split across up to `threads` scoped worker threads (registers
+    /// below [`PARALLEL_SWEEP_MIN_QUBITS`] stay serial). Bit-identical to the
+    /// serial sweep for any thread count.
+    ///
+    /// # Panics
+    /// Panics if the qubits are out of range or equal.
+    pub fn apply_two_qubit_threaded(&mut self, m: &Mat4, q0: QubitId, q1: QubitId, threads: usize) {
         assert!(
             q0 < self.num_qubits && q1 < self.num_qubits,
             "qubit out of range"
@@ -120,46 +243,75 @@ impl StateVector {
         let s1 = self.num_qubits - 1 - q1;
         let mask0 = 1usize << s0;
         let mask1 = 1usize << s1;
-        let dim = self.amplitudes.len();
-        for i in 0..dim {
-            if i & mask0 == 0 && i & mask1 == 0 {
-                let i00 = i;
-                let i01 = i | mask1;
-                let i10 = i | mask0;
-                let i11 = i | mask0 | mask1;
-                let a = [
-                    self.amplitudes[i00],
-                    self.amplitudes[i01],
-                    self.amplitudes[i10],
-                    self.amplitudes[i11],
-                ];
-                for (r, &idx) in [i00, i01, i10, i11].iter().enumerate() {
-                    let mut acc = Complex::ZERO;
-                    for (c, &amp) in a.iter().enumerate() {
-                        acc += m[(r, c)] * amp;
+        let (lo, hi) = (s0.min(s1), s0.max(s1));
+        let m = *m;
+        let quarter = self.amplitudes.len() / 4;
+        let cursor = AmpCursor(self.amplitudes.as_mut_ptr());
+        let lo_mask = (1usize << lo) - 1;
+        let kernel = move |range: Range<usize>| {
+            let amps = cursor.ptr();
+            // Walk the range in contiguous runs below the lower inserted bit
+            // (see the one-qubit kernel): within a run the four amplitude
+            // indices advance by one each step.
+            let mut k = range.start;
+            while k < range.end {
+                let run = ((lo_mask + 1) - (k & lo_mask)).min(range.end - k);
+                // Insert zeros at the lower shift first, then at the higher
+                // one (whose position is unchanged by the first insertion).
+                let base = insert_zero_bit(insert_zero_bit(k, lo), hi);
+                // SAFETY: distinct base indices map to distinct index
+                // quadruples and workers own disjoint base-index ranges (see
+                // AmpCursor).
+                unsafe {
+                    for o in 0..run {
+                        let i00 = base + o;
+                        let i01 = i00 | mask1;
+                        let i10 = i00 | mask0;
+                        let i11 = i00 | mask0 | mask1;
+                        let a0 = *amps.add(i00);
+                        let a1 = *amps.add(i01);
+                        let a2 = *amps.add(i10);
+                        let a3 = *amps.add(i11);
+                        *amps.add(i00) =
+                            m[(0, 0)] * a0 + m[(0, 1)] * a1 + m[(0, 2)] * a2 + m[(0, 3)] * a3;
+                        *amps.add(i01) =
+                            m[(1, 0)] * a0 + m[(1, 1)] * a1 + m[(1, 2)] * a2 + m[(1, 3)] * a3;
+                        *amps.add(i10) =
+                            m[(2, 0)] * a0 + m[(2, 1)] * a1 + m[(2, 2)] * a2 + m[(2, 3)] * a3;
+                        *amps.add(i11) =
+                            m[(3, 0)] * a0 + m[(3, 1)] * a1 + m[(3, 2)] * a2 + m[(3, 3)] * a3;
                     }
-                    self.amplitudes[idx] = acc;
                 }
+                k += run;
             }
-        }
+        };
+        run_sweep(quarter, self.num_qubits, threads, kernel);
     }
 
     /// Probability of measuring qubit `q` in state `|1⟩`.
+    ///
+    /// Iterates only the `2^(n-1)` indices whose bit `q` is set (in the same
+    /// increasing order a full scan would visit them, so the floating-point
+    /// sum is unchanged).
     pub fn prob_one(&self, q: QubitId) -> f64 {
         assert!(q < self.num_qubits, "qubit out of range");
         let shift = self.num_qubits - 1 - q;
         let mask = 1usize << shift;
-        self.amplitudes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        let half = self.amplitudes.len() / 2;
+        let mut sum = 0.0;
+        for k in 0..half {
+            sum += self.amplitudes[insert_zero_bit(k, shift) | mask].norm_sqr();
+        }
+        sum
     }
 
     /// Samples a complete computational-basis measurement, returning the basis
     /// index. The state is *not* collapsed (trajectory shots re-sample from the
     /// final distribution).
+    ///
+    /// This linear scan is O(2^n) per shot; when many shots sample the *same*
+    /// state (the engine's noiseless fast path), build a
+    /// [`MeasurementSampler`] once and binary-search per shot instead.
     pub fn sample_measurement<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let mut r: f64 = rng.gen_range(0.0..1.0);
         for (i, a) in self.amplitudes.iter().enumerate() {
@@ -170,6 +322,23 @@ impl StateVector {
             r -= p;
         }
         self.amplitudes.len() - 1
+    }
+
+    /// Builds the precomputed cumulative-distribution sampler for this state.
+    ///
+    /// One O(2^n) prefix-sum pays for O(n)-per-shot sampling afterwards —
+    /// the engine's noiseless fast path uses this to turn its O(shots·2^n)
+    /// sampling loop into O(2^n + shots·n). Each
+    /// [`MeasurementSampler::sample`] consumes exactly one RNG draw, the same
+    /// as [`sample_measurement`](StateVector::sample_measurement).
+    pub fn measurement_sampler(&self) -> MeasurementSampler {
+        let mut cumulative = Vec::with_capacity(self.amplitudes.len());
+        let mut acc = 0.0f64;
+        for a in &self.amplitudes {
+            acc += a.norm_sqr();
+            cumulative.push(acc);
+        }
+        MeasurementSampler { cumulative }
     }
 
     /// Inner product `⟨self|other⟩`.
@@ -188,6 +357,42 @@ impl StateVector {
     /// State fidelity `|⟨self|other⟩|²`.
     pub fn fidelity(&self, other: &StateVector) -> f64 {
         self.inner_product(other).norm_sqr()
+    }
+}
+
+/// Precomputed cumulative measurement distribution of one [`StateVector`].
+///
+/// Built once via [`StateVector::measurement_sampler`]; each
+/// [`sample`](MeasurementSampler::sample) is then a single RNG draw plus a
+/// binary search over the prefix sums, instead of an O(2^n) rescan of the
+/// amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementSampler {
+    /// `cumulative[i]` is the total probability mass of basis states `0..=i`.
+    cumulative: Vec<f64>,
+}
+
+impl MeasurementSampler {
+    /// Samples one basis index from the precomputed distribution (one RNG
+    /// draw, O(n) binary search).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        // First basis index whose cumulative mass exceeds the draw; clamp to
+        // the last index to absorb rounding shortfall in the final prefix sum.
+        self.cumulative
+            .partition_point(|&c| c <= r)
+            .min(self.cumulative.len() - 1)
+    }
+
+    /// Number of basis states covered.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True for an empty table (never produced by
+    /// [`StateVector::measurement_sampler`]).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
     }
 }
 
@@ -299,5 +504,78 @@ mod tests {
     fn out_of_range_qubit_panics() {
         let mut s = StateVector::zero_state(2);
         s.apply_one_qubit(&standard::x(), 2);
+    }
+
+    #[test]
+    fn insert_zero_bit_enumerates_clear_bit_indices() {
+        for shift in 0..4usize {
+            let mask = 1usize << shift;
+            let expected: Vec<usize> = (0..32).filter(|i| i & mask == 0).collect();
+            let actual: Vec<usize> = (0..16).map(|k| insert_zero_bit(k, shift)).collect();
+            assert_eq!(actual, expected, "shift = {shift}");
+        }
+    }
+
+    /// A random-ish dense state for sweep equality tests.
+    fn scrambled_state(n: usize) -> StateVector {
+        let mut s = StateVector::zero_state(n);
+        for q in 0..n {
+            s.apply_one_qubit(&standard::ry(0.3 + 0.1 * q as f64), q);
+            s.apply_one_qubit(&standard::rz(1.1 * q as f64 + 0.2), q);
+        }
+        for q in 1..n {
+            s.apply_two_qubit(&standard::cnot(), q - 1, q);
+        }
+        s
+    }
+
+    #[test]
+    fn threaded_sweeps_are_bit_identical_below_and_above_threshold() {
+        // One size below the parallel threshold (serial fallback) and one at
+        // it (actual scoped workers when threads > 1).
+        for n in [PARALLEL_SWEEP_MIN_QUBITS - 1, PARALLEL_SWEEP_MIN_QUBITS] {
+            let base = scrambled_state(n);
+            let syc = gates::GateType::syc();
+            let mut serial = base.clone();
+            serial.apply_one_qubit(&standard::h(), n - 1);
+            serial.apply_two_qubit(syc.unitary(), 0, n - 1);
+            for threads in [2usize, 3, 8] {
+                let mut par = base.clone();
+                par.apply_one_qubit_threaded(&standard::h(), n - 1, threads);
+                par.apply_two_qubit_threaded(syc.unitary(), 0, n - 1, threads);
+                assert_eq!(par, serial, "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prob_one_matches_full_scan() {
+        let s = scrambled_state(5);
+        for q in 0..5 {
+            let mask = 1usize << (5 - 1 - q);
+            let full: f64 = s
+                .amplitudes()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & mask != 0)
+                .map(|(_, a)| a.norm_sqr())
+                .sum();
+            assert_eq!(s.prob_one(q), full, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn measurement_sampler_matches_linear_scan() {
+        let s = scrambled_state(6);
+        let sampler = s.measurement_sampler();
+        assert_eq!(sampler.len(), 64);
+        assert!(!sampler.is_empty());
+        // Same seed stream: the binary search picks the same outcomes as the
+        // linear subtraction scan (both consume one draw per shot).
+        let mut rng_a = RngSeed(41).rng();
+        let mut rng_b = RngSeed(41).rng();
+        for _ in 0..500 {
+            assert_eq!(sampler.sample(&mut rng_a), s.sample_measurement(&mut rng_b));
+        }
     }
 }

@@ -1,0 +1,212 @@
+//! Validation of gate fusion (`FusionPolicy`) and parallel amplitude sweeps:
+//! fused lowerings must agree with unfused ones to 1e-12 on random circuits,
+//! `Safe` fusion must leave noisy counts bit-identical, and amplitude-sweep
+//! threading must be invisible in the results at and around
+//! `PARALLEL_SWEEP_MIN_QUBITS`.
+
+use circuit::{Circuit, Operation};
+use device::DeviceModel;
+use proptest::prelude::*;
+use qmath::RngSeed;
+use rand::Rng;
+use sim::{
+    ExecutionEngine, FusionPolicy, NoiseModel, PrecompiledCircuit, SeedPolicy, SimJob,
+    PARALLEL_SWEEP_MIN_QUBITS,
+};
+use std::f64::consts::{PI, TAU};
+
+/// A pseudo-random gate soup drawn from the full 1q/2q vocabulary, designed
+/// to produce plenty of fusable runs (repeated 1q rotations, back-to-back
+/// entanglers in both orientations).
+fn random_circuit(num_qubits: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = RngSeed(seed).rng();
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..depth {
+        let q = rng.gen_range(0..num_qubits);
+        match rng.gen_range(0..8) {
+            0 => c.push(Operation::h(q)),
+            1 => c.push(Operation::x(q)),
+            2 => c.push(Operation::rx(q, rng.gen_range(0.0..TAU))),
+            3 => c.push(Operation::rz(q, rng.gen_range(0.0..TAU))),
+            4 => c.push(Operation::u3(
+                q,
+                rng.gen_range(0.0..PI),
+                rng.gen_range(0.0..TAU),
+                rng.gen_range(0.0..TAU),
+            )),
+            kind => {
+                let p = (q + 1 + rng.gen_range(0..num_qubits - 1)) % num_qubits;
+                match kind {
+                    5 => c.push(Operation::cnot(q, p)),
+                    6 => c.push(Operation::cz(q, p)),
+                    _ => c.push(Operation::cphase(q, p, rng.gen_range(0.0..PI))),
+                }
+            }
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// An entangling circuit that is cheap at 13–15 qubits: one rotation layer,
+/// a CNOT chain, and a second rotation layer.
+fn wide_circuit(num_qubits: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for q in 0..num_qubits {
+        c.push(Operation::rx(q, 0.1 + q as f64 * 0.2));
+    }
+    for q in 1..num_qubits {
+        c.push(Operation::cnot(q - 1, q));
+    }
+    for q in 0..num_qubits {
+        c.push(Operation::rz(q, 0.4 + q as f64 * 0.1));
+    }
+    c.measure_all();
+    c
+}
+
+/// A 2q-error-only noise model: 1q gates stay noise-free so `Safe` fusion has
+/// channels to fuse across, while the 2q depolarizing channels still consume
+/// RNG exactly as in the unfused lowering.
+fn two_qubit_noise(num_qubits: usize, fidelity: f64) -> NoiseModel {
+    let mut noise = NoiseModel::from_device(&DeviceModel::ideal(num_qubits, fidelity));
+    noise.with_relaxation = false;
+    noise
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unrestricted ideal fusion reproduces the unfused final state to 1e-12
+    /// on random circuits over the full gate vocabulary.
+    #[test]
+    fn fused_ideal_state_matches_unfused(
+        seed in 0u64..10_000,
+        num_qubits in 2usize..6,
+        depth in 1usize..60,
+    ) {
+        let c = random_circuit(num_qubits, depth, seed);
+        let fused = PrecompiledCircuit::ideal_with_fusion(&c, FusionPolicy::Safe);
+        let unfused = PrecompiledCircuit::ideal(&c);
+        prop_assert!(fused.ops().len() + fused.fused_ops() == unfused.ops().len());
+        let a = fused.run_trajectory(&mut RngSeed(seed).rng());
+        let b = unfused.run_trajectory(&mut RngSeed(seed).rng());
+        for i in 0..(1usize << num_qubits) {
+            prop_assert!(
+                (a.amplitude(i) - b.amplitude(i)).norm() < 1e-12,
+                "amplitude {} diverged: {:?} vs {:?}",
+                i,
+                a.amplitude(i),
+                b.amplitude(i)
+            );
+        }
+    }
+
+    /// `Safe` fusion leaves noisy engine counts bit-identical to the unfused
+    /// lowering, under both seed policies.
+    #[test]
+    fn safe_fusion_counts_are_bit_identical_to_unfused(
+        seed in 0u64..10_000,
+        shots in 1usize..200,
+        fid_step in 0usize..3,
+        policy_step in 0usize..2,
+    ) {
+        let fidelity = [0.9, 0.96, 0.995][fid_step];
+        let policy = [SeedPolicy::PerShard, SeedPolicy::PerShot][policy_step];
+        let circuit = random_circuit(3, 40, seed);
+        let noise = two_qubit_noise(3, fidelity);
+        let job = SimJob::noisy(circuit, noise, shots, RngSeed(seed ^ 0xC3));
+        let run = |fusion| {
+            ExecutionEngine::builder()
+                .threads(2)
+                .seed_policy(policy)
+                .fusion(fusion)
+                .build()
+                .run_job(&job)
+        };
+        let unfused = run(FusionPolicy::Off);
+        let fused = run(FusionPolicy::Safe);
+        prop_assert_eq!(unfused.report.fused_ops, 0);
+        prop_assert_eq!(&fused.counts, &unfused.counts);
+    }
+}
+
+#[test]
+fn thread_count_is_invisible_at_and_around_the_sweep_threshold() {
+    // One qubit below the threshold the engine stays shot-parallel; at and
+    // above it, it flips to amplitude-parallel sweeps. Either way counts must
+    // be bit-identical for 1, 2 and 8 threads.
+    for num_qubits in [
+        PARALLEL_SWEEP_MIN_QUBITS - 1,
+        PARALLEL_SWEEP_MIN_QUBITS,
+        PARALLEL_SWEEP_MIN_QUBITS + 1,
+    ] {
+        let job = SimJob::ideal(wide_circuit(num_qubits), 300, RngSeed(77));
+        let reference = ExecutionEngine::builder().threads(1).build().run_job(&job);
+        for threads in [2usize, 8] {
+            let parallel = ExecutionEngine::builder()
+                .threads(threads)
+                .build()
+                .run_job(&job);
+            assert_eq!(
+                parallel.counts, reference.counts,
+                "n = {num_qubits}, threads = {threads}"
+            );
+            if num_qubits >= PARALLEL_SWEEP_MIN_QUBITS {
+                assert_eq!(
+                    parallel.report.threads, threads,
+                    "amplitude-parallel regime"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn noisy_trajectories_are_bit_identical_across_sweep_threads() {
+    // Above the threshold the engine runs noisy shots sequentially with
+    // threaded sweeps; the Kraus sampling RNG stream must be untouched by the
+    // thread count, fused or not.
+    let num_qubits = PARALLEL_SWEEP_MIN_QUBITS;
+    let circuit = wide_circuit(num_qubits);
+    let noise = two_qubit_noise(num_qubits, 0.97);
+    let job = SimJob::noisy(circuit, noise, 8, RngSeed(41));
+    let run = |threads, fusion| {
+        ExecutionEngine::builder()
+            .threads(threads)
+            .fusion(fusion)
+            .build()
+            .run_job(&job)
+    };
+    let reference = run(1, FusionPolicy::Off);
+    for threads in [1usize, 8] {
+        for fusion in [FusionPolicy::Off, FusionPolicy::Safe] {
+            let result = run(threads, fusion);
+            assert_eq!(
+                result.counts, reference.counts,
+                "threads = {threads}, fusion = {fusion:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_is_reported_by_the_engine() {
+    // The wide circuit interleaves rotation layers with a CNOT chain, so the
+    // ideal lowering has plenty of adjacent fusable pairs.
+    let job = SimJob::ideal(wide_circuit(4), 50, RngSeed(5));
+    let fused = ExecutionEngine::builder()
+        .fusion(FusionPolicy::Safe)
+        .build()
+        .run_job(&job);
+    let unfused = ExecutionEngine::builder()
+        .fusion(FusionPolicy::Off)
+        .build()
+        .run_job(&job);
+    assert!(
+        fused.report.fused_ops > 0,
+        "expected fusion on the ideal path"
+    );
+    assert_eq!(unfused.report.fused_ops, 0);
+    assert_eq!(fused.counts, unfused.counts);
+}
