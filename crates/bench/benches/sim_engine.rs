@@ -99,7 +99,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
         })
     });
     for threads in [1usize, 2, 8] {
-        let engine = ExecutionEngine::builder().threads(threads).build();
+        let engine = ExecutionEngine::builder().threads(threads).build().unwrap();
         group.bench_with_input(
             BenchmarkId::new("engine", format!("{threads}_threads")),
             &engine,

@@ -31,15 +31,33 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale small|paper` from the process arguments (default Small).
+    /// Parses `--scale small|paper` from the process arguments (default
+    /// Small). Malformed values print a clear message to stderr and exit with
+    /// status 2 — never a silent fall-through to the default.
     pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
-        for window in args.windows(2) {
-            if window[0] == "--scale" && window[1].eq_ignore_ascii_case("paper") {
-                return Scale::Paper;
-            }
+        exit_on_arg_error(Scale::try_from_arg_list(
+            &std::env::args().collect::<Vec<_>>(),
+        ))
+    }
+
+    /// [`Scale::from_args`] over an explicit argument list (testable core).
+    /// Unknown scales and a trailing `--scale` with no value are rejected.
+    pub fn try_from_arg_list(args: &[String]) -> Result<Scale, ArgError> {
+        let mut scale = Scale::Small;
+        for (flag, value) in flag_values(args, "--scale")? {
+            scale = match value.to_ascii_lowercase().as_str() {
+                "small" => Scale::Small,
+                "paper" => Scale::Paper,
+                other => {
+                    return Err(ArgError {
+                        flag,
+                        value: other.to_string(),
+                        expected: "small|paper",
+                    })
+                }
+            };
         }
-        Scale::Small
+        Ok(scale)
     }
 
     /// Picks the small or paper value.
@@ -69,6 +87,73 @@ impl Scale {
     }
 }
 
+/// A malformed command-line value: the flag, what was given, what was
+/// expected.
+///
+/// The figure binaries used to silently ignore values they could not parse
+/// (`--sim-threads x` fell back to the default thread count), which makes a
+/// typo in a benchmark invocation indistinguishable from the intended run.
+/// Now every malformed value is rejected with a clear message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// The flag whose value failed to parse (e.g. `--sim-threads`).
+    pub flag: &'static str,
+    /// The offending value (empty when the flag had no value at all).
+    pub value: String,
+    /// Human-readable description of what the flag accepts.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.value.is_empty() {
+            write!(f, "{} requires a value ({})", self.flag, self.expected)
+        } else {
+            write!(
+                f,
+                "invalid value {:?} for {} (expected {})",
+                self.value, self.flag, self.expected
+            )
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Collects every `(flag, value)` occurrence of `flag` in `args`, rejecting a
+/// trailing flag with no value.
+fn flag_values<'a>(
+    args: &'a [String],
+    flag: &'static str,
+) -> Result<Vec<(&'static str, &'a str)>, ArgError> {
+    let mut values = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            match iter.next() {
+                Some(value) => values.push((flag, value.as_str())),
+                None => {
+                    return Err(ArgError {
+                        flag,
+                        value: String::new(),
+                        expected: "a value",
+                    })
+                }
+            }
+        }
+    }
+    Ok(values)
+}
+
+/// Prints an argument error to stderr and exits with status 2 (binaries
+/// only; library code and tests use the `try_*` variants).
+fn exit_on_arg_error<T>(result: Result<T, ArgError>) -> T {
+    result.unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    })
+}
+
 /// Builds the simulation engine the figure binaries share, honouring two
 /// optional command-line knobs:
 ///
@@ -77,32 +162,45 @@ impl Scale {
 /// - `--sim-threads N` — worker-thread cap for the engine (default: the
 ///   machine's available parallelism). Thread count never changes results.
 ///
-/// Unknown or malformed values fall back to the defaults, matching
-/// [`Scale::from_args`]'s tolerant parsing.
+/// Malformed values (`--fusion blah`, `--sim-threads x`, `--sim-threads 0`)
+/// print a clear message to stderr and exit with status 2.
 pub fn engine_from_args() -> ExecutionEngine {
-    engine_from_arg_list(&std::env::args().collect::<Vec<_>>())
+    exit_on_arg_error(engine_from_arg_list(&std::env::args().collect::<Vec<_>>()))
 }
 
 /// [`engine_from_args`] over an explicit argument list (testable core).
-pub fn engine_from_arg_list(args: &[String]) -> ExecutionEngine {
+pub fn engine_from_arg_list(args: &[String]) -> Result<ExecutionEngine, ArgError> {
     let mut builder = ExecutionEngine::builder();
-    for window in args.windows(2) {
-        match window[0].as_str() {
-            "--fusion" if window[1].eq_ignore_ascii_case("off") => {
-                builder = builder.fusion(FusionPolicy::Off);
+    for (flag, value) in flag_values(args, "--fusion")? {
+        builder = match value.to_ascii_lowercase().as_str() {
+            "off" => builder.fusion(FusionPolicy::Off),
+            "safe" => builder.fusion(FusionPolicy::Safe),
+            other => {
+                return Err(ArgError {
+                    flag,
+                    value: other.to_string(),
+                    expected: "off|safe",
+                })
             }
-            "--fusion" if window[1].eq_ignore_ascii_case("safe") => {
-                builder = builder.fusion(FusionPolicy::Safe);
+        };
+    }
+    for (flag, value) in flag_values(args, "--sim-threads")? {
+        // Zero threads is a typed EngineConfigError at build(); report it
+        // with the same flag/value framing as an unparsable number.
+        match value.parse::<usize>() {
+            Ok(threads) if threads > 0 => builder = builder.threads(threads),
+            _ => {
+                return Err(ArgError {
+                    flag,
+                    value: value.to_string(),
+                    expected: "a positive integer",
+                })
             }
-            "--sim-threads" => {
-                if let Ok(threads) = window[1].parse::<usize>() {
-                    builder = builder.threads(threads);
-                }
-            }
-            _ => {}
         }
     }
-    builder.build()
+    Ok(builder
+        .build()
+        .expect("default chunk size and positive threads are a valid config"))
 }
 
 /// Which metric scores a benchmark circuit.
@@ -413,18 +511,67 @@ mod tests {
         ));
     }
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn engine_args_parse_fusion_and_threads() {
-        let args: Vec<String> = ["fig", "--fusion", "off", "--sim-threads", "3"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let engine = engine_from_arg_list(&args);
+        let engine =
+            engine_from_arg_list(&args(&["fig", "--fusion", "off", "--sim-threads", "3"])).unwrap();
         assert_eq!(engine.fusion(), FusionPolicy::Off);
         assert_eq!(engine.threads(), 3);
-        // Defaults: Safe fusion, malformed values ignored.
-        let engine = engine_from_arg_list(&["fig".to_string(), "--sim-threads".to_string()]);
+        // Defaults with no flags at all.
+        let engine = engine_from_arg_list(&args(&["fig"])).unwrap();
         assert_eq!(engine.fusion(), FusionPolicy::Safe);
+        // Later occurrences win, like most CLI parsers.
+        let engine =
+            engine_from_arg_list(&args(&["fig", "--fusion", "off", "--fusion", "safe"])).unwrap();
+        assert_eq!(engine.fusion(), FusionPolicy::Safe);
+    }
+
+    #[test]
+    fn malformed_engine_args_are_rejected_not_ignored() {
+        // `--sim-threads x` used to silently fall back to the default; now it
+        // is a typed error with the offending value in the message.
+        let err = engine_from_arg_list(&args(&["fig", "--sim-threads", "x"])).unwrap_err();
+        assert_eq!(err.flag, "--sim-threads");
+        assert!(err.to_string().contains("\"x\""));
+        assert!(err.to_string().contains("positive integer"));
+
+        let err = engine_from_arg_list(&args(&["fig", "--sim-threads", "0"])).unwrap_err();
+        assert!(err.to_string().contains("\"0\""));
+
+        let err = engine_from_arg_list(&args(&["fig", "--fusion", "blah"])).unwrap_err();
+        assert_eq!(err.flag, "--fusion");
+        assert!(err.to_string().contains("off|safe"));
+
+        // A trailing flag with no value is also an error.
+        let err = engine_from_arg_list(&args(&["fig", "--sim-threads"])).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+        let err = engine_from_arg_list(&args(&["fig", "--fusion"])).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn scale_args_parse_and_reject() {
+        assert_eq!(
+            Scale::try_from_arg_list(&args(&["fig", "--scale", "paper"])).unwrap(),
+            Scale::Paper
+        );
+        assert_eq!(
+            Scale::try_from_arg_list(&args(&["fig", "--scale", "SMALL"])).unwrap(),
+            Scale::Small
+        );
+        assert_eq!(
+            Scale::try_from_arg_list(&args(&["fig"])).unwrap(),
+            Scale::Small
+        );
+        let err = Scale::try_from_arg_list(&args(&["fig", "--scale", "bogus"])).unwrap_err();
+        assert_eq!(err.flag, "--scale");
+        assert!(err.to_string().contains("small|paper"));
+        let err = Scale::try_from_arg_list(&args(&["fig", "--scale"])).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub use pass::{
     RegionSelect, StageTiming, SwapRoute,
 };
 pub use pipeline::{CompiledCircuit, CompilerOptions};
-pub use region::{select_region, try_select_region};
-pub use routing::{logical_outcome_for, route, try_route, RoutedCircuit};
+#[allow(deprecated)]
+pub use region::select_region;
+pub use region::try_select_region;
+#[allow(deprecated)]
+pub use routing::route;
+pub use routing::{logical_outcome_for, try_route, RoutedCircuit};
 pub use service::{Compiler, CompilerBuilder};

@@ -17,6 +17,10 @@ use crate::error::CompileError;
 /// # Panics
 /// Panics if the device has fewer than `n` qubits or no `n`-qubit connected
 /// region exists; use [`try_select_region`] to handle these as errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on invalid input, which a request-serving path cannot tolerate; use try_select_region"
+)]
 pub fn select_region(device: &DeviceModel, n: usize) -> Vec<QubitId> {
     assert!(n >= 1, "region must contain at least one qubit");
     assert!(
@@ -132,7 +136,7 @@ mod tests {
     fn region_is_connected_and_right_size() {
         let device = DeviceModel::aspen8(RngSeed(1));
         for n in [2usize, 3, 4, 6, 8] {
-            let region = select_region(&device, n);
+            let region = try_select_region(&device, n).unwrap();
             assert_eq!(region.len(), n);
             let sub = device.subdevice(&region);
             assert!(sub.topology().is_connected(), "n={n}");
@@ -142,7 +146,7 @@ mod tests {
     #[test]
     fn region_prefers_high_fidelity_edges() {
         let device = DeviceModel::aspen8(RngSeed(1));
-        let region = select_region(&device, 3);
+        let region = try_select_region(&device, 3).unwrap();
         let mean = region_gate_fidelity(&device, &region, "CZ");
         // The device-wide CZ fidelities range from 0.81 to 0.97; a greedy
         // selection should do clearly better than the low end.
@@ -153,7 +157,7 @@ mod tests {
     fn sycamore_region_selection_works_at_several_sizes() {
         let device = DeviceModel::sycamore(RngSeed(2));
         for n in [2usize, 6, 10, 20] {
-            let region = select_region(&device, n);
+            let region = try_select_region(&device, n).unwrap();
             assert_eq!(region.len(), n);
             assert!(device.subdevice(&region).topology().is_connected());
         }
@@ -162,11 +166,12 @@ mod tests {
     #[test]
     fn single_qubit_region() {
         let device = DeviceModel::sycamore(RngSeed(3));
-        assert_eq!(select_region(&device, 1).len(), 1);
+        assert_eq!(try_select_region(&device, 1).unwrap().len(), 1);
     }
 
     #[test]
     #[should_panic(expected = "device has only")]
+    #[allow(deprecated)]
     fn oversized_region_panics() {
         let device = DeviceModel::ideal(3, 0.99);
         let _ = select_region(&device, 5);
@@ -189,6 +194,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn try_select_region_matches_panicking_version_on_valid_input() {
         let device = DeviceModel::aspen8(RngSeed(1));
         for n in [1usize, 3, 6] {

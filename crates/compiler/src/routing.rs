@@ -64,6 +64,10 @@ pub fn logical_outcome_for(
 /// Panics if the layout length does not match the circuit, refers to
 /// out-of-range physical qubits, or the device graph is disconnected between
 /// needed qubits; use [`try_route`] to handle these as errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on invalid input, which a request-serving path cannot tolerate; use try_route"
+)]
 pub fn route(circuit: &Circuit, device: &DeviceModel, initial_layout: &[QubitId]) -> RoutedCircuit {
     try_route(circuit, device, initial_layout).unwrap_or_else(|e| match e {
         CompileError::InvalidLayout { reason } => panic!("{reason}"),
@@ -159,7 +163,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push(Operation::cz(0, 1));
         c.push(Operation::cz(1, 2));
-        let routed = route(&c, &device, &[0, 1, 2]);
+        let routed = try_route(&c, &device, &[0, 1, 2]).unwrap();
         assert_eq!(routed.swap_count, 0);
         assert_eq!(routed.circuit.two_qubit_gate_count(), 2);
         assert_eq!(routed.final_layout, vec![0, 1, 2]);
@@ -170,7 +174,7 @@ mod tests {
         let device = line_device(4);
         let mut c = Circuit::new(4);
         c.push(Operation::cz(0, 3));
-        let routed = route(&c, &device, &[0, 1, 2, 3]);
+        let routed = try_route(&c, &device, &[0, 1, 2, 3]).unwrap();
         // Distance 3 on a line: two SWAPs bring qubit 0 adjacent to qubit 3.
         assert_eq!(routed.swap_count, 2);
         assert_eq!(routed.circuit.two_qubit_counts_by_label()["SWAP"], 2);
@@ -188,7 +192,7 @@ mod tests {
         c.push(Operation::cz(0, 2)); // needs routing
         c.push(Operation::h(2));
         c.measure_all();
-        let routed = route(&c, &device, &[0, 1, 2]);
+        let routed = try_route(&c, &device, &[0, 1, 2]).unwrap();
         let ideal = sim::IdealSimulator::probabilities(&c);
         let routed_probs = sim::IdealSimulator::probabilities(&routed.circuit);
         for (physical_outcome, &p) in routed_probs.iter().enumerate() {
@@ -206,7 +210,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Operation::h(1));
         c.measure_all();
-        let routed = route(&c, &device, &[2, 0]);
+        let routed = try_route(&c, &device, &[2, 0]).unwrap();
         assert_eq!(routed.circuit.operations()[0].qubits(), &[0]);
         assert_eq!(routed.circuit.operations()[1].qubits(), &[2, 0]);
     }
@@ -217,7 +221,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Operation::x(0));
         c.measure_all();
-        let routed = route(&c, &device, &[1, 0]);
+        let routed = try_route(&c, &device, &[1, 0]).unwrap();
         // Physical outcome with qubit 1 set corresponds to logical qubit 0 set.
         let physical = 0b01;
         assert_eq!(routed.logical_outcome(physical), 0b10);
@@ -225,6 +229,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "layout must assign")]
+    #[allow(deprecated)]
     fn wrong_layout_length_panics() {
         let device = line_device(3);
         let c = Circuit::new(2);

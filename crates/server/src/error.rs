@@ -1,0 +1,101 @@
+//! Typed failures of the job server.
+
+use compiler::CompileError;
+
+use crate::wire::WireError;
+
+/// Everything that can go wrong between submitting a job and reading its
+/// response.
+///
+/// The variants split along the lines a caller cares about: `Overloaded` and
+/// `ShutDown` are *admission* failures (retry later, or not at all);
+/// `InvalidRequest` and `Compile` are *your* fault (fix the request);
+/// `Panicked` is *our* fault (a worker hit a bug, but the server and every
+/// other job keep running).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The bounded queue is full; the request was rejected at admission so
+    /// callers see backpressure instead of unbounded latency.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer accepts work.
+    ShutDown,
+    /// The request failed validation before reaching a worker.
+    InvalidRequest {
+        /// Human-readable reason the request was rejected.
+        reason: String,
+    },
+    /// Compilation failed with a typed [`CompileError`].
+    Compile(CompileError),
+    /// The job's worker panicked. The original panic message is preserved;
+    /// the worker thread survives and moves on to the next job.
+    Panicked {
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Overloaded { capacity } => {
+                write!(f, "server overloaded: queue capacity {capacity} reached")
+            }
+            ServerError::ShutDown => write!(f, "server is shut down"),
+            ServerError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            ServerError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ServerError::Panicked { message } => write!(f, "job panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for ServerError {
+    fn from(e: CompileError) -> Self {
+        ServerError::Compile(e)
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        ServerError::InvalidRequest {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_interesting_detail() {
+        assert!(ServerError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(ServerError::Panicked {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        let e: ServerError = WireError::new("missing field `tenant`").into();
+        assert!(e.to_string().contains("tenant"));
+    }
+
+    #[test]
+    fn compile_errors_keep_their_source() {
+        use std::error::Error as _;
+        let e = ServerError::Compile(CompileError::EmptyCircuit);
+        assert!(e.source().is_some());
+    }
+}

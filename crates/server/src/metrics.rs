@@ -1,0 +1,204 @@
+//! Server-wide counters and the metrics endpoint payload.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Monotonic counters updated by the admission path and the workers. All
+/// updates are relaxed atomics: metrics tolerate being a moment stale, they
+/// must never contend with the jobs they measure.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    pub(crate) submitted: AtomicUsize,
+    pub(crate) rejected: AtomicUsize,
+    pub(crate) completed: AtomicUsize,
+    pub(crate) failed: AtomicUsize,
+    pub(crate) panicked: AtomicUsize,
+    pub(crate) shots_total: AtomicUsize,
+    pub(crate) compile_nanos: AtomicU64,
+    pub(crate) simulate_nanos: AtomicU64,
+}
+
+impl ServerMetrics {
+    pub(crate) fn record_compile(&self, elapsed: Duration) {
+        self.compile_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_simulate(&self, elapsed: Duration, shots: usize) {
+        self.simulate_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.shots_total.fetch_add(shots, Ordering::Relaxed);
+    }
+}
+
+/// Cache statistics of one tenant namespace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantCacheStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Lifetime cache hits.
+    pub hits: usize,
+    /// Lifetime cache misses.
+    pub misses: usize,
+    /// Lifetime FIFO evictions.
+    pub evictions: usize,
+}
+
+impl TenantCacheStats {
+    /// Hits over total lookups, `0.0` before any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every server counter — what the metrics endpoint
+/// serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Jobs admitted to the queue.
+    pub submitted: usize,
+    /// Jobs rejected at admission (queue full or server shut down).
+    pub rejected: usize,
+    /// Jobs that completed with a response.
+    pub completed: usize,
+    /// Jobs that completed with a typed error.
+    pub failed: usize,
+    /// Jobs whose worker panicked (the worker survived).
+    pub panicked: usize,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Measurement shots executed across all simulate jobs.
+    pub shots_total: usize,
+    /// Total wall-clock spent compiling, across all workers.
+    pub compile_time: Duration,
+    /// Total wall-clock spent simulating, across all workers.
+    pub simulate_time: Duration,
+    /// Per-tenant decomposition-cache statistics, sorted by tenant name.
+    pub tenants: Vec<TenantCacheStats>,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn from_counters(
+        metrics: &ServerMetrics,
+        queue_depth: usize,
+        workers: usize,
+        mut tenants: Vec<TenantCacheStats>,
+    ) -> Self {
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        MetricsSnapshot {
+            submitted: metrics.submitted.load(Ordering::Relaxed),
+            rejected: metrics.rejected.load(Ordering::Relaxed),
+            completed: metrics.completed.load(Ordering::Relaxed),
+            failed: metrics.failed.load(Ordering::Relaxed),
+            panicked: metrics.panicked.load(Ordering::Relaxed),
+            queue_depth,
+            workers,
+            shots_total: metrics.shots_total.load(Ordering::Relaxed),
+            compile_time: Duration::from_nanos(metrics.compile_nanos.load(Ordering::Relaxed)),
+            simulate_time: Duration::from_nanos(metrics.simulate_nanos.load(Ordering::Relaxed)),
+            tenants,
+        }
+    }
+
+    /// Renders the snapshot as JSON — the body a `/metrics` route would
+    /// serve. Hand-rolled for the same reason as the wire codec (the vendored
+    /// `serde` is marker-only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"completed\": {},\n", self.completed));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed));
+        out.push_str(&format!("  \"panicked\": {},\n", self.panicked));
+        out.push_str(&format!("  \"queue_depth\": {},\n", self.queue_depth));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"shots_total\": {},\n", self.shots_total));
+        out.push_str(&format!(
+            "  \"compile_micros\": {},\n",
+            self.compile_time.as_micros()
+        ));
+        out.push_str(&format!(
+            "  \"simulate_micros\": {},\n",
+            self.simulate_time.as_micros()
+        ));
+        out.push_str("  \"tenants\": [");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"tenant\": \"{}\", \"entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}}",
+                t.tenant, t.entries, t.hits, t.misses, t.evictions, t.hit_rate()
+            ));
+        }
+        if !self.tenants.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_traffic() {
+        let stats = TenantCacheStats {
+            tenant: "t".into(),
+            entries: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        assert_eq!(stats.hit_rate(), 0.0);
+        let stats = TenantCacheStats {
+            hits: 3,
+            misses: 1,
+            ..stats
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_lists_tenants_sorted() {
+        let metrics = ServerMetrics::default();
+        metrics.submitted.store(5, Ordering::Relaxed);
+        let snap = MetricsSnapshot::from_counters(
+            &metrics,
+            1,
+            2,
+            vec![
+                TenantCacheStats {
+                    tenant: "zeta".into(),
+                    entries: 1,
+                    hits: 1,
+                    misses: 1,
+                    evictions: 0,
+                },
+                TenantCacheStats {
+                    tenant: "alpha".into(),
+                    entries: 2,
+                    hits: 4,
+                    misses: 0,
+                    evictions: 1,
+                },
+            ],
+        );
+        assert_eq!(snap.tenants[0].tenant, "alpha");
+        let json = snap.to_json();
+        assert!(json.contains("\"submitted\": 5"));
+        assert!(json.find("alpha").unwrap() < json.find("zeta").unwrap());
+        assert!(json.contains("\"hit_rate\": 0.5000"));
+    }
+}

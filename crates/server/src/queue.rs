@@ -1,0 +1,239 @@
+//! Bounded work-stealing job queue.
+//!
+//! Submitted jobs are placed round-robin onto per-worker deques. Each worker
+//! drains its own deque FIFO (oldest job first, for latency fairness) and,
+//! when empty, steals the *newest* job from the back of a sibling's deque —
+//! the classic split that keeps owners and thieves off the same end. Every
+//! deque has its own lock, so on a multi-core host workers only contend when
+//! actually stealing.
+//!
+//! Admission control is a hard bound: once `capacity` jobs are queued,
+//! [`Scheduler::submit`] fails immediately with [`SubmitError::Overloaded`]
+//! instead of letting latency grow without limit. Sleeping workers park on a
+//! `Condvar` (the vendored `parking_lot` shim has no condvar, so the sleep
+//! path uses `std::sync` with explicit poison recovery).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `capacity` jobs are already queued.
+    Overloaded {
+        /// The configured admission bound.
+        capacity: usize,
+    },
+    /// [`Scheduler::shutdown`] was called.
+    ShutDown,
+}
+
+/// A bounded multi-queue scheduler handing jobs of type `T` to `workers`
+/// consumers.
+#[derive(Debug)]
+pub struct Scheduler<T> {
+    locals: Vec<Mutex<VecDeque<T>>>,
+    queued: AtomicUsize,
+    capacity: usize,
+    next_queue: AtomicUsize,
+    shutdown: AtomicBool,
+    sleep: StdMutex<()>,
+    wake: Condvar,
+}
+
+impl<T> Scheduler<T> {
+    /// A scheduler feeding `workers` consumers, admitting at most `capacity`
+    /// queued jobs.
+    ///
+    /// # Panics
+    /// Panics if `workers` or `capacity` is zero (the server validates both
+    /// at build time).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(workers > 0, "scheduler needs at least one worker");
+        assert!(capacity > 0, "scheduler needs a positive capacity");
+        Scheduler {
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            capacity,
+            next_queue: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: StdMutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Number of consumers this scheduler feeds.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (admitted but not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `job`, or rejects it when the queue is full or shut down.
+    pub fn submit(&self, job: T) -> Result<(), SubmitError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShutDown);
+        }
+        // Reserve a slot first so concurrent submitters cannot overshoot the
+        // bound between a load and a store.
+        if self
+            .queued
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |queued| {
+                (queued < self.capacity).then_some(queued + 1)
+            })
+            .is_err()
+        {
+            return Err(SubmitError::Overloaded {
+                capacity: self.capacity,
+            });
+        }
+        let target = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.locals.len();
+        self.locals[target].lock().push_back(job);
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    /// Claims the next job for worker `worker`: own deque first (FIFO), then
+    /// steal the newest job from a sibling. Blocks while the queue is empty;
+    /// returns `None` once the scheduler is shut down and drained.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        loop {
+            if let Some(job) = self.try_pop(worker) {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                // Re-check after observing shutdown: a job may have been
+                // admitted just before the flag flipped.
+                if let Some(job) = self.try_pop(worker) {
+                    self.queued.fetch_sub(1, Ordering::AcqRel);
+                    return Some(job);
+                }
+                return None;
+            }
+            // Sleep with a timeout instead of relying purely on wakeups:
+            // a missed notify (submit between our try_pop and the wait)
+            // then only costs one tick of latency, never a hang.
+            let guard = self
+                .sleep
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let _ = self
+                .wake
+                .wait_timeout(guard, Duration::from_millis(5))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    fn try_pop(&self, worker: usize) -> Option<T> {
+        if let Some(job) = self.locals[worker].lock().pop_front() {
+            return Some(job);
+        }
+        let n = self.locals.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(job) = self.locals[victim].lock().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Stops admission and wakes every sleeping worker. Already-queued jobs
+    /// are still handed out; workers see `None` once the queue drains.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn submissions_beyond_capacity_are_rejected() {
+        let s: Scheduler<usize> = Scheduler::new(2, 3);
+        for i in 0..3 {
+            s.submit(i).unwrap();
+        }
+        assert_eq!(s.submit(99), Err(SubmitError::Overloaded { capacity: 3 }));
+        assert_eq!(s.len(), 3);
+        // Draining one job frees one admission slot.
+        assert!(s.pop(0).is_some());
+        s.submit(99).unwrap();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_the_backlog() {
+        let s: Scheduler<usize> = Scheduler::new(1, 8);
+        s.submit(1).unwrap();
+        s.submit(2).unwrap();
+        s.shutdown();
+        assert_eq!(s.submit(3), Err(SubmitError::ShutDown));
+        assert_eq!(s.pop(0), Some(1));
+        assert_eq!(s.pop(0), Some(2));
+        assert_eq!(s.pop(0), None);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_busy_siblings() {
+        // With 4 workers and round-robin placement, jobs land on every deque;
+        // worker 0 alone must still be able to claim all of them.
+        let s: Scheduler<usize> = Scheduler::new(4, 16);
+        for i in 0..8 {
+            s.submit(i).unwrap();
+        }
+        let mut got: Vec<usize> = (0..8).map(|_| s.pop(0).unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_submitters_never_overshoot_the_bound() {
+        let s: Arc<Scheduler<usize>> = Arc::new(Scheduler::new(2, 10));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let _ = s.submit(t * 10 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_late_submission() {
+        let s: Arc<Scheduler<usize>> = Arc::new(Scheduler::new(1, 4));
+        std::thread::scope(|scope| {
+            let popper = {
+                let s = Arc::clone(&s);
+                scope.spawn(move || s.pop(0))
+            };
+            std::thread::sleep(Duration::from_millis(20));
+            s.submit(7).unwrap();
+            assert_eq!(popper.join().unwrap(), Some(7));
+        });
+    }
+}

@@ -1,0 +1,636 @@
+//! The job server: admission, per-tenant compiler state, panic-isolated
+//! workers, and the metrics endpoint.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use apps::workloads::{qaoa_circuit, qv_circuit};
+use compiler::{Compiler, CompilerOptions};
+use device::DeviceModel;
+use nuop_core::DecompositionCache;
+use parking_lot::Mutex;
+use qmath::RngSeed;
+use sim::{ExecutionEngine, NoiseModel, SimJob};
+
+use crate::error::ServerError;
+use crate::metrics::{MetricsSnapshot, ServerMetrics, TenantCacheStats};
+use crate::queue::{Scheduler, SubmitError};
+use crate::wire::{JobOp, JobRequest, JobResponse, SimSummary, WorkloadKind};
+
+/// Largest register a simulate request may ask for: beyond this the dense
+/// statevector no longer fits a request-serving memory budget.
+pub const MAX_SIM_QUBITS: usize = 20;
+
+/// An invalid server configuration, reported by [`ServerBuilder::build`]
+/// instead of panicking (the same contract as `sim`'s `EngineConfigError`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerConfigError {
+    /// `workers(0)` was requested.
+    ZeroWorkers,
+    /// `queue_capacity(0)` was requested.
+    ZeroQueueCapacity,
+    /// `tenant_cache_capacity(0)` was requested.
+    ZeroTenantCacheCapacity,
+}
+
+impl std::fmt::Display for ServerConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerConfigError::ZeroWorkers => write!(f, "worker count must be positive (got 0)"),
+            ServerConfigError::ZeroQueueCapacity => {
+                write!(f, "queue capacity must be positive (got 0)")
+            }
+            ServerConfigError::ZeroTenantCacheCapacity => {
+                write!(f, "tenant cache capacity must be positive (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerConfigError {}
+
+/// One tenant's namespace: a bounded decomposition cache plus one lazily
+/// built [`Compiler`] per instruction set, all sharing that cache.
+struct Tenant {
+    cache: Arc<DecompositionCache>,
+    compilers: Mutex<HashMap<String, Arc<Compiler>>>,
+}
+
+impl Tenant {
+    fn new(cache_capacity: usize) -> Self {
+        Tenant {
+            cache: Arc::new(DecompositionCache::with_capacity(cache_capacity)),
+            compilers: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+type JobBody = Box<dyn FnOnce() -> Result<JobResponse, ServerError> + Send + 'static>;
+
+struct QueuedJob {
+    ticket: Arc<TicketInner>,
+    body: JobBody,
+}
+
+struct Shared {
+    scheduler: Scheduler<QueuedJob>,
+    device: DeviceModel,
+    options: CompilerOptions,
+    tenant_cache_capacity: usize,
+    engine: ExecutionEngine,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    metrics: ServerMetrics,
+}
+
+impl Shared {
+    fn tenant(&self, name: &str) -> Arc<Tenant> {
+        let mut map = self.tenants.lock();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Tenant::new(self.tenant_cache_capacity))),
+        )
+    }
+
+    fn compiler_for(&self, tenant: &Tenant, set: &str) -> Result<Arc<Compiler>, ServerError> {
+        let key = set.to_ascii_uppercase();
+        let mut map = tenant.compilers.lock();
+        if let Some(compiler) = map.get(&key) {
+            return Ok(Arc::clone(compiler));
+        }
+        let compiler = Arc::new(
+            Compiler::for_device(self.device.clone())
+                .instruction_set_named(set)
+                .shared_cache(Arc::clone(&tenant.cache))
+                .options(self.options.clone())
+                .build()?,
+        );
+        map.insert(key, Arc::clone(&compiler));
+        Ok(compiler)
+    }
+
+    fn execute(&self, request: &JobRequest) -> Result<JobResponse, ServerError> {
+        let tenant = self.tenant(&request.tenant);
+        let compiler = self.compiler_for(&tenant, &request.set)?;
+        let circuit = match request.workload {
+            WorkloadKind::Qv => qv_circuit(request.qubits, RngSeed(request.seed)),
+            WorkloadKind::Qaoa => qaoa_circuit(request.qubits, RngSeed(request.seed)),
+        };
+        let started = Instant::now();
+        let (compiled, report) = compiler.compile_with_report(&circuit)?;
+        let compile_elapsed = started.elapsed();
+        self.metrics.record_compile(compile_elapsed);
+
+        let sim = match request.op {
+            JobOp::Compile => None,
+            JobOp::Simulate { shots } => {
+                let noise = NoiseModel::from_device(&compiled.subdevice);
+                let job = SimJob::noisy(
+                    compiled.circuit.clone(),
+                    noise,
+                    shots,
+                    RngSeed(request.seed),
+                );
+                let result = self.engine.run_job(&job);
+                self.metrics
+                    .record_simulate(result.report.total_duration(), shots);
+                Some(SimSummary {
+                    shots,
+                    simulate_micros: result.report.total_duration().as_micros() as u64,
+                    distinct_outcomes: result.counts.iter().filter(|(_, c)| *c > 0).count(),
+                })
+            }
+        };
+
+        Ok(JobResponse {
+            tenant: request.tenant.clone(),
+            set: compiler.instruction_set().name().to_string(),
+            two_qubit_gates: compiled.two_qubit_gate_count(),
+            swap_count: compiled.swap_count,
+            cache_hits: report.cache_hits,
+            cache_misses: report.cache_misses,
+            compile_micros: compile_elapsed.as_micros() as u64,
+            sim,
+        })
+    }
+}
+
+struct TicketInner {
+    slot: StdMutex<Option<Result<JobResponse, ServerError>>>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    fn complete(&self, result: Result<JobResponse, ServerError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one submitted job. [`JobTicket::wait`] blocks until a worker
+/// finishes the job and yields its response (or its typed failure, including
+/// [`ServerError::Panicked`] when the job's body blew up).
+pub struct JobTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = self
+            .inner
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some();
+        f.debug_struct("JobTicket").field("done", &done).finish()
+    }
+}
+
+impl JobTicket {
+    /// Blocks until the job completes.
+    pub fn wait(self) -> Result<JobResponse, ServerError> {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .inner
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// A compile-and-simulate job server.
+///
+/// Build one with [`JobServer::builder`], submit [`JobRequest`]s (or raw wire
+/// text via [`JobServer::submit_wire`]) and wait on the returned
+/// [`JobTicket`]s. Jobs from all tenants run on one work-stealing worker
+/// pool; each tenant gets an isolated, bounded decomposition cache.
+///
+/// ```
+/// use compiler::CompilerOptions;
+/// use device::DeviceModel;
+/// use server::{JobOp, JobRequest, JobServer, WorkloadKind};
+///
+/// let server = JobServer::builder(DeviceModel::ideal(3, 0.99))
+///     .workers(2)
+///     .options(CompilerOptions::sweep())
+///     .build()
+///     .unwrap();
+/// let ticket = server
+///     .submit_request(JobRequest {
+///         tenant: "docs".into(),
+///         set: "S3".into(),
+///         workload: WorkloadKind::Qv,
+///         qubits: 3,
+///         seed: 1,
+///         op: JobOp::Compile,
+///     })
+///     .unwrap();
+/// let response = ticket.wait().unwrap();
+/// assert!(response.two_qubit_gates > 0);
+/// assert_eq!(server.metrics().completed, 1);
+/// server.shutdown();
+/// ```
+pub struct JobServer {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Starts building a server that compiles onto `device`.
+    pub fn builder(device: DeviceModel) -> ServerBuilder {
+        ServerBuilder {
+            device,
+            workers: 2,
+            queue_capacity: 64,
+            tenant_cache_capacity: 1024,
+            options: CompilerOptions::default(),
+            engine: None,
+        }
+    }
+
+    /// Submits a request; returns its ticket, or an admission failure when
+    /// the queue is full ([`ServerError::Overloaded`]) or the request fails
+    /// validation.
+    pub fn submit_request(&self, request: JobRequest) -> Result<JobTicket, ServerError> {
+        validate(&request)?;
+        let shared = Arc::clone(&self.shared);
+        self.submit_task(move || shared.execute(&request))
+    }
+
+    /// Parses a wire-format request (see [`JobRequest::parse`]) and submits
+    /// it.
+    pub fn submit_wire(&self, text: &str) -> Result<JobTicket, ServerError> {
+        self.submit_request(JobRequest::parse(text)?)
+    }
+
+    /// Submits an arbitrary job body. This is the escape hatch the typed
+    /// submission paths are built on; tests use it to inject panicking jobs
+    /// and prove worker isolation.
+    pub fn submit_task(
+        &self,
+        body: impl FnOnce() -> Result<JobResponse, ServerError> + Send + 'static,
+    ) -> Result<JobTicket, ServerError> {
+        let inner = Arc::new(TicketInner {
+            slot: StdMutex::new(None),
+            ready: Condvar::new(),
+        });
+        let job = QueuedJob {
+            ticket: Arc::clone(&inner),
+            body: Box::new(body),
+        };
+        match self.shared.scheduler.submit(job) {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(JobTicket { inner })
+            }
+            Err(e) => {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(match e {
+                    SubmitError::Overloaded { capacity } => ServerError::Overloaded { capacity },
+                    SubmitError::ShutDown => ServerError::ShutDown,
+                })
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of every server counter, including
+    /// per-tenant cache statistics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let tenants = self
+            .shared
+            .tenants
+            .lock()
+            .iter()
+            .map(|(name, tenant)| TenantCacheStats {
+                tenant: name.clone(),
+                entries: tenant.cache.len(),
+                hits: tenant.cache.hits(),
+                misses: tenant.cache.misses(),
+                evictions: tenant.cache.evictions(),
+            })
+            .collect();
+        MetricsSnapshot::from_counters(
+            &self.shared.metrics,
+            self.shared.scheduler.len(),
+            self.shared.scheduler.workers(),
+            tenants,
+        )
+    }
+
+    /// The metrics endpoint body: [`JobServer::metrics`] rendered as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Stops admission, drains already-queued jobs and joins every worker.
+    /// Dropping the server does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.scheduler.shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for JobServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobServer")
+            .field("device", &self.shared.device.name())
+            .field("workers", &self.shared.scheduler.workers())
+            .field("queue_capacity", &self.shared.scheduler.capacity())
+            .finish()
+    }
+}
+
+fn validate(request: &JobRequest) -> Result<(), ServerError> {
+    if request.qubits == 0 {
+        return Err(ServerError::InvalidRequest {
+            reason: "qubits must be positive".into(),
+        });
+    }
+    match request.op {
+        JobOp::Simulate { shots: 0 } => Err(ServerError::InvalidRequest {
+            reason: "shots must be positive".into(),
+        }),
+        JobOp::Simulate { .. } if request.qubits > MAX_SIM_QUBITS => {
+            Err(ServerError::InvalidRequest {
+                reason: format!(
+                    "simulate requests are limited to {MAX_SIM_QUBITS} qubits (got {})",
+                    request.qubits
+                ),
+            })
+        }
+        _ => Ok(()),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    while let Some(QueuedJob { ticket, body }) = shared.scheduler.pop(index) {
+        // The catch_unwind boundary is the whole point of the worker: one
+        // buggy job must neither take the thread down nor touch its
+        // neighbours. The payload is converted to text here, so the ticket
+        // owner sees the original message.
+        let result = match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(result) => {
+                match &result {
+                    Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),
+                };
+                result
+            }
+            Err(payload) => {
+                shared.metrics.panicked.fetch_add(1, Ordering::Relaxed);
+                Err(ServerError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        };
+        ticket.complete(result);
+    }
+}
+
+/// Builder returned by [`JobServer::builder`].
+pub struct ServerBuilder {
+    device: DeviceModel,
+    workers: usize,
+    queue_capacity: usize,
+    tenant_cache_capacity: usize,
+    options: CompilerOptions,
+    engine: Option<ExecutionEngine>,
+}
+
+impl ServerBuilder {
+    /// Number of worker threads (default 2).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Admission bound of the job queue (default 64).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Bound of each tenant's decomposition cache (default 1024 entries).
+    pub fn tenant_cache_capacity(mut self, capacity: usize) -> Self {
+        self.tenant_cache_capacity = capacity;
+        self
+    }
+
+    /// Compilation options used by every per-tenant compiler. The per-job
+    /// thread count is forced to 1: on a server, parallelism lives *across*
+    /// jobs (the worker pool), not inside one compile.
+    pub fn options(mut self, options: CompilerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the default single-thread simulation engine.
+    pub fn engine(mut self, engine: ExecutionEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Builds and starts the server (spawns the worker threads).
+    pub fn build(self) -> Result<JobServer, ServerConfigError> {
+        if self.workers == 0 {
+            return Err(ServerConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServerConfigError::ZeroQueueCapacity);
+        }
+        if self.tenant_cache_capacity == 0 {
+            return Err(ServerConfigError::ZeroTenantCacheCapacity);
+        }
+        let mut options = self.options;
+        options.threads = 1;
+        let engine = self.engine.unwrap_or_else(|| {
+            ExecutionEngine::builder()
+                .threads(1)
+                .build()
+                .expect("one thread and the default chunk size are a valid config")
+        });
+        let shared = Arc::new(Shared {
+            scheduler: Scheduler::new(self.workers, self.queue_capacity),
+            device: self.device,
+            options,
+            tenant_cache_capacity: self.tenant_cache_capacity,
+            engine,
+            tenants: Mutex::new(HashMap::new()),
+            metrics: ServerMetrics::default(),
+        });
+        let handles = (0..self.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("server-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+        Ok(JobServer { shared, handles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server(workers: usize) -> JobServer {
+        JobServer::builder(DeviceModel::ideal(3, 0.99))
+            .workers(workers)
+            .options(CompilerOptions::sweep())
+            .build()
+            .unwrap()
+    }
+
+    fn compile_request(tenant: &str, seed: u64) -> JobRequest {
+        JobRequest {
+            tenant: tenant.into(),
+            set: "S3".into(),
+            workload: WorkloadKind::Qv,
+            qubits: 3,
+            seed,
+            op: JobOp::Compile,
+        }
+    }
+
+    #[test]
+    fn misconfiguration_is_a_typed_error_not_a_panic() {
+        let device = DeviceModel::ideal(2, 0.99);
+        assert_eq!(
+            JobServer::builder(device.clone()).workers(0).build().err(),
+            Some(ServerConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            JobServer::builder(device.clone())
+                .queue_capacity(0)
+                .build()
+                .err(),
+            Some(ServerConfigError::ZeroQueueCapacity)
+        );
+        assert_eq!(
+            JobServer::builder(device)
+                .tenant_cache_capacity(0)
+                .build()
+                .err(),
+            Some(ServerConfigError::ZeroTenantCacheCapacity)
+        );
+    }
+
+    #[test]
+    fn compile_and_simulate_round_trip() {
+        let server = test_server(2);
+        let compile = server.submit_request(compile_request("t", 1)).unwrap();
+        let simulate = server
+            .submit_request(JobRequest {
+                op: JobOp::Simulate { shots: 64 },
+                ..compile_request("t", 1)
+            })
+            .unwrap();
+        let compiled = compile.wait().unwrap();
+        assert!(compiled.two_qubit_gates > 0);
+        assert!(compiled.sim.is_none());
+        let simulated = simulate.wait().unwrap();
+        let sim = simulated.sim.expect("simulate jobs report sampling stats");
+        assert_eq!(sim.shots, 64);
+        assert!(sim.distinct_outcomes >= 1);
+        let metrics = server.metrics();
+        assert_eq!(metrics.completed, 2);
+        assert_eq!(metrics.shots_total, 64);
+        assert_eq!(metrics.tenants.len(), 1);
+        assert!(metrics.tenants[0].misses > 0);
+    }
+
+    #[test]
+    fn wire_submission_and_validation_errors() {
+        let server = test_server(1);
+        let wire = compile_request("w", 3).encode();
+        assert!(server.submit_wire(&wire).unwrap().wait().is_ok());
+        assert!(matches!(
+            server.submit_wire("{oops"),
+            Err(ServerError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            server.submit_request(JobRequest {
+                qubits: 0,
+                ..compile_request("w", 1)
+            }),
+            Err(ServerError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            server.submit_request(JobRequest {
+                qubits: MAX_SIM_QUBITS + 1,
+                op: JobOp::Simulate { shots: 1 },
+                ..compile_request("w", 1)
+            }),
+            Err(ServerError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_instruction_sets_fail_the_job_not_the_server() {
+        let server = test_server(1);
+        let bad = server
+            .submit_request(JobRequest {
+                set: "G99".into(),
+                ..compile_request("t", 1)
+            })
+            .unwrap();
+        assert!(matches!(bad.wait(), Err(ServerError::Compile(_))));
+        // The worker survived and serves the next job.
+        let good = server.submit_request(compile_request("t", 2)).unwrap();
+        assert!(good.wait().is_ok());
+        assert_eq!(server.metrics().failed, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let server = test_server(1);
+        let shared = Arc::clone(&server.shared);
+        server.shutdown();
+        assert!(matches!(
+            shared.scheduler.submit(QueuedJob {
+                ticket: Arc::new(TicketInner {
+                    slot: StdMutex::new(None),
+                    ready: Condvar::new(),
+                }),
+                body: Box::new(|| Err(ServerError::ShutDown)),
+            }),
+            Err(SubmitError::ShutDown)
+        ));
+    }
+}

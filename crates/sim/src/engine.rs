@@ -51,7 +51,7 @@
 //! bell.measure_all();
 //!
 //! let noise = NoiseModel::from_device(&DeviceModel::ideal(2, 0.99));
-//! let engine = ExecutionEngine::builder().threads(4).build();
+//! let engine = ExecutionEngine::builder().threads(4).build().unwrap();
 //! let jobs = vec![
 //!     SimJob::noisy(bell.clone(), noise, 400, RngSeed(7)),
 //!     SimJob::ideal(bell, 400, RngSeed(8)),
@@ -62,11 +62,12 @@
 //! assert!(results[1].report.shots_per_sec() > 0.0);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use circuit::Circuit;
+use parking_lot::Mutex;
 use qmath::RngSeed;
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +82,34 @@ use crate::statevector::{MeasurementSampler, StateVector, PARALLEL_SWEEP_MIN_QUB
 /// of shots) split into many more shards than cores, large enough that shard
 /// bookkeeping is negligible next to a trajectory.
 pub const DEFAULT_SHOT_CHUNK: usize = 64;
+
+/// Why an [`EngineBuilder`] configuration could not produce an engine.
+///
+/// Misconfiguration surfaces as a typed error at [`EngineBuilder::build`]
+/// instead of a panic, so a long-running service can reject one bad
+/// engine-configuration request without dying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineConfigError {
+    /// `shot_chunk_size(0)` was requested; shards must hold at least one shot.
+    ZeroShotChunk,
+    /// `threads(0)` was requested; the worker pool needs at least one thread.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineConfigError::ZeroShotChunk => {
+                write!(f, "shot chunk size must be positive (got 0)")
+            }
+            EngineConfigError::ZeroThreads => {
+                write!(f, "worker thread count must be positive (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
 
 /// How per-shot randomness is derived from a job's seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -192,23 +221,21 @@ pub struct EngineBuilder {
 }
 
 impl EngineBuilder {
-    /// Caps the worker-thread pool at `threads` (at least 1). Defaults to the
-    /// machine's available parallelism. Thread count never changes results —
-    /// only how fast they arrive.
+    /// Caps the worker-thread pool at `threads`. Defaults to the machine's
+    /// available parallelism. Thread count never changes results — only how
+    /// fast they arrive. A zero cap is rejected as
+    /// [`EngineConfigError::ZeroThreads`] at [`EngineBuilder::build`].
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads.max(1));
+        self.threads = Some(threads);
         self
     }
 
     /// Sets the number of shots per shard (default
     /// [`DEFAULT_SHOT_CHUNK`]). Under [`SeedPolicy::PerShard`] this value is
     /// part of the deterministic result: the same seed with a different chunk
-    /// size derives different shard streams.
-    ///
-    /// # Panics
-    /// Panics if `size` is zero.
+    /// size derives different shard streams. A zero size is rejected as
+    /// [`EngineConfigError::ZeroShotChunk`] at [`EngineBuilder::build`].
     pub fn shot_chunk_size(mut self, size: usize) -> Self {
-        assert!(size > 0, "shot chunk size must be positive");
         self.shot_chunk_size = size;
         self
     }
@@ -228,14 +255,20 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine.
-    pub fn build(self) -> ExecutionEngine {
-        ExecutionEngine {
-            threads: self.threads.unwrap_or_else(default_threads),
+    /// Builds the engine, validating the configuration.
+    pub fn build(self) -> Result<ExecutionEngine, EngineConfigError> {
+        if self.shot_chunk_size == 0 {
+            return Err(EngineConfigError::ZeroShotChunk);
+        }
+        if self.threads == Some(0) {
+            return Err(EngineConfigError::ZeroThreads);
+        }
+        Ok(ExecutionEngine {
+            threads: self.threads.unwrap_or_else(default_threads).max(1),
             shot_chunk_size: self.shot_chunk_size,
             seed_policy: self.seed_policy,
             fusion: self.fusion,
-        }
+        })
     }
 }
 
@@ -255,13 +288,15 @@ fn default_threads() -> usize {
 /// let engine = ExecutionEngine::new();
 /// assert!(engine.threads() >= 1);
 ///
-/// // Fully configured:
+/// // Fully configured (misuse is a typed error, not a panic):
 /// let engine = ExecutionEngine::builder()
 ///     .threads(8)
 ///     .shot_chunk_size(128)
 ///     .seed_policy(SeedPolicy::PerShard)
-///     .build();
+///     .build()
+///     .unwrap();
 /// assert_eq!(engine.threads(), 8);
+/// assert!(ExecutionEngine::builder().shot_chunk_size(0).build().is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExecutionEngine {
@@ -273,7 +308,9 @@ pub struct ExecutionEngine {
 
 impl Default for ExecutionEngine {
     fn default() -> Self {
-        ExecutionEngine::builder().build()
+        ExecutionEngine::builder()
+            .build()
+            .expect("default engine configuration is valid")
     }
 }
 
@@ -434,32 +471,67 @@ impl ExecutionEngine {
             }
             return (counts, shards, amp_threads.max(1));
         }
-        let cursor = AtomicUsize::new(0);
-        let merged: Mutex<Vec<Counts>> = Mutex::new(Vec::with_capacity(workers));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut local = Counts::new(pre.num_qubits());
-                    loop {
-                        let shard = cursor.fetch_add(1, Ordering::Relaxed);
-                        if shard >= shards {
-                            break;
-                        }
-                        run_shard(shard, &mut local);
-                    }
-                    merged.lock().expect("worker panicked").push(local);
-                });
-            }
-        });
-        // Histogram addition is commutative, so the merge order (worker
-        // completion order) cannot leak into the result.
-        for local in merged.into_inner().expect("worker panicked") {
+        for local in run_sharded(pre.num_qubits(), shards, workers, &run_shard) {
             counts
                 .merge(&local)
                 .expect("workers sample the same register");
         }
         (counts, shards, workers)
     }
+}
+
+/// Runs `shards` calls of `run_shard` over `workers` scoped threads pulling
+/// from an atomic shard cursor, and returns the per-worker partial histograms
+/// (histogram addition is commutative, so the completion order cannot leak
+/// into the merged result).
+///
+/// Panic isolation: shared state lives behind a non-poisoning
+/// [`parking_lot::Mutex`], a panicking shard worker stops the remaining
+/// workers from pulling further shards, and the **original** panic payload is
+/// re-raised exactly once on the calling thread — not the misleading
+/// second-hand "a scoped thread panicked" that a poisoned `std::sync::Mutex`
+/// used to surface. A caller that wraps the engine in
+/// [`std::panic::catch_unwind`] therefore observes the true failure and no
+/// shared state is left poisoned for subsequent jobs.
+fn run_sharded<F>(num_qubits: usize, shards: usize, workers: usize, run_shard: &F) -> Vec<Counts>
+where
+    F: Fn(usize, &mut Counts) + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let merged: Mutex<Vec<Counts>> = Mutex::new(Vec::with_capacity(workers));
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Counts::new(num_qubits);
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                    if shard >= shards {
+                        break;
+                    }
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| run_shard(shard, &mut local)))
+                    {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        return;
+                    }
+                }
+                merged.lock().push(local);
+            });
+        }
+    });
+    if let Some(payload) = first_panic.into_inner() {
+        resume_unwind(payload);
+    }
+    merged.into_inner()
 }
 
 /// One shot: either a full noisy trajectory (with amplitude sweeps split over
@@ -506,7 +578,7 @@ mod tests {
     }
 
     fn engine_with(threads: usize) -> ExecutionEngine {
-        ExecutionEngine::builder().threads(threads).build()
+        ExecutionEngine::builder().threads(threads).build().unwrap()
     }
 
     #[test]
@@ -527,6 +599,7 @@ mod tests {
                 .threads(threads)
                 .seed_policy(SeedPolicy::PerShot)
                 .build()
+                .unwrap()
                 .run_job(&job)
         };
         assert_eq!(mk(1).counts, mk(8).counts);
@@ -541,6 +614,7 @@ mod tests {
                 .shot_chunk_size(chunk)
                 .seed_policy(policy)
                 .build()
+                .unwrap()
                 .run_job(&job)
                 .counts
         };
@@ -601,6 +675,7 @@ mod tests {
             .threads(2)
             .seed_policy(SeedPolicy::PerShot)
             .build()
+            .unwrap()
             .run_job(&job);
         // Reference: run every trajectory explicitly with the same per-shot
         // streams (the historical code path).
@@ -624,8 +699,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shot chunk size must be positive")]
-    fn zero_chunk_size_panics() {
-        let _ = ExecutionEngine::builder().shot_chunk_size(0);
+    fn misconfiguration_is_a_typed_error_not_a_panic() {
+        assert_eq!(
+            ExecutionEngine::builder().shot_chunk_size(0).build().err(),
+            Some(EngineConfigError::ZeroShotChunk)
+        );
+        assert_eq!(
+            ExecutionEngine::builder().threads(0).build().err(),
+            Some(EngineConfigError::ZeroThreads)
+        );
+        assert!(EngineConfigError::ZeroShotChunk.to_string().contains("0"));
+        let err: &dyn std::error::Error = &EngineConfigError::ZeroThreads;
+        assert!(err.to_string().contains("thread"));
+    }
+
+    #[test]
+    fn shard_worker_panic_propagates_the_original_payload_once() {
+        // A shard worker that panics must surface the *original* panic (not a
+        // poisoned-lock "worker panicked" follow-up), and must not prevent a
+        // subsequent run over the same mechanism from succeeding.
+        let boom = |shard: usize, local: &mut Counts| {
+            if shard == 3 {
+                panic!("shard 3 exploded");
+            }
+            local.record(0);
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            super::run_sharded(2, 8, 4, &boom);
+        }))
+        .expect_err("the shard panic must propagate");
+        let message = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(message, "shard 3 exploded");
+
+        // The mechanism is reusable after the panic: nothing is poisoned.
+        let fine = super::run_sharded(2, 8, 4, &|_, local: &mut Counts| local.record(1));
+        let total: usize = fine.iter().map(Counts::total).sum();
+        assert_eq!(total, 8);
     }
 }

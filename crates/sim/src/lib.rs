@@ -75,7 +75,8 @@ pub use channels::{
 };
 pub use density::DensityMatrix;
 pub use engine::{
-    EngineBuilder, EngineReport, ExecutionEngine, SeedPolicy, SimJob, SimResult, DEFAULT_SHOT_CHUNK,
+    EngineBuilder, EngineConfigError, EngineReport, ExecutionEngine, SeedPolicy, SimJob, SimResult,
+    DEFAULT_SHOT_CHUNK,
 };
 pub use noise_model::{NoiseModel, OperationNoise};
 pub use precompiled::{

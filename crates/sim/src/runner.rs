@@ -240,6 +240,7 @@ impl NoisySimulator {
         ExecutionEngine::builder()
             .seed_policy(SeedPolicy::PerShot)
             .build()
+            .expect("default engine configuration is valid")
             .run_precompiled(&pre, shots, seed)
             .counts
     }

@@ -31,7 +31,7 @@ fn total_variation(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn engine_with(threads: usize) -> ExecutionEngine {
-    ExecutionEngine::builder().threads(threads).build()
+    ExecutionEngine::builder().threads(threads).build().unwrap()
 }
 
 fn batch_with(threads: usize, jobs: &[SimJob]) -> Vec<SimResult> {
@@ -83,7 +83,8 @@ proptest! {
         let engine = ExecutionEngine::builder()
             .threads(4)
             .seed_policy(SeedPolicy::PerShot)
-            .build();
+            .build()
+            .unwrap();
         let batch = engine.run_batch(&[SimJob::noisy(circuit, noise, shots, RngSeed(seed))]);
         prop_assert_eq!(&wrapper, &batch[0].counts);
     }
@@ -139,7 +140,8 @@ fn engine_report_reflects_sharding() {
     let engine = ExecutionEngine::builder()
         .threads(4)
         .shot_chunk_size(100)
-        .build();
+        .build()
+        .unwrap();
     let result = engine
         .run_batch(&[SimJob::noisy(circuit, noise, 1000, RngSeed(1))])
         .remove(0);

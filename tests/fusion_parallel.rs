@@ -122,6 +122,7 @@ proptest! {
                 .seed_policy(policy)
                 .fusion(fusion)
                 .build()
+                .unwrap()
                 .run_job(&job)
         };
         let unfused = run(FusionPolicy::Off);
@@ -142,11 +143,16 @@ fn thread_count_is_invisible_at_and_around_the_sweep_threshold() {
         PARALLEL_SWEEP_MIN_QUBITS + 1,
     ] {
         let job = SimJob::ideal(wide_circuit(num_qubits), 300, RngSeed(77));
-        let reference = ExecutionEngine::builder().threads(1).build().run_job(&job);
+        let reference = ExecutionEngine::builder()
+            .threads(1)
+            .build()
+            .unwrap()
+            .run_job(&job);
         for threads in [2usize, 8] {
             let parallel = ExecutionEngine::builder()
                 .threads(threads)
                 .build()
+                .unwrap()
                 .run_job(&job);
             assert_eq!(
                 parallel.counts, reference.counts,
@@ -176,6 +182,7 @@ fn noisy_trajectories_are_bit_identical_across_sweep_threads() {
             .threads(threads)
             .fusion(fusion)
             .build()
+            .unwrap()
             .run_job(&job)
     };
     let reference = run(1, FusionPolicy::Off);
@@ -198,10 +205,12 @@ fn fusion_is_reported_by_the_engine() {
     let fused = ExecutionEngine::builder()
         .fusion(FusionPolicy::Safe)
         .build()
+        .unwrap()
         .run_job(&job);
     let unfused = ExecutionEngine::builder()
         .fusion(FusionPolicy::Off)
         .build()
+        .unwrap()
         .run_job(&job);
     assert!(
         fused.report.fused_ops > 0,
