@@ -29,10 +29,10 @@ fn bench_fig6_nuop_vs_cirq(c: &mut Criterion) {
         );
     }
     group.bench_function("cirq_kak_count", |b| {
-        b.iter(|| cirq_gate_count(&target, CirqTargetGate::Cz))
+        b.iter(|| cirq_gate_count(&target, CirqTargetGate::Cz));
     });
     group.bench_function("sbm_minimal_cnot_count", |b| {
-        b.iter(|| minimal_cnot_count(&target))
+        b.iter(|| minimal_cnot_count(&target));
     });
     group.finish();
 }
@@ -44,13 +44,13 @@ fn bench_approx_vs_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("approx_vs_exact");
     group.sample_size(10);
     group.bench_function("exact", |b| {
-        b.iter(|| decompose_fixed(&target, &GateType::cz(), &sweep_config()))
+        b.iter(|| decompose_fixed(&target, &GateType::cz(), &sweep_config()));
     });
     group.bench_function("approx_99", |b| {
-        b.iter(|| decompose_approx(&target, &GateType::cz(), 0.99, &sweep_config()))
+        b.iter(|| decompose_approx(&target, &GateType::cz(), 0.99, &sweep_config()));
     });
     group.bench_function("approx_95", |b| {
-        b.iter(|| decompose_approx(&target, &GateType::cz(), 0.95, &sweep_config()))
+        b.iter(|| decompose_approx(&target, &GateType::cz(), 0.95, &sweep_config()));
     });
     group.finish();
 }
@@ -67,7 +67,7 @@ fn bench_nuop_layers(c: &mut Criterion) {
             ..DecomposeConfig::sweep()
         };
         group.bench_with_input(BenchmarkId::from_parameter(max_layers), &cfg, |b, cfg| {
-            b.iter(|| decompose_fixed(&target, &GateType::syc(), cfg))
+            b.iter(|| decompose_fixed(&target, &GateType::syc(), cfg));
         });
     }
     group.finish();
@@ -87,7 +87,7 @@ fn bench_noise_adaptive(c: &mut Criterion) {
     group.sample_size(10);
     for n in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| decompose_with_gate_choice(&target, &candidates[..n], &sweep_config()))
+            b.iter(|| decompose_with_gate_choice(&target, &candidates[..n], &sweep_config()));
         });
     }
     group.finish();
@@ -109,7 +109,7 @@ fn bench_continuous_family(c: &mut Criterion) {
                     ..DecomposeConfig::sweep()
                 },
             )
-        })
+        });
     });
     group.finish();
 }

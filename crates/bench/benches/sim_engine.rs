@@ -59,7 +59,7 @@ fn bench_single_shot(c: &mut Criterion) {
             shot += 1;
             let mut rng = RngSeed(7).child(shot).rng();
             sim.run_trajectory(circuit, &mut rng)
-        })
+        });
     });
     // Precompiled: channels were built once, the shot only samples them.
     group.bench_function("precompiled", |b| {
@@ -68,7 +68,7 @@ fn bench_single_shot(c: &mut Criterion) {
             shot += 1;
             let mut rng = RngSeed(7).child(shot).rng();
             pre.run_trajectory(&mut rng)
-        })
+        });
     });
     group.finish();
 }
@@ -96,7 +96,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
                 .enumerate()
                 .map(|(i, (circ, sim))| naive_run(sim, circ, shots, RngSeed(i as u64)))
                 .collect::<Vec<_>>()
-        })
+        });
     });
     for threads in [1usize, 2, 8] {
         let engine = ExecutionEngine::builder().threads(threads).build().unwrap();

@@ -16,7 +16,7 @@ fn bench_statevector_scaling(c: &mut Criterion) {
     for n in [4usize, 8, 12] {
         let circuit = apps::workloads::qv_circuit(n, RngSeed(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circ| {
-            b.iter(|| IdealSimulator::probabilities(circ))
+            b.iter(|| IdealSimulator::probabilities(circ));
         });
     }
     group.finish();
@@ -33,7 +33,7 @@ fn bench_noisy_trajectories(c: &mut Criterion) {
     group.sample_size(10);
     for shots in [50usize, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(shots), &shots, |b, &shots| {
-            b.iter(|| sim.run(&circuit, shots, RngSeed(3)))
+            b.iter(|| sim.run(&circuit, shots, RngSeed(3)));
         });
     }
     group.finish();
@@ -51,19 +51,19 @@ fn bench_compile_pipeline(c: &mut Criterion) {
             b.iter(|| {
                 let compiler = compiler_for(&device, set, &options).expect("valid configuration");
                 compiler.compile(&suite[0].circuit).expect("circuit fits")
-            })
+            });
         });
         // Reused compiler: after the first iteration every decomposition is a
         // cache hit — the service's steady-state cost.
         let warm = compiler_for(&device, &set, &options).expect("valid configuration");
         group.bench_with_input(BenchmarkId::new("qv3_warm", set.name()), &set, |b, _| {
-            b.iter(|| warm.compile(&suite[0].circuit).expect("circuit fits"))
+            b.iter(|| warm.compile(&suite[0].circuit).expect("circuit fits"));
         });
     }
     let qaoa = qaoa_suite(3, 1, RngSeed(6));
     let g3 = compiler_for(&device, &InstructionSet::g(3), &options).expect("valid configuration");
     group.bench_function("qaoa3_G3_warm", |b| {
-        b.iter(|| g3.compile(&qaoa[0].circuit).expect("circuit fits"))
+        b.iter(|| g3.compile(&qaoa[0].circuit).expect("circuit fits"));
     });
     group.finish();
 }

@@ -52,7 +52,7 @@ fn bench_kron_2x2(c: &mut Criterion) {
     let mut group = c.benchmark_group("kron_2x2");
     group.sample_size(100_000);
     group.bench_function("cmatrix", |bch| {
-        bch.iter(|| black_box(&a_heap).kron(&b_heap))
+        bch.iter(|| black_box(&a_heap).kron(&b_heap));
     });
     group.bench_function("small_mat", |bch| bch.iter(|| black_box(&a).kron(&b)));
     group.finish();
@@ -70,7 +70,7 @@ fn bench_objective_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("objective_eval");
     group.sample_size(10_000);
     group.bench_function("three_layer_cz", |bch| {
-        bch.iter(|| 1.0 - hilbert_schmidt_fidelity(&template.unitary(black_box(&params)), &target))
+        bch.iter(|| 1.0 - hilbert_schmidt_fidelity(&template.unitary(black_box(&params)), &target));
     });
     group.finish();
 }
@@ -84,10 +84,10 @@ fn bench_cold_decompose(c: &mut Criterion) {
     let mut group = c.benchmark_group("cold_decompose");
     group.sample_size(10);
     group.bench_function("su4_cz_sweep", |bch| {
-        bch.iter(|| decompose_fixed(&target, &GateType::cz(), &DecomposeConfig::sweep()))
+        bch.iter(|| decompose_fixed(&target, &GateType::cz(), &DecomposeConfig::sweep()));
     });
     group.bench_function("su4_cz_exact", |bch| {
-        bch.iter(|| decompose_fixed(&target, &GateType::cz(), &DecomposeConfig::default()))
+        bch.iter(|| decompose_fixed(&target, &GateType::cz(), &DecomposeConfig::default()));
     });
     group.finish();
 }
@@ -100,10 +100,10 @@ fn bench_conversions(c: &mut Criterion) {
     let mut group = c.benchmark_group("conversions");
     group.sample_size(100_000);
     group.bench_function("cmatrix_to_mat4", |bch| {
-        bch.iter(|| Mat4::try_from(black_box(&heap)).unwrap())
+        bch.iter(|| Mat4::try_from(black_box(&heap)).unwrap());
     });
     group.bench_function("mat4_to_cmatrix", |bch| {
-        bch.iter(|| CMatrix::from(black_box(&small)))
+        bch.iter(|| CMatrix::from(black_box(&small)));
     });
     group.finish();
 }

@@ -99,27 +99,27 @@ fn bench_amplitude_sweep(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("full_scan_1q", |b| {
         let mut amps = state.amplitudes().to_vec();
-        b.iter(|| full_scan_apply_one_qubit(&mut amps, &h, n / 2, n))
+        b.iter(|| full_scan_apply_one_qubit(&mut amps, &h, n / 2, n));
     });
     group.bench_function("base_index_1q", |b| {
         let mut s = state.clone();
-        b.iter(|| s.apply_one_qubit(&h, n / 2))
+        b.iter(|| s.apply_one_qubit(&h, n / 2));
     });
     group.bench_function("base_index_1q_threaded", |b| {
         let mut s = state.clone();
-        b.iter(|| s.apply_one_qubit_threaded(&h, n / 2, 4))
+        b.iter(|| s.apply_one_qubit_threaded(&h, n / 2, 4));
     });
     group.bench_function("full_scan_2q", |b| {
         let mut amps = state.amplitudes().to_vec();
-        b.iter(|| full_scan_apply_two_qubit(&mut amps, &cnot, n / 2 - 1, n / 2, n))
+        b.iter(|| full_scan_apply_two_qubit(&mut amps, &cnot, n / 2 - 1, n / 2, n));
     });
     group.bench_function("base_index_2q", |b| {
         let mut s = state.clone();
-        b.iter(|| s.apply_two_qubit(&cnot, n / 2 - 1, n / 2))
+        b.iter(|| s.apply_two_qubit(&cnot, n / 2 - 1, n / 2));
     });
     group.bench_function("base_index_2q_threaded", |b| {
         let mut s = state.clone();
-        b.iter(|| s.apply_two_qubit_threaded(&cnot, n / 2 - 1, n / 2, 4))
+        b.iter(|| s.apply_two_qubit_threaded(&cnot, n / 2 - 1, n / 2, 4));
     });
     group.finish();
 }
@@ -132,14 +132,14 @@ fn bench_trajectory_grid(c: &mut Criterion) {
     group.sample_size(5);
     // The complete PR 5 path: unfused ops, full-scan sweeps.
     group.bench_function("baseline_full_scan", |b| {
-        b.iter(|| full_scan_trajectory(&unfused))
+        b.iter(|| full_scan_trajectory(&unfused));
     });
     for (label, pre) in [("unfused", &unfused), ("fused", &fused)] {
         group.bench_with_input(BenchmarkId::new(label, "serial"), pre, |b, pre| {
-            b.iter(|| pre.run_trajectory(&mut RngSeed(1).rng()))
+            b.iter(|| pre.run_trajectory(&mut RngSeed(1).rng()));
         });
         group.bench_with_input(BenchmarkId::new(label, "parallel4"), pre, |b, pre| {
-            b.iter(|| pre.run_trajectory_threaded(&mut RngSeed(1).rng(), 4))
+            b.iter(|| pre.run_trajectory_threaded(&mut RngSeed(1).rng(), 4));
         });
     }
     group.finish();
@@ -159,7 +159,7 @@ fn bench_measurement_sampling(c: &mut Criterion) {
             (0..shots)
                 .map(|_| state.sample_measurement(&mut rng))
                 .sum::<usize>()
-        })
+        });
     });
     // One cumulative table, then a binary search per shot.
     group.bench_function("cumulative_table", |b| {
@@ -167,7 +167,7 @@ fn bench_measurement_sampling(c: &mut Criterion) {
             let mut rng = RngSeed(9).rng();
             let sampler = state.measurement_sampler();
             (0..shots).map(|_| sampler.sample(&mut rng)).sum::<usize>()
-        })
+        });
     });
     group.finish();
 }

@@ -68,9 +68,7 @@ fn main() {
         (GateType::sqrt_iswap(), CirqTargetGate::SqrtIswap),
     ] {
         let (cirq, nuop) = mean_counts(&pool, &gate, cirq_gate, &cfg);
-        let cirq_str = cirq
-            .map(|c| format!("{c:.2}"))
-            .unwrap_or_else(|| "n/a".to_string());
+        let cirq_str = cirq.map_or_else(|| "n/a".to_string(), |c| format!("{c:.2}"));
         println!(
             "{:<12} {:>8} {:>10.2} {:>11.2} {:>10.2} {:>10.2}",
             gate.name(),

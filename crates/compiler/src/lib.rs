@@ -53,6 +53,7 @@
 //! [`CompilerBuilder::cache_capacity`].
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod error;
 pub mod mapping;
@@ -69,10 +70,7 @@ pub use pass::{
     RegionSelect, StageTiming, SwapRoute,
 };
 pub use pipeline::{CompiledCircuit, CompilerOptions};
-#[allow(deprecated)]
-pub use region::select_region;
 pub use region::try_select_region;
-#[allow(deprecated)]
-pub use routing::route;
 pub use routing::{logical_outcome_for, try_route, RoutedCircuit};
 pub use service::{Compiler, CompilerBuilder};
+pub use verify::VerifyLevel;

@@ -68,6 +68,10 @@ pub struct CompileIr {
     pub final_layout: Vec<QubitId>,
     /// Routing SWAPs inserted (before decomposition).
     pub swap_count: usize,
+    /// SWAP gates present in the input program itself. Routing keeps these
+    /// as data-moving gates without touching the layout, so verification
+    /// must not replay them as bookkeeping.
+    pub program_swap_count: usize,
     /// Statistics from the decomposition stage.
     pub pass_stats: PassStats,
 }
@@ -76,6 +80,10 @@ impl CompileIr {
     /// Starts the IR from a logical application circuit.
     pub fn new(circuit: &Circuit) -> Self {
         CompileIr {
+            program_swap_count: circuit
+                .iter()
+                .filter(|op| op.is_two_qubit_unitary() && op.label() == "SWAP")
+                .count(),
             circuit: circuit.clone(),
             region: Vec::new(),
             subdevice: None,
@@ -142,6 +150,10 @@ pub struct CompileReport {
     pub cache_hits: usize,
     /// Two-qubit operations that required a fresh numerical optimization.
     pub cache_misses: usize,
+    /// Findings of the static verifier, when the compiler was built with
+    /// [`CompilerBuilder::verify`](crate::CompilerBuilder::verify) enabled
+    /// (empty otherwise).
+    pub diagnostics: Vec<verify::Diagnostic>,
 }
 
 impl CompileReport {
@@ -156,6 +168,14 @@ impl CompileReport {
             .iter()
             .find(|s| s.pass == pass)
             .map(|s| s.duration)
+    }
+
+    /// True when the static verifier reported at least one error-level
+    /// finding.
+    pub fn has_verify_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity() == verify::Severity::Error)
     }
 }
 
@@ -329,6 +349,7 @@ mod tests {
             ],
             cache_hits: 1,
             cache_misses: 2,
+            diagnostics: Vec::new(),
         };
         assert_eq!(report.total_duration(), Duration::from_millis(5));
         assert_eq!(report.stage_duration("b"), Some(Duration::from_millis(3)));

@@ -6,9 +6,11 @@
 
 use circuit::{Circuit, QubitId};
 use device::DeviceModel;
+use gates::InstructionSet;
 use nuop_core::{DecomposeConfig, PassStats};
 use serde::{Deserialize, Serialize};
 use sim::Counts;
+use verify::{Artifact, Stage, StageSnapshot, Verifier, VerifyReport};
 
 use crate::routing::logical_outcome_for;
 
@@ -25,9 +27,7 @@ impl Default for CompilerOptions {
     fn default() -> Self {
         CompilerOptions {
             decompose: DecomposeConfig::default(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -79,6 +79,33 @@ impl CompiledCircuit {
             self.circuit.num_qubits(),
             physical_outcome,
         )
+    }
+
+    /// Statically verifies the compiled artifact against `set`: every
+    /// two-qubit gate on a coupled pair of the subdevice, only
+    /// instruction-set gates present, qubit indices in bounds and the
+    /// logical↔physical layouts bijective. Returns the findings; an empty
+    /// report means the artifact is legal.
+    ///
+    /// This is the standalone form of
+    /// [`CompilerBuilder::verify`](crate::CompilerBuilder::verify) for
+    /// artifacts compiled without in-pipeline verification (e.g. the audit
+    /// binary sweeping previously compiled workloads).
+    pub fn verify(&self, set: &InstructionSet) -> VerifyReport {
+        let snapshot = StageSnapshot {
+            stage: Stage::NuOpDecompose,
+            circuit: &self.circuit,
+            region: &self.region,
+            subdevice: Some(&self.subdevice),
+            initial_layout: &self.initial_layout,
+            final_layout: &self.final_layout,
+            swap_count: self.swap_count,
+            // Swap consistency only runs at the SwapRoute stage, so the
+            // program-level SWAP count is irrelevant for this snapshot.
+            program_swap_count: 0,
+            instruction_set: Some(set),
+        };
+        Verifier::structural().run(&Artifact::Stage(&snapshot))
     }
 
     /// Converts physical measurement counts into logical-qubit counts using

@@ -14,24 +14,7 @@ use crate::error::CompileError;
 /// edges have the best average (default) fidelity, and the candidate region
 /// with the best overall mean fidelity wins.
 ///
-/// # Panics
-/// Panics if the device has fewer than `n` qubits or no `n`-qubit connected
-/// region exists; use [`try_select_region`] to handle these as errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "panics on invalid input, which a request-serving path cannot tolerate; use try_select_region"
-)]
-pub fn select_region(device: &DeviceModel, n: usize) -> Vec<QubitId> {
-    assert!(n >= 1, "region must contain at least one qubit");
-    assert!(
-        n <= device.num_qubits(),
-        "device has only {} qubits, requested {n}",
-        device.num_qubits()
-    );
-    try_select_region(device, n).unwrap_or_else(|_| panic!("no connected {n}-qubit region found"))
-}
-
-/// Fallible [`select_region`]: undersized devices return
+/// Undersized devices return
 /// [`CompileError::RegionUnavailable`] and fragmented topologies
 /// [`CompileError::RegionDisconnected`] instead of panicking.
 pub fn try_select_region(device: &DeviceModel, n: usize) -> Result<Vec<QubitId>, CompileError> {
@@ -49,12 +32,8 @@ pub fn try_select_region(device: &DeviceModel, n: usize) -> Result<Vec<QubitId>,
         return Ok(vec![0]);
     }
 
-    let edge_fid = |a: QubitId, b: QubitId| -> f64 {
-        device
-            .edge(a, b)
-            .map(|e| e.default_fidelity())
-            .unwrap_or(0.0)
-    };
+    let edge_fid =
+        |a: QubitId, b: QubitId| -> f64 { device.edge(a, b).map_or(0.0, |e| e.default_fidelity()) };
 
     let mut best: Option<(f64, Vec<QubitId>)> = None;
     for (seed_a, seed_b) in topo.edges() {
@@ -98,7 +77,7 @@ pub fn try_select_region(device: &DeviceModel, n: usize) -> Result<Vec<QubitId>,
             }
         }
         let score = if count > 0 { sum / count as f64 } else { 0.0 };
-        if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, region));
         }
     }
@@ -170,14 +149,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "device has only")]
-    #[allow(deprecated)]
-    fn oversized_region_panics() {
-        let device = DeviceModel::ideal(3, 0.99);
-        let _ = select_region(&device, 5);
-    }
-
-    #[test]
     fn try_select_region_reports_undersized_devices() {
         let device = DeviceModel::ideal(3, 0.99);
         assert_eq!(
@@ -194,13 +165,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn try_select_region_matches_panicking_version_on_valid_input() {
+    fn try_select_region_is_deterministic_on_valid_input() {
         let device = DeviceModel::aspen8(RngSeed(1));
         for n in [1usize, 3, 6] {
             assert_eq!(
                 try_select_region(&device, n).unwrap(),
-                select_region(&device, n)
+                try_select_region(&device, n).unwrap()
             );
         }
     }

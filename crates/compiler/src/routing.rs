@@ -60,25 +60,7 @@ pub fn logical_outcome_for(
 
 /// Routes `circuit` onto `device` starting from `initial_layout`.
 ///
-/// # Panics
-/// Panics if the layout length does not match the circuit, refers to
-/// out-of-range physical qubits, or the device graph is disconnected between
-/// needed qubits; use [`try_route`] to handle these as errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "panics on invalid input, which a request-serving path cannot tolerate; use try_route"
-)]
-pub fn route(circuit: &Circuit, device: &DeviceModel, initial_layout: &[QubitId]) -> RoutedCircuit {
-    try_route(circuit, device, initial_layout).unwrap_or_else(|e| match e {
-        CompileError::InvalidLayout { reason } => panic!("{reason}"),
-        CompileError::RoutingUnreachable { q0, q1 } => {
-            panic!("no path between physical qubits {q0} and {q1}")
-        }
-        other => panic!("routing failed: {other}"),
-    })
-}
-
-/// Fallible [`route`]: bad layouts and disconnected devices return
+/// Bad layouts and disconnected devices return
 /// [`CompileError`] instead of panicking.
 pub fn try_route(
     circuit: &Circuit,
@@ -225,15 +207,6 @@ mod tests {
         // Physical outcome with qubit 1 set corresponds to logical qubit 0 set.
         let physical = 0b01;
         assert_eq!(routed.logical_outcome(physical), 0b10);
-    }
-
-    #[test]
-    #[should_panic(expected = "layout must assign")]
-    #[allow(deprecated)]
-    fn wrong_layout_length_panics() {
-        let device = line_device(3);
-        let c = Circuit::new(2);
-        let _ = route(&c, &device, &[0]);
     }
 
     #[test]

@@ -16,6 +16,8 @@ use gates::{InstructionSet, InvalidInstructionSet};
 use nuop_core::DecompositionCache;
 use parking_lot::Mutex;
 
+use verify::{Artifact, Stage, StageSnapshot, Verifier, VerifyLevel};
+
 use crate::error::CompileError;
 use crate::pass::{default_passes, CompileIr, CompileReport, Pass, PassContext, StageTiming};
 use crate::pipeline::{CompiledCircuit, CompilerOptions};
@@ -55,6 +57,7 @@ pub struct Compiler {
     options: CompilerOptions,
     passes: Vec<Box<dyn Pass>>,
     cache: Arc<DecompositionCache>,
+    verify_level: VerifyLevel,
 }
 
 impl Compiler {
@@ -68,6 +71,7 @@ impl Compiler {
             cache: None,
             cache_capacity: None,
             passes: None,
+            verify_level: VerifyLevel::Off,
         }
     }
 
@@ -90,6 +94,11 @@ impl Compiler {
     /// with another compiler via [`CompilerBuilder::shared_cache`]).
     pub fn cache(&self) -> &Arc<DecompositionCache> {
         &self.cache
+    }
+
+    /// The static-verification level this compiler runs at.
+    pub fn verify_level(&self) -> VerifyLevel {
+        self.verify_level
     }
 
     /// Compiles one circuit.
@@ -163,13 +172,41 @@ impl Compiler {
         };
         let mut ir = CompileIr::new(circuit);
         let mut report = CompileReport::default();
-        for pass in &self.passes {
+        let verifier = self.verify_level.is_enabled().then(Verifier::structural);
+        for (index, pass) in self.passes.iter().enumerate() {
             let started = Instant::now();
             pass.run(&mut ir, &ctx)?;
             report.stages.push(StageTiming {
                 pass: pass.name().to_string(),
                 duration: started.elapsed(),
             });
+            // Between-pass verification: check the IR after this stage when
+            // the level asks for it (PerStage: always; Final: last pass only).
+            let check_now = match self.verify_level {
+                VerifyLevel::Off => false,
+                VerifyLevel::Final => index + 1 == self.passes.len(),
+                VerifyLevel::PerStage => true,
+            };
+            if check_now {
+                if let (Some(verifier), Some(stage)) =
+                    (verifier.as_ref(), Stage::from_pass_name(pass.name()))
+                {
+                    let snapshot = StageSnapshot {
+                        stage,
+                        circuit: &ir.circuit,
+                        region: &ir.region,
+                        subdevice: ir.subdevice.as_ref(),
+                        initial_layout: &ir.initial_layout,
+                        final_layout: &ir.final_layout,
+                        swap_count: ir.swap_count,
+                        program_swap_count: ir.program_swap_count,
+                        instruction_set: Some(&self.instruction_set),
+                    };
+                    report
+                        .diagnostics
+                        .extend(verifier.run(&Artifact::Stage(&snapshot)).into_diagnostics());
+                }
+            }
         }
         report.cache_hits = ir.pass_stats.cache_hits;
         report.cache_misses = ir.pass_stats.cache_misses;
@@ -215,6 +252,7 @@ pub struct CompilerBuilder {
     cache: Option<Arc<DecompositionCache>>,
     cache_capacity: Option<usize>,
     passes: Option<Vec<Box<dyn Pass>>>,
+    verify_level: VerifyLevel,
 }
 
 impl CompilerBuilder {
@@ -266,6 +304,19 @@ impl CompilerBuilder {
         self
     }
 
+    /// Runs the static verifier during compilation: structural legality rules
+    /// (qubit bounds, post-routing coupling, instruction-set conformance,
+    /// layout bijections, swap consistency) check the intermediate state and
+    /// attach their findings to [`CompileReport::diagnostics`].
+    /// [`VerifyLevel::PerStage`] checks after every pass,
+    /// [`VerifyLevel::Final`] only after the last; the default is
+    /// [`VerifyLevel::Off`]. Findings never abort compilation — callers gate
+    /// on [`CompileReport::has_verify_errors`].
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify_level = level;
+        self
+    }
+
     /// Builds the compiler, validating the configuration.
     pub fn build(self) -> Result<Compiler, CompileError> {
         let instruction_set = match (self.instruction_set, self.instruction_set_name) {
@@ -295,6 +346,7 @@ impl CompilerBuilder {
             options: self.options,
             passes: self.passes.unwrap_or_else(default_passes),
             cache,
+            verify_level: self.verify_level,
         })
     }
 }
@@ -494,6 +546,42 @@ mod tests {
         assert!(first.cache_misses > 0);
         let (_, second) = compiler.compile_with_report(&circuit).unwrap();
         assert_eq!(second.cache_misses, 0);
+    }
+
+    #[test]
+    fn per_stage_verification_of_real_workloads_is_clean() {
+        for set in [
+            InstructionSet::s(1),
+            InstructionSet::r(2),
+            InstructionSet::full_xy(),
+        ] {
+            let compiler = Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+                .instruction_set(set.clone())
+                .options(quick_options())
+                .verify(VerifyLevel::PerStage)
+                .build()
+                .unwrap();
+            let circuit = qv_circuit(3, RngSeed(2));
+            let (compiled, report) = compiler.compile_with_report(&circuit).unwrap();
+            assert!(
+                !report.has_verify_errors(),
+                "set {}: {:?}",
+                set.name(),
+                report.diagnostics
+            );
+            // The standalone artifact check agrees.
+            let standalone = compiled.verify(&set);
+            assert!(!standalone.has_errors(), "set {}: {standalone}", set.name());
+        }
+    }
+
+    #[test]
+    fn verification_off_attaches_no_diagnostics() {
+        let compiler = aspen_compiler(InstructionSet::s(3));
+        let (_, report) = compiler
+            .compile_with_report(&qv_circuit(3, RngSeed(5)))
+            .unwrap();
+        assert!(report.diagnostics.is_empty());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Property: the verifier accepts every circuit the compiler produces.
+//!
+//! Random small circuits are compiled with per-stage verification enabled;
+//! neither the per-stage snapshots nor the final artifact may carry an
+//! error-level finding. This is the "no false positives on legal output"
+//! half of the mutation suite in `crates/verify/tests/mutations.rs`.
+
+use circuit::{Circuit, Operation};
+use compiler::{Compiler, CompilerOptions, VerifyLevel};
+use device::DeviceModel;
+use gates::InstructionSet;
+use nuop_core::DecomposeConfig;
+use proptest::prelude::*;
+use qmath::RngSeed;
+
+/// Strategy generating a random small circuit over `n` qubits, mirroring the
+/// circuit crate's proptest suite.
+fn arb_circuit(n: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let op = (0..6u8, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, a, b, angle)| {
+        let b = if a == b { (b + 1) % n } else { b };
+        match kind {
+            0 => Operation::h(a),
+            1 => Operation::rx(a, angle),
+            2 => Operation::rz(a, angle),
+            3 => Operation::cz(a, b),
+            4 => Operation::zz(a, b, angle),
+            _ => Operation::swap(a, b),
+        }
+    });
+    proptest::collection::vec(op, 1..max_ops).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for op in ops {
+            c.push(op);
+        }
+        c
+    })
+}
+
+fn verifying_compiler(set: InstructionSet) -> Compiler {
+    Compiler::for_device(DeviceModel::sycamore(RngSeed(7)))
+        .instruction_set(set)
+        .options(CompilerOptions {
+            decompose: DecomposeConfig {
+                restarts: 2,
+                max_layers: 4,
+                ..DecomposeConfig::default()
+            },
+            threads: 2,
+        })
+        .verify(VerifyLevel::PerStage)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn compiled_circuits_verify_clean_under_s1(c in arb_circuit(3, 8)) {
+        let compiler = verifying_compiler(InstructionSet::s(1));
+        let (compiled, report) = compiler.compile_with_report(&c).unwrap();
+        prop_assert!(!report.has_verify_errors(), "{:?}", report.diagnostics);
+        let artifact = compiled.verify(compiler.instruction_set());
+        prop_assert!(!artifact.has_errors(), "{artifact}");
+    }
+
+    #[test]
+    fn compiled_circuits_verify_clean_under_full_xy(c in arb_circuit(3, 8)) {
+        let compiler = verifying_compiler(InstructionSet::full_xy());
+        let (compiled, report) = compiler.compile_with_report(&c).unwrap();
+        prop_assert!(!report.has_verify_errors(), "{:?}", report.diagnostics);
+        let artifact = compiled.verify(compiler.instruction_set());
+        prop_assert!(!artifact.has_errors(), "{artifact}");
+    }
+}

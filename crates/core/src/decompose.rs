@@ -161,11 +161,10 @@ fn optimize_template(
 /// `config.max_layers` reaches the threshold, the best attempt found is
 /// returned (its `decomposition_fidelity` tells the caller how close it got).
 pub fn decompose_fixed(target: &Mat4, gate: &GateType, config: &DecomposeConfig) -> Decomposition {
-    let mut best: Option<Decomposition> = None;
-    for layers in 0..=config.max_layers {
+    let attempt = |layers: usize| {
         let template = Template::fixed(*gate.unitary(), layers);
         let (params, fd) = optimize_template(&template, target, config, layers as u64);
-        let candidate = Decomposition {
+        Decomposition {
             template,
             params,
             layers,
@@ -173,19 +172,20 @@ pub fn decompose_fixed(target: &Mat4, gate: &GateType, config: &DecomposeConfig)
             hardware_fidelity: 1.0,
             overall_fidelity: fd,
             gate_label: gate.name().to_string(),
-        };
-        let is_better = best
-            .as_ref()
-            .map(|b| candidate.decomposition_fidelity > b.decomposition_fidelity)
-            .unwrap_or(true);
-        if is_better {
-            best = Some(candidate);
         }
-        if best.as_ref().expect("set above").decomposition_fidelity >= config.fidelity_threshold {
+    };
+    // The zero-layer template always exists, so `best` is never empty.
+    let mut best = attempt(0);
+    for layers in 1..=config.max_layers {
+        if best.decomposition_fidelity >= config.fidelity_threshold {
             break;
         }
+        let candidate = attempt(layers);
+        if candidate.decomposition_fidelity > best.decomposition_fidelity {
+            best = candidate;
+        }
     }
-    best.expect("at least one layer count was tried")
+    best
 }
 
 /// Approximate, hardware-aware decomposition (paper §V.B, Eq. 2).
@@ -208,19 +208,10 @@ pub fn decompose_approx(
         two_qubit_fidelity.powi(layers as i32)
             * config.one_qubit_fidelity.powi(2 * (layers as i32 + 1))
     };
-    let mut best: Option<Decomposition> = None;
-    for layers in 0..=config.max_layers {
-        let f_h = hw(layers);
-        // Adding layers can only lower F_h; once even a perfect F_d cannot beat
-        // the best F_u found so far, stop.
-        if let Some(b) = &best {
-            if f_h <= b.overall_fidelity {
-                break;
-            }
-        }
+    let attempt = |layers: usize, f_h: f64| {
         let template = Template::fixed(*gate.unitary(), layers);
         let (params, fd) = optimize_template(&template, target, config, 100 + layers as u64);
-        let candidate = Decomposition {
+        Decomposition {
             template,
             params,
             layers,
@@ -228,16 +219,23 @@ pub fn decompose_approx(
             hardware_fidelity: f_h,
             overall_fidelity: fd * f_h,
             gate_label: gate.name().to_string(),
-        };
-        let is_better = best
-            .as_ref()
-            .map(|b| candidate.overall_fidelity > b.overall_fidelity)
-            .unwrap_or(true);
-        if is_better {
-            best = Some(candidate);
+        }
+    };
+    // The zero-layer template always exists, so `best` is never empty.
+    let mut best = attempt(0, hw(0));
+    for layers in 1..=config.max_layers {
+        let f_h = hw(layers);
+        // Adding layers can only lower F_h; once even a perfect F_d cannot beat
+        // the best F_u found so far, stop.
+        if f_h <= best.overall_fidelity {
+            break;
+        }
+        let candidate = attempt(layers, f_h);
+        if candidate.overall_fidelity > best.overall_fidelity {
+            best = candidate;
         }
     }
-    best.expect("at least one layer count was tried")
+    best
 }
 
 /// Decomposition targeting a *continuous* gate family (FullXY / FullfSim): the
@@ -248,11 +246,10 @@ pub fn decompose_continuous(
     family: ContinuousFamily,
     config: &DecomposeConfig,
 ) -> Decomposition {
-    let mut best: Option<Decomposition> = None;
-    for layers in 0..=config.max_layers {
+    let attempt = |layers: usize| {
         let template = Template::family(family, layers);
         let (params, fd) = optimize_template(&template, target, config, 200 + layers as u64);
-        let candidate = Decomposition {
+        Decomposition {
             template,
             params,
             layers,
@@ -260,19 +257,20 @@ pub fn decompose_continuous(
             hardware_fidelity: 1.0,
             overall_fidelity: fd,
             gate_label: family.name().to_string(),
-        };
-        let is_better = best
-            .as_ref()
-            .map(|b| candidate.decomposition_fidelity > b.decomposition_fidelity)
-            .unwrap_or(true);
-        if is_better {
-            best = Some(candidate);
         }
-        if best.as_ref().expect("set above").decomposition_fidelity >= config.fidelity_threshold {
+    };
+    // The zero-layer template always exists, so `best` is never empty.
+    let mut best = attempt(0);
+    for layers in 1..=config.max_layers {
+        if best.decomposition_fidelity >= config.fidelity_threshold {
             break;
         }
+        let candidate = attempt(layers);
+        if candidate.decomposition_fidelity > best.decomposition_fidelity {
+            best = candidate;
+        }
     }
-    best.expect("at least one layer count was tried")
+    best
 }
 
 #[cfg(test)]

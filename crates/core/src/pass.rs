@@ -92,9 +92,7 @@ impl NuOpPass {
         NuOpPass {
             instruction_set,
             config,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache: Arc::new(DecompositionCache::new()),
         }
     }

@@ -345,10 +345,7 @@ impl HardwareFidelityProvider for DeviceModel {
     }
 
     fn one_qubit_fidelity(&self, q: QubitId) -> f64 {
-        self.qubits
-            .get(q)
-            .map(|c| c.one_qubit_fidelity)
-            .unwrap_or(1.0)
+        self.qubits.get(q).map_or(1.0, |c| c.one_qubit_fidelity)
     }
 }
 

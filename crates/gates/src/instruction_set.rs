@@ -361,9 +361,7 @@ mod tests {
             for t in InstructionSet::r(k).gate_types() {
                 let ok = t.name() == "CZ"
                     || t.name() == "SWAP"
-                    || t.fsim_coords()
-                        .map(|c| c.phi.abs() < 1e-12)
-                        .unwrap_or(false);
+                    || t.fsim_coords().is_some_and(|c| c.phi.abs() < 1e-12);
                 assert!(ok, "R{k} contains non-XY-family type {}", t.name());
             }
         }

@@ -72,10 +72,7 @@ where
         let mut result = minimize_bfgs(f, &start, &opts.bfgs);
         total_evals += result.evaluations;
         result.evaluations = total_evals;
-        let better = best
-            .as_ref()
-            .map(|b| result.value < b.value)
-            .unwrap_or(true);
+        let better = best.as_ref().is_none_or(|b| result.value < b.value);
         if better {
             best = Some(result);
         }

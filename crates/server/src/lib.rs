@@ -53,6 +53,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod error;
 pub mod metrics;

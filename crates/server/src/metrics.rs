@@ -16,6 +16,8 @@ pub struct ServerMetrics {
     pub(crate) shots_total: AtomicUsize,
     pub(crate) compile_nanos: AtomicU64,
     pub(crate) simulate_nanos: AtomicU64,
+    pub(crate) verify_errors: AtomicUsize,
+    pub(crate) verify_warnings: AtomicUsize,
 }
 
 impl ServerMetrics {
@@ -28,6 +30,19 @@ impl ServerMetrics {
         self.simulate_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.shots_total.fetch_add(shots, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_verify(&self, diagnostics: &[verify::Diagnostic]) {
+        let errors = diagnostics
+            .iter()
+            .filter(|d| d.severity() == verify::Severity::Error)
+            .count();
+        let warnings = diagnostics
+            .iter()
+            .filter(|d| d.severity() == verify::Severity::Warning)
+            .count();
+        self.verify_errors.fetch_add(errors, Ordering::Relaxed);
+        self.verify_warnings.fetch_add(warnings, Ordering::Relaxed);
     }
 }
 
@@ -82,6 +97,12 @@ pub struct MetricsSnapshot {
     pub compile_time: Duration,
     /// Total wall-clock spent simulating, across all workers.
     pub simulate_time: Duration,
+    /// Error-level findings of the static verifier across all validated jobs
+    /// (0 unless the server was built with `validate(true)`).
+    pub verify_errors: usize,
+    /// Warning-level findings of the static verifier across all validated
+    /// jobs.
+    pub verify_warnings: usize,
     /// Per-tenant decomposition-cache statistics, sorted by tenant name.
     pub tenants: Vec<TenantCacheStats>,
 }
@@ -105,6 +126,8 @@ impl MetricsSnapshot {
             shots_total: metrics.shots_total.load(Ordering::Relaxed),
             compile_time: Duration::from_nanos(metrics.compile_nanos.load(Ordering::Relaxed)),
             simulate_time: Duration::from_nanos(metrics.simulate_nanos.load(Ordering::Relaxed)),
+            verify_errors: metrics.verify_errors.load(Ordering::Relaxed),
+            verify_warnings: metrics.verify_warnings.load(Ordering::Relaxed),
             tenants,
         }
     }
@@ -129,6 +152,11 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "  \"simulate_micros\": {},\n",
             self.simulate_time.as_micros()
+        ));
+        out.push_str(&format!("  \"verify_errors\": {},\n", self.verify_errors));
+        out.push_str(&format!(
+            "  \"verify_warnings\": {},\n",
+            self.verify_warnings
         ));
         out.push_str("  \"tenants\": [");
         for (i, t) in self.tenants.iter().enumerate() {

@@ -82,6 +82,7 @@ struct Shared {
     options: CompilerOptions,
     tenant_cache_capacity: usize,
     engine: ExecutionEngine,
+    validate: bool,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
     metrics: ServerMetrics,
 }
@@ -123,6 +124,13 @@ impl Shared {
         let (compiled, report) = compiler.compile_with_report(&circuit)?;
         let compile_elapsed = started.elapsed();
         self.metrics.record_compile(compile_elapsed);
+        if self.validate {
+            // Validate-before-run: prove the compiled artifact legal (coupling,
+            // gate set, layouts) before any shot executes. Findings feed the
+            // metrics endpoint; they never abort the job.
+            let verified = compiled.verify(compiler.instruction_set());
+            self.metrics.record_verify(verified.diagnostics());
+        }
 
         let sim = match request.op {
             JobOp::Compile => None,
@@ -137,6 +145,9 @@ impl Shared {
                 let result = self.engine.run_job(&job);
                 self.metrics
                     .record_simulate(result.report.total_duration(), shots);
+                if self.validate {
+                    self.metrics.record_verify(&result.diagnostics);
+                }
                 Some(SimSummary {
                     shots,
                     simulate_micros: result.report.total_duration().as_micros() as u64,
@@ -254,6 +265,7 @@ impl JobServer {
             tenant_cache_capacity: 1024,
             options: CompilerOptions::default(),
             engine: None,
+            validate: false,
         }
     }
 
@@ -429,6 +441,7 @@ pub struct ServerBuilder {
     tenant_cache_capacity: usize,
     options: CompilerOptions,
     engine: Option<ExecutionEngine>,
+    validate: bool,
 }
 
 impl ServerBuilder {
@@ -464,6 +477,17 @@ impl ServerBuilder {
         self
     }
 
+    /// Enables validate-before-run (default off): every compiled artifact is
+    /// statically verified before execution and every simulate job's lowered
+    /// kernels are audited by the engine. Finding counts surface in the
+    /// metrics endpoint (`verify_errors` / `verify_warnings`); jobs are never
+    /// aborted. When no custom [`engine`](ServerBuilder::engine) is supplied,
+    /// the default engine is built with its own validation enabled too.
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
     /// Builds and starts the server (spawns the worker threads).
     pub fn build(self) -> Result<JobServer, ServerConfigError> {
         if self.workers == 0 {
@@ -480,6 +504,7 @@ impl ServerBuilder {
         let engine = self.engine.unwrap_or_else(|| {
             ExecutionEngine::builder()
                 .threads(1)
+                .validate(self.validate)
                 .build()
                 .expect("one thread and the default chunk size are a valid config")
         });
@@ -489,6 +514,7 @@ impl ServerBuilder {
             options,
             tenant_cache_capacity: self.tenant_cache_capacity,
             engine,
+            validate: self.validate,
             tenants: Mutex::new(HashMap::new()),
             metrics: ServerMetrics::default(),
         });
@@ -599,6 +625,29 @@ mod tests {
             }),
             Err(ServerError::InvalidRequest { .. })
         ));
+    }
+
+    #[test]
+    fn validated_jobs_report_zero_findings_in_metrics() {
+        let server = JobServer::builder(DeviceModel::ideal(3, 0.99))
+            .workers(2)
+            .options(CompilerOptions::sweep())
+            .validate(true)
+            .build()
+            .unwrap();
+        let ticket = server
+            .submit_request(JobRequest {
+                op: JobOp::Simulate { shots: 32 },
+                ..compile_request("v", 1)
+            })
+            .unwrap();
+        ticket.wait().unwrap();
+        let metrics = server.metrics();
+        // A legal pipeline produces no findings; the counters exist and stay
+        // at zero, and the JSON endpoint exposes them.
+        assert_eq!(metrics.verify_errors, 0);
+        assert_eq!(metrics.verify_warnings, 0);
+        assert!(server.metrics_json().contains("\"verify_errors\": 0"));
     }
 
     #[test]

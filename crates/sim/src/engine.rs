@@ -209,6 +209,20 @@ pub struct SimResult {
     pub counts: Counts,
     /// Timings and throughput for this job.
     pub report: EngineReport,
+    /// Findings of the static artifact verifier, when the engine was built
+    /// with [`EngineBuilder::validate`] enabled (empty otherwise). Findings
+    /// never abort the job — gate on
+    /// [`has_verify_errors`](SimResult::has_verify_errors).
+    pub diagnostics: Vec<verify::Diagnostic>,
+}
+
+impl SimResult {
+    /// True when validation reported at least one error-level finding.
+    pub fn has_verify_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity() == verify::Severity::Error)
+    }
 }
 
 /// Builder for an [`ExecutionEngine`].
@@ -218,6 +232,7 @@ pub struct EngineBuilder {
     shot_chunk_size: usize,
     seed_policy: SeedPolicy,
     fusion: FusionPolicy,
+    validate: bool,
 }
 
 impl EngineBuilder {
@@ -255,6 +270,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables validate-before-run (default off): every job's lowered circuit
+    /// is statically verified before the shot loop — kernel unitarity, Kraus
+    /// completeness, and, when fusion is on, equivalence and RNG-draw-order
+    /// fidelity against a freshly lowered unfused baseline. Findings land in
+    /// [`SimResult::diagnostics`]; they never abort the job.
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
     /// Builds the engine, validating the configuration.
     pub fn build(self) -> Result<ExecutionEngine, EngineConfigError> {
         if self.shot_chunk_size == 0 {
@@ -268,14 +293,13 @@ impl EngineBuilder {
             shot_chunk_size: self.shot_chunk_size,
             seed_policy: self.seed_policy,
             fusion: self.fusion,
+            validate: self.validate,
         })
     }
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The parallel batched-shot execution engine. See the [module
@@ -304,6 +328,7 @@ pub struct ExecutionEngine {
     shot_chunk_size: usize,
     seed_policy: SeedPolicy,
     fusion: FusionPolicy,
+    validate: bool,
 }
 
 impl Default for ExecutionEngine {
@@ -328,6 +353,7 @@ impl ExecutionEngine {
             shot_chunk_size: DEFAULT_SHOT_CHUNK,
             seed_policy: SeedPolicy::default(),
             fusion: FusionPolicy::default(),
+            validate: false,
         }
     }
 
@@ -351,6 +377,12 @@ impl ExecutionEngine {
         self.fusion
     }
 
+    /// Whether jobs are statically verified before their shot loop (see
+    /// [`EngineBuilder::validate`]).
+    pub fn validate(&self) -> bool {
+        self.validate
+    }
+
     /// Runs a batch of jobs and returns one [`SimResult`] per job, in order.
     ///
     /// Each job is lowered once and its shot loop sharded across the worker
@@ -367,8 +399,25 @@ impl ExecutionEngine {
             Some(noise) => PrecompiledCircuit::with_fusion(&job.circuit, noise, self.fusion),
             None => PrecompiledCircuit::ideal_with_fusion(&job.circuit, self.fusion),
         };
+        let diagnostics = if self.validate {
+            // The fusion rules need the unfused stream to compare against;
+            // under FusionPolicy::Off the lowered stream is its own baseline
+            // and only the per-op rules (unitarity, completeness) apply.
+            let baseline = match self.fusion {
+                FusionPolicy::Safe => Some(match &job.noise {
+                    Some(noise) => PrecompiledCircuit::new(&job.circuit, noise),
+                    None => PrecompiledCircuit::ideal(&job.circuit),
+                }),
+                FusionPolicy::Off => None,
+            };
+            pre.verify_artifact(baseline.as_ref()).into_diagnostics()
+        } else {
+            Vec::new()
+        };
         let precompile = started.elapsed();
-        self.run_precompiled_timed(&pre, job.shots, job.seed, precompile)
+        let mut result = self.run_precompiled_timed(&pre, job.shots, job.seed, precompile);
+        result.diagnostics = diagnostics;
+        result
     }
 
     /// Runs `shots` shots of an already-lowered circuit. Use this to amortize
@@ -402,6 +451,7 @@ impl ExecutionEngine {
                 precompile,
                 simulate: started.elapsed(),
             },
+            diagnostics: Vec::new(),
         }
     }
 
@@ -696,6 +746,27 @@ mod tests {
             result.report.precompile + result.report.simulate
         );
         assert!(result.report.shots_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn validated_jobs_verify_cleanly_and_count_identically() {
+        let job = noisy_job(200, 41);
+        let plain = engine_with(2).run_job(&job);
+        assert!(plain.diagnostics.is_empty());
+        let validated = ExecutionEngine::builder()
+            .threads(2)
+            .validate(true)
+            .build()
+            .unwrap()
+            .run_job(&job);
+        // Validation must neither perturb the counts nor report errors on a
+        // legal artifact (Info-level skips are fine).
+        assert_eq!(validated.counts, plain.counts);
+        assert!(
+            !validated.has_verify_errors(),
+            "{:?}",
+            validated.diagnostics
+        );
     }
 
     #[test]

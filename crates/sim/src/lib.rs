@@ -27,6 +27,12 @@
 //!   [`IdealSimulator::sample`] are thin single-job wrappers over the engine.
 //! * [`density`] — an exact density-matrix simulator for small registers, used
 //!   to validate the trajectory sampler (it consumes the same precompiled ops).
+//! * [`audit`] — a bridge to the `verify` crate's static semantic rules:
+//!   [`PrecompiledCircuit::verify_artifact`] proves every lowered kernel
+//!   unitary, every Kraus channel trace-preserving, and a `Safe`-fused stream
+//!   faithful to its unfused baseline without executing a single shot. The
+//!   engine runs it automatically under
+//!   [`EngineBuilder::validate`](engine::EngineBuilder::validate).
 //!
 //! # Example
 //!
@@ -60,7 +66,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
+pub mod audit;
 pub mod channels;
 pub mod density;
 pub mod engine;

@@ -164,10 +164,7 @@ impl PrecompiledOp {
     /// channel is absent or identity and every relaxation channel is identity.
     /// Fusing a *later* op into such an op cannot disturb the RNG stream.
     fn consumes_no_rng(&self) -> bool {
-        self.depolarizing
-            .as_ref()
-            .map(|c| c.is_identity())
-            .unwrap_or(true)
+        self.depolarizing.as_ref().is_none_or(|c| c.is_identity())
             && self
                 .relaxation
                 .iter()
@@ -381,16 +378,28 @@ impl PrecompiledCircuit {
     }
 }
 
+/// Stack-allocates a 1Q op's matrix. `Operation` construction shape-checks
+/// every unitary, so the conversion is infallible for circuit-borne matrices;
+/// the panic merely documents that invariant at the sim boundary.
+pub(crate) fn op_mat2(matrix: &qmath::CMatrix) -> Mat2 {
+    Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix")
+}
+
+/// Stack-allocates a 2Q op's matrix (see [`op_mat2`]).
+pub(crate) fn op_mat4(matrix: &qmath::CMatrix) -> Mat4 {
+    Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix")
+}
+
 /// Converts one circuit operation's unitary into its stack-allocated kernel —
 /// the single lowering rule shared by the noisy and ideal constructors.
 fn lower_kind(op: &circuit::Operation) -> PrecompiledKind {
     match op.kind() {
         OpKind::Unitary1Q { matrix, .. } => PrecompiledKind::Unitary1Q {
-            matrix: Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix"),
+            matrix: op_mat2(matrix),
             qubit: op.qubits()[0],
         },
         OpKind::Unitary2Q { matrix, .. } => PrecompiledKind::Unitary2Q {
-            matrix: Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix"),
+            matrix: op_mat4(matrix),
             q0: op.qubits()[0],
             q1: op.qubits()[1],
         },

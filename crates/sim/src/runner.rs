@@ -12,14 +12,15 @@ use std::collections::BTreeMap;
 
 use circuit::{Circuit, OpKind};
 use qmath::RngSeed;
-use qmath::{Mat2, Mat4};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::channels::ArityChannel;
 use crate::engine::{ExecutionEngine, SeedPolicy};
 use crate::noise_model::NoiseModel;
-use crate::precompiled::{apply_channel_1q, apply_channel_2q, FusionPolicy, PrecompiledCircuit};
+use crate::precompiled::{
+    apply_channel_1q, apply_channel_2q, op_mat2, op_mat4, FusionPolicy, PrecompiledCircuit,
+};
 use crate::statevector::StateVector;
 
 /// Error returned by [`Counts::merge`] when the two histograms cover
@@ -159,12 +160,10 @@ impl IdealSimulator {
         for op in circuit.iter() {
             match op.kind() {
                 OpKind::Unitary1Q { matrix, .. } => {
-                    let m = Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix");
-                    state.apply_one_qubit(&m, op.qubits()[0]);
+                    state.apply_one_qubit(&op_mat2(matrix), op.qubits()[0]);
                 }
                 OpKind::Unitary2Q { matrix, .. } => {
-                    let m = Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix");
-                    state.apply_two_qubit(&m, op.qubits()[0], op.qubits()[1]);
+                    state.apply_two_qubit(&op_mat4(matrix), op.qubits()[0], op.qubits()[1]);
                 }
                 OpKind::Measure | OpKind::Barrier => {}
             }
@@ -258,22 +257,20 @@ impl NoisySimulator {
         for op in circuit.iter() {
             match op.kind() {
                 OpKind::Unitary1Q { matrix, .. } => {
-                    let m = Mat2::try_from(matrix).expect("1Q operation carries a 2x2 matrix");
-                    state.apply_one_qubit(&m, op.qubits()[0]);
+                    state.apply_one_qubit(&op_mat2(matrix), op.qubits()[0]);
                 }
                 OpKind::Unitary2Q { matrix, .. } => {
-                    let m = Mat4::try_from(matrix).expect("2Q operation carries a 4x4 matrix");
-                    state.apply_two_qubit(&m, op.qubits()[0], op.qubits()[1]);
+                    state.apply_two_qubit(&op_mat4(matrix), op.qubits()[0], op.qubits()[1]);
                 }
                 OpKind::Measure | OpKind::Barrier => {}
             }
             let noise = self.noise.noise_for(op);
             match (&noise.depolarizing, op.qubits()) {
                 (Some(ArityChannel::One(channel)), [q]) => {
-                    apply_channel_1q(&mut state, channel, *q, rng)
+                    apply_channel_1q(&mut state, channel, *q, rng);
                 }
                 (Some(ArityChannel::Two(channel)), [q0, q1]) => {
-                    apply_channel_2q(&mut state, channel, *q0, *q1, rng)
+                    apply_channel_2q(&mut state, channel, *q0, *q1, rng);
                 }
                 (None, _) => {}
                 (Some(_), qubits) => unreachable!(

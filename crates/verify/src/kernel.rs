@@ -1,0 +1,425 @@
+//! Semantic rules over lowered simulation kernels.
+//!
+//! The simulator lowers circuits into streams of `Mat2`/`Mat4` kernels with
+//! attached Kraus channels (and optionally fuses adjacent kernels). This
+//! module defines a neutral, simulator-independent view of such a stream —
+//! [`KernelOp`] — and the rules that prove a stream is semantically sound:
+//! every kernel unitary, every channel trace-preserving, and a fused stream
+//! both equivalent to its unfused baseline (up to global phase) and consuming
+//! randomness in exactly the same order.
+
+use qmath::{Complex, Mat2, Mat4, SmallMat};
+
+use crate::diagnostic::Diagnostic;
+use crate::rule::{Artifact, Context, Rule};
+
+/// The unitary kernel of one lowered operation.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelKind {
+    /// A one-qubit kernel applied to `qubit`.
+    One {
+        /// The 2×2 kernel matrix.
+        matrix: Mat2,
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// A two-qubit kernel applied to the ordered pair `(q0, q1)`;
+    /// `q0` indexes the most significant factor of the 4×4 matrix.
+    Two {
+        /// The 4×4 kernel matrix.
+        matrix: Mat4,
+        /// Most significant target qubit.
+        q0: usize,
+        /// Least significant target qubit.
+        q1: usize,
+    },
+    /// No unitary action (barriers, measurements, identity placeholders).
+    Silent,
+}
+
+/// The Kraus operators of one attached channel.
+#[derive(Debug, Clone)]
+pub enum ChannelKraus {
+    /// A one-qubit channel.
+    One(Vec<Mat2>),
+    /// A two-qubit channel.
+    Two(Vec<Mat4>),
+}
+
+/// A noise channel attached to a lowered operation.
+#[derive(Debug, Clone)]
+pub struct ChannelView {
+    /// The qubits the channel acts on (one or two entries).
+    pub qubits: Vec<usize>,
+    /// The channel's Kraus operators.
+    pub kraus: ChannelKraus,
+    /// Whether sampling this channel consumes a random draw at run time
+    /// (identity channels are skipped by the simulator and draw nothing).
+    pub consumes_rng: bool,
+}
+
+/// One lowered operation: a kernel plus its attached channels, tagged with
+/// its index in the stream so findings carry exact spans.
+#[derive(Debug, Clone)]
+pub struct KernelOp {
+    /// Position of this op in its stream.
+    pub index: usize,
+    /// The unitary kernel.
+    pub kind: KernelKind,
+    /// Channels applied after the kernel, in draw order.
+    pub channels: Vec<ChannelView>,
+}
+
+/// A lowered kernel stream under verification, with an optional unfused
+/// baseline stream for fusion-preservation rules.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelArtifact<'a> {
+    /// Register width in qubits.
+    pub num_qubits: usize,
+    /// The stream under verification (possibly fused).
+    pub ops: &'a [KernelOp],
+    /// The unfused baseline the stream was derived from, when available.
+    pub baseline: Option<&'a [KernelOp]>,
+}
+
+/// `kernel/unitarity`: every non-silent kernel matrix is unitary within
+/// tolerance.
+#[derive(Debug, Default)]
+pub struct KernelUnitarity;
+
+impl Rule for KernelUnitarity {
+    fn id(&self) -> &'static str {
+        "kernel/unitarity"
+    }
+
+    fn description(&self) -> &'static str {
+        "every lowered (possibly fused) kernel matrix is unitary"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let Artifact::Kernels(art) = artifact else {
+            return;
+        };
+        for op in art.ops {
+            let ok = match &op.kind {
+                KernelKind::One { matrix, .. } => matrix.is_unitary(ctx.tolerance),
+                KernelKind::Two { matrix, .. } => matrix.is_unitary(ctx.tolerance),
+                KernelKind::Silent => true,
+            };
+            if !ok {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        format!(
+                            "kernel {} is not unitary within {:.0e}",
+                            op.index, ctx.tolerance
+                        ),
+                    )
+                    .at_op(op.index),
+                );
+            }
+        }
+    }
+}
+
+/// `channel/kraus-completeness`: every attached channel satisfies
+/// `Σ K†K = I` within tolerance (trace preservation).
+#[derive(Debug, Default)]
+pub struct KrausCompleteness;
+
+impl Rule for KrausCompleteness {
+    fn id(&self) -> &'static str {
+        "channel/kraus-completeness"
+    }
+
+    fn description(&self) -> &'static str {
+        "every attached Kraus channel is trace-preserving (sum of K-dagger-K is identity)"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let Artifact::Kernels(art) = artifact else {
+            return;
+        };
+        for op in art.ops {
+            for channel in &op.channels {
+                let deviation = match &channel.kraus {
+                    ChannelKraus::One(ops) => completeness_deviation(ops),
+                    ChannelKraus::Two(ops) => completeness_deviation(ops),
+                };
+                if deviation > ctx.tolerance {
+                    out.push(
+                        Diagnostic::error(
+                            self.id(),
+                            format!(
+                                "channel on qubits {:?} of op {} deviates from completeness \
+                                 by {deviation:.2e}",
+                                channel.qubits, op.index
+                            ),
+                        )
+                        .at_op(op.index),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Max-entry deviation of `Σ K†K` from the identity.
+fn completeness_deviation<const N: usize>(ops: &[SmallMat<N>]) -> f64 {
+    let mut sum = SmallMat::<N>::zeros();
+    for k in ops {
+        sum = sum + k.dagger() * *k;
+    }
+    sum.max_abs_diff(&SmallMat::<N>::identity())
+}
+
+/// `fusion/rng-order`: a fused stream consumes random draws in exactly the
+/// order of its unfused baseline. This statically proves the
+/// `FusionPolicy::Safe` invariant: fusion may only move kernels past
+/// channel-free ops, so the sequence of RNG-consuming channels (targets and
+/// Kraus operators alike) must be preserved verbatim.
+#[derive(Debug, Default)]
+pub struct RngOrderAudit;
+
+impl Rule for RngOrderAudit {
+    fn id(&self) -> &'static str {
+        "fusion/rng-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "a fused stream preserves the baseline's order of RNG-consuming channels"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let Artifact::Kernels(art) = artifact else {
+            return;
+        };
+        let Some(baseline) = art.baseline else {
+            return;
+        };
+        let fused_events = rng_events(art.ops);
+        let base_events = rng_events(baseline);
+        for (position, (fused, base)) in fused_events.iter().zip(&base_events).enumerate() {
+            if let Some(reason) = events_differ(fused, base, ctx.tolerance) {
+                out.push(
+                    Diagnostic::error(
+                        self.id(),
+                        format!(
+                            "RNG draw {position} diverges from the baseline ({reason}); \
+                             fusion reordered noise"
+                        ),
+                    )
+                    .at_op(fused.op_index),
+                );
+                return;
+            }
+        }
+        if fused_events.len() != base_events.len() {
+            let mut d = Diagnostic::error(
+                self.id(),
+                format!(
+                    "fused stream consumes {} RNG draws but the baseline consumes {}",
+                    fused_events.len(),
+                    base_events.len()
+                ),
+            );
+            if let Some(event) = fused_events.get(base_events.len()) {
+                d = d.at_op(event.op_index);
+            }
+            out.push(d);
+        }
+    }
+}
+
+/// One run-time random draw: a channel sampled on specific qubits.
+struct RngEvent<'a> {
+    op_index: usize,
+    qubits: &'a [usize],
+    kraus: &'a ChannelKraus,
+}
+
+/// The stream's RNG-consuming channels, in draw order.
+fn rng_events(ops: &[KernelOp]) -> Vec<RngEvent<'_>> {
+    let mut events = Vec::new();
+    for op in ops {
+        for channel in &op.channels {
+            if channel.consumes_rng {
+                events.push(RngEvent {
+                    op_index: op.index,
+                    qubits: &channel.qubits,
+                    kraus: &channel.kraus,
+                });
+            }
+        }
+    }
+    events
+}
+
+/// Why two draw events differ, if they do.
+fn events_differ(a: &RngEvent<'_>, b: &RngEvent<'_>, tol: f64) -> Option<String> {
+    if a.qubits != b.qubits {
+        return Some(format!("targets {:?} vs baseline {:?}", a.qubits, b.qubits));
+    }
+    match (a.kraus, b.kraus) {
+        (ChannelKraus::One(x), ChannelKraus::One(y)) => kraus_differ(x, y, tol),
+        (ChannelKraus::Two(x), ChannelKraus::Two(y)) => kraus_differ(x, y, tol),
+        _ => Some("channel arity changed".to_string()),
+    }
+}
+
+fn kraus_differ<const N: usize>(a: &[SmallMat<N>], b: &[SmallMat<N>], tol: f64) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!(
+            "{} Kraus operators vs baseline {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.max_abs_diff(y) > tol {
+            return Some(format!("Kraus operator {i} changed"));
+        }
+    }
+    None
+}
+
+/// `fusion/equivalence`: phase-insensitive spot check that the fused stream's
+/// overall unitary action equals the baseline's. Both streams are applied to
+/// a fixed non-degenerate probe state; the final states must coincide up to a
+/// global phase. Registers wider than [`Context::equivalence_max_qubits`] are
+/// skipped with an [`Info`](crate::Severity::Info) finding.
+#[derive(Debug, Default)]
+pub struct FusionEquivalence;
+
+impl Rule for FusionEquivalence {
+    fn id(&self) -> &'static str {
+        "fusion/equivalence"
+    }
+
+    fn description(&self) -> &'static str {
+        "fused and unfused streams act identically (up to global phase) on a probe state"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let Artifact::Kernels(art) = artifact else {
+            return;
+        };
+        let Some(baseline) = art.baseline else {
+            return;
+        };
+        if art.num_qubits > ctx.equivalence_max_qubits {
+            out.push(Diagnostic::info(
+                self.id(),
+                format!(
+                    "equivalence spot check skipped: {} qubits exceeds the {}-qubit limit",
+                    art.num_qubits, ctx.equivalence_max_qubits
+                ),
+            ));
+            return;
+        }
+        let fused_state = apply_stream(art.num_qubits, art.ops);
+        let base_state = apply_stream(art.num_qubits, baseline);
+        let overlap = state_overlap(&fused_state, &base_state);
+        if (overlap - 1.0).abs() > ctx.tolerance {
+            out.push(Diagnostic::error(
+                self.id(),
+                format!(
+                    "fused stream diverges from the baseline: probe-state overlap {overlap:.6} \
+                     (1.0 expected)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Applies a kernel stream (unitaries only; channels are noise, not part of
+/// the deterministic action) to the fixed probe state.
+fn apply_stream(num_qubits: usize, ops: &[KernelOp]) -> Vec<Complex> {
+    let mut state = probe_state(num_qubits);
+    for op in ops {
+        match &op.kind {
+            KernelKind::One { matrix, qubit } => apply_one(&mut state, num_qubits, matrix, *qubit),
+            KernelKind::Two { matrix, q0, q1 } => {
+                apply_two(&mut state, num_qubits, matrix, *q0, *q1);
+            }
+            KernelKind::Silent => {}
+        }
+    }
+    state
+}
+
+/// A fixed, fully non-degenerate probe state: every amplitude distinct in
+/// modulus and phase, generated by a deterministic recurrence.
+fn probe_state(num_qubits: usize) -> Vec<Complex> {
+    let dim = 1usize << num_qubits;
+    let mut state = Vec::with_capacity(dim);
+    let mut norm_sqr = 0.0;
+    for i in 0..dim {
+        let x = i as f64;
+        let amp = Complex::from_polar(1.0 + (0.37 * x).sin() * 0.5, 0.61 * x);
+        norm_sqr += amp.norm_sqr();
+        state.push(amp);
+    }
+    let scale = 1.0 / norm_sqr.sqrt();
+    for amp in &mut state {
+        *amp = amp.scale(scale);
+    }
+    state
+}
+
+/// Applies a 2×2 matrix to `qubit`; qubit `q` owns bit `num_qubits - 1 - q`
+/// of the amplitude index (the simulator's convention).
+fn apply_one(state: &mut [Complex], num_qubits: usize, m: &Mat2, qubit: usize) {
+    let mask = 1usize << (num_qubits - 1 - qubit);
+    for i in 0..state.len() {
+        if i & mask == 0 {
+            let j = i | mask;
+            let (a, b) = (state[i], state[j]);
+            state[i] = m[(0, 0)] * a + m[(0, 1)] * b;
+            state[j] = m[(1, 0)] * a + m[(1, 1)] * b;
+        }
+    }
+}
+
+/// Applies a 4×4 matrix to the pair `(q0, q1)` with `q0` as the most
+/// significant factor, matching the simulator and fusion conventions.
+fn apply_two(state: &mut [Complex], num_qubits: usize, m: &Mat4, q0: usize, q1: usize) {
+    let mask0 = 1usize << (num_qubits - 1 - q0);
+    let mask1 = 1usize << (num_qubits - 1 - q1);
+    for i in 0..state.len() {
+        if i & (mask0 | mask1) == 0 {
+            let idx = [i, i | mask1, i | mask0, i | mask0 | mask1];
+            let amps = [state[idx[0]], state[idx[1]], state[idx[2]], state[idx[3]]];
+            for (r, &out_index) in idx.iter().enumerate() {
+                let mut acc = Complex::ZERO;
+                for (c, &amp) in amps.iter().enumerate() {
+                    acc += m[(r, c)] * amp;
+                }
+                state[out_index] = acc;
+            }
+        }
+    }
+}
+
+/// `|⟨a|b⟩| / (‖a‖‖b‖)`: 1.0 iff the states coincide up to a global phase.
+fn state_overlap(a: &[Complex], b: &[Complex]) -> f64 {
+    let mut inner = Complex::ZERO;
+    let mut norm_a = 0.0;
+    let mut norm_b = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        inner += x.conj() * *y;
+        norm_a += x.norm_sqr();
+        norm_b += y.norm_sqr();
+    }
+    inner.norm() / (norm_a.sqrt() * norm_b.sqrt()).max(f64::MIN_POSITIVE)
+}
+
+/// All semantic kernel rules, in evaluation order.
+pub fn semantic_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(KernelUnitarity),
+        Box::new(KrausCompleteness),
+        Box::new(RngOrderAudit),
+        Box::new(FusionEquivalence),
+    ]
+}

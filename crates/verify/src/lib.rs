@@ -1,0 +1,60 @@
+//! Static analysis over circuits and compiled/precompiled artifacts.
+//!
+//! This crate proves compiled artifacts legal *before they run a single
+//! shot*. It sits below the compiler and the simulator in the dependency
+//! graph: both hand it neutral views of their intermediate state
+//! ([`StageSnapshot`] for pipeline stages, [`KernelArtifact`] for lowered
+//! kernel streams) and get back a [`VerifyReport`] of [`Diagnostic`]s.
+//!
+//! * [`diagnostic`] — severities, op-index spans, findings, and the flat-JSON
+//!   rendering shared with the server wire codec.
+//! * [`rule`] — the composable [`Rule`] trait, the [`Artifact`] the rules
+//!   inspect, and the [`Verifier`] driver.
+//! * [`stage`] — structural legality rules for the compilation pipeline
+//!   (bounds, post-routing coupling, post-decomposition instruction-set
+//!   conformance, layout bijections, swap/permutation consistency).
+//! * [`kernel`] — semantic rules for lowered simulation kernels (unitarity,
+//!   Kraus completeness, fused-vs-unfused equivalence, RNG draw-order audit).
+//!
+//! # Example
+//!
+//! ```
+//! use circuit::{Circuit, Operation};
+//! use device::DeviceModel;
+//! use qmath::RngSeed;
+//! use verify::{Artifact, Stage, StageSnapshot, Verifier};
+//!
+//! // A "routed" circuit with a two-qubit gate on an uncoupled pair.
+//! let device = DeviceModel::sycamore(RngSeed(1)).subdevice(&[0, 1, 2]);
+//! let mut c = Circuit::new(3);
+//! c.push(Operation::cz(0, 2)); // 0 and 2 are not adjacent on the line
+//! let layout = [0, 1, 2];
+//! let snapshot = StageSnapshot {
+//!     stage: Stage::SwapRoute,
+//!     circuit: &c,
+//!     region: &[0, 1, 2],
+//!     subdevice: Some(&device),
+//!     initial_layout: &layout,
+//!     final_layout: &layout,
+//!     swap_count: 0,
+//!     program_swap_count: 0,
+//!     instruction_set: None,
+//! };
+//! let report = Verifier::structural().run(&Artifact::Stage(&snapshot));
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics()[0].rule(), "route/coupling");
+//! assert_eq!(report.diagnostics()[0].span().unwrap().start, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(deprecated)]
+
+pub mod diagnostic;
+pub mod kernel;
+pub mod rule;
+pub mod stage;
+
+pub use diagnostic::{Diagnostic, Severity, Span, VerifyReport};
+pub use kernel::{ChannelKraus, ChannelView, KernelArtifact, KernelKind, KernelOp};
+pub use rule::{Artifact, Context, Rule, Verifier, VerifyLevel};
+pub use stage::{Stage, StageSnapshot};

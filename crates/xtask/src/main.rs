@@ -1,0 +1,185 @@
+//! Workspace automation tasks.
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # enforce the panic-hygiene ratchet
+//! cargo run -p xtask -- lint --bless    # rewrite lint-allow.txt to current counts
+//! ```
+//!
+//! `lint` counts `unwrap(`/`expect(`/`panic!(` in non-test library code and
+//! compares each file against the checked-in allowlist (`lint-allow.txt` at
+//! the workspace root). A file may only move *down*: any count above its
+//! allowance fails the build, pushing new code toward typed errors. Counts
+//! below the allowance are reported so the allowance can be ratcheted down
+//! with `--bless`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const ALLOWLIST: &str = "lint-allow.txt";
+const PATTERNS: [&str; 3] = ["unwrap(", "expect(", "panic!("];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--bless")),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--bless]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(bless: bool) -> ExitCode {
+    let root = workspace_root();
+    let counts = scan_workspace(&root);
+    let allow_path = root.join(ALLOWLIST);
+    if bless {
+        let mut out = String::from(
+            "# Panic-hygiene ratchet: `<count> <file>` pairs counting unwrap(/expect(/panic!(\n\
+             # in non-test library code. Counts may only decrease; regenerate with\n\
+             # `cargo run -p xtask -- lint --bless` after burning one down.\n",
+        );
+        for (file, count) in &counts {
+            out.push_str(&format!("{count} {file}\n"));
+        }
+        std::fs::write(&allow_path, out).expect("write allowlist");
+        eprintln!(
+            "xtask lint: blessed {} files, {} findings total",
+            counts.len(),
+            counts.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allowed = read_allowlist(&allow_path);
+    let mut regressions = Vec::new();
+    let mut slack = Vec::new();
+    for (file, &count) in &counts {
+        let budget = allowed.get(file).copied().unwrap_or(0);
+        if count > budget {
+            regressions.push(format!("{file}: {count} findings (allowance {budget})"));
+        } else if count < budget {
+            slack.push(format!("{file}: {count} findings (allowance {budget})"));
+        }
+    }
+    for (file, budget) in &allowed {
+        if !counts.contains_key(file) && *budget > 0 {
+            slack.push(format!("{file}: 0 findings (allowance {budget})"));
+        }
+    }
+
+    if !slack.is_empty() {
+        eprintln!("xtask lint: allowance slack (ratchet down with --bless):");
+        for line in &slack {
+            eprintln!("  {line}");
+        }
+    }
+    if regressions.is_empty() {
+        eprintln!(
+            "xtask lint: ok — {} findings across {} files, none over allowance",
+            counts.values().sum::<usize>(),
+            counts.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: panic-hygiene regressions (prefer typed errors):");
+        for line in &regressions {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Counts pattern hits per workspace-relative file, library code only: every
+/// `crates/*/src/**/*.rs` except binaries (`src/bin/`), this tool itself and
+/// anything from the first `#[cfg(test)]` marker onward (test modules sit at
+/// the end of files in this workspace).
+fn scan_workspace(root: &Path) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    let crates = root.join("crates");
+    let mut stack = vec![crates.clone()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = entry.file_name();
+                // Only descend into src/ trees; skip bin targets and xtask.
+                let is_crate_root = path.parent() == Some(crates.as_path());
+                let keep = if is_crate_root {
+                    name != "xtask"
+                } else {
+                    name != "bin" && path.components().any(|c| c.as_os_str() == "src")
+                        || name == "src"
+                };
+                if keep {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let count = count_findings(&path);
+                if count > 0 {
+                    let rel = path
+                        .strip_prefix(root)
+                        .unwrap_or(&path)
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    counts.insert(rel, count);
+                }
+            }
+        }
+    }
+    counts
+}
+
+fn count_findings(path: &Path) -> usize {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut count = 0;
+    for line in text.lines() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let code = line.split("//").next().unwrap_or(line);
+        count += PATTERNS
+            .iter()
+            .map(|p| code.matches(p).count())
+            .sum::<usize>();
+    }
+    count
+}
+
+fn read_allowlist(path: &Path) -> BTreeMap<String, usize> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!(
+            "xtask lint: missing {} — generate it with `cargo run -p xtask -- lint --bless`",
+            path.display()
+        );
+        return BTreeMap::new();
+    };
+    let mut allowed = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((count, file)) = line.split_once(' ') {
+            if let Ok(count) = count.parse::<usize>() {
+                allowed.insert(file.trim().to_string(), count);
+            }
+        }
+    }
+    allowed
+}
+
+/// The workspace root: this file lives at `crates/xtask/src/main.rs`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels under the workspace root")
+        .to_path_buf()
+}

@@ -35,7 +35,7 @@ fn multi_type_sets_match_or_beat_single_type_sets_on_average() {
         .collect();
     let multi =
         evaluate(&suite, &device, &InstructionSet::g(3), shots, RngSeed(3)).mean_estimated_fidelity;
-    let best_single = single.iter().cloned().fold(f64::MIN, f64::max);
+    let best_single = single.iter().copied().fold(f64::MIN, f64::max);
     assert!(
         multi >= best_single - 1e-6,
         "multi {multi} vs best single {best_single}"
