@@ -1,8 +1,10 @@
 //! Criterion benches for the statevector hot path at 20+ qubits: base-index
 //! amplitude sweeps vs the old full-scan loops, gate fusion vs unfused
-//! lowering (serial and with threaded sweeps), and cumulative-table
-//! measurement sampling vs the per-shot linear scan. Headline numbers are
-//! recorded in `BENCH_statevector.json` at the repository root.
+//! lowering (serial and with threaded sweeps), cumulative-table measurement
+//! sampling vs the per-shot linear scan, the noisy-trajectory fusion grid
+//! (`Off` / `Safe` / `Aggressive`), and the serial-vs-threaded sweep
+//! crossover used to calibrate `PARALLEL_SWEEP_MIN_QUBITS`. Headline numbers
+//! are recorded in `BENCH_statevector.json` at the repository root.
 
 use circuit::{Circuit, Operation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -172,10 +174,57 @@ fn bench_measurement_sampling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance workload: one noisy trajectory of the 20-qubit layered
+/// circuit under each fusion policy, with depolarizing noise on *every* gate
+/// (`bench::all_depolarizing_noise`) so `Safe` cannot fuse across any
+/// boundary while `Aggressive` composes channels. Distribution-identity of
+/// `Aggressive` against `Safe` on this workload shape is pinned by the TVD
+/// harness (`cargo run -p bench --bin tvd`).
+fn bench_noisy_trajectory_grid(c: &mut Criterion) {
+    let circuit = layered_circuit(NUM_QUBITS, 2);
+    let noise = bench::all_depolarizing_noise(NUM_QUBITS, 0.999, 0.95);
+    let mut group = c.benchmark_group("noisy_trajectory_20q");
+    group.sample_size(5);
+    for (label, policy) in [
+        ("off", FusionPolicy::Off),
+        ("safe", FusionPolicy::Safe),
+        ("aggressive", FusionPolicy::Aggressive),
+    ] {
+        let pre = PrecompiledCircuit::with_fusion(&circuit, &noise, policy);
+        group.bench_function(label, |b| {
+            b.iter(|| pre.run_trajectory(&mut RngSeed(11).rng()));
+        });
+    }
+    group.finish();
+}
+
+/// Serial vs 4-thread sweep at increasing register widths: the crossover
+/// point is what the `EngineBuilder::parallel_sweep_min_qubits` knob (default
+/// `PARALLEL_SWEEP_MIN_QUBITS`) should be calibrated to on a given host.
+fn bench_parallel_threshold_sweep(c: &mut Criterion) {
+    let h = gates::standard::h();
+    let mut group = c.benchmark_group("parallel_threshold_sweep");
+    group.sample_size(10);
+    for n in [12usize, 16, 18, 20] {
+        let state = scrambled_state(n, 1);
+        group.bench_with_input(BenchmarkId::new("serial_1q", n), &state, |b, state| {
+            let mut s = state.clone();
+            b.iter(|| s.apply_one_qubit(&h, n / 2));
+        });
+        group.bench_with_input(BenchmarkId::new("threaded4_1q", n), &state, |b, state| {
+            let mut s = state.clone();
+            b.iter(|| s.apply_one_qubit_threaded(&h, n / 2, 4));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_amplitude_sweep,
     bench_trajectory_grid,
-    bench_measurement_sampling
+    bench_measurement_sampling,
+    bench_noisy_trajectory_grid,
+    bench_parallel_threshold_sweep
 );
 criterion_main!(benches);

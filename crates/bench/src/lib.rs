@@ -239,6 +239,44 @@ pub struct BenchCircuit {
     pub expected_outcome: Option<usize>,
 }
 
+/// An all-depolarizing noise model for the fusion benchmarks and the TVD
+/// harness: every 1q gate carries a `depolarizing_1q(1 - one_qubit_fidelity)`
+/// channel and every 2q gate a `depolarizing_2q(1 - two_qubit_fidelity)`
+/// channel, with no relaxation (so channels stay exact unitary mixtures and
+/// the scaled-unitary fast path applies). With noise on *every* gate,
+/// `FusionPolicy::Safe` cannot fuse across any boundary while `Aggressive`
+/// conjugates the channels past the unitaries and composes them — the widest
+/// gap between the two policies, which is exactly what the
+/// `noisy_trajectory_20q` bench grid and `bin/tvd` measure.
+pub fn all_depolarizing_noise(
+    num_qubits: usize,
+    one_qubit_fidelity: f64,
+    two_qubit_fidelity: f64,
+) -> NoiseModel {
+    use device::{EdgeCalibration, GateDurations, QubitCalibration, Topology};
+    let mut topology = Topology::new(num_qubits);
+    for a in 0..num_qubits {
+        for b in (a + 1)..num_qubits {
+            topology.add_edge(a, b);
+        }
+    }
+    let mut edges = std::collections::BTreeMap::new();
+    for (a, b) in topology.edges() {
+        edges.insert((a, b), EdgeCalibration::new(two_qubit_fidelity));
+    }
+    let qubits = vec![QubitCalibration::new(1e6, 1e6, 0.0, one_qubit_fidelity); num_qubits];
+    let device = DeviceModel::new(
+        "all-depolarizing",
+        topology,
+        edges,
+        qubits,
+        GateDurations::default(),
+    );
+    let mut noise = NoiseModel::from_device(&device);
+    noise.with_relaxation = false;
+    noise
+}
+
 /// Builds the QV benchmark suite: `count` random `n`-qubit QV circuits.
 pub fn qv_suite(n: usize, count: usize, seed: RngSeed) -> Vec<BenchCircuit> {
     (0..count)

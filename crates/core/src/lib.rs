@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod decompose;
+pub mod gradient;
 pub mod noise_adaptive;
 pub mod pass;
 pub mod template;
@@ -53,6 +54,7 @@ pub use cache::{CacheKey, CachedDecomposition, DecompositionCache};
 pub use decompose::{
     decompose_approx, decompose_continuous, decompose_fixed, DecomposeConfig, Decomposition,
 };
+pub use gradient::hs_objective_gradient;
 pub use noise_adaptive::{decompose_with_gate_choice, GateChoice, HardwareGate};
 pub use pass::{HardwareFidelityProvider, NuOpPass, PassStats, UniformFidelity};
 pub use template::Template;

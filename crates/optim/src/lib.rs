@@ -30,8 +30,8 @@ pub mod bfgs;
 pub mod multistart;
 pub mod nelder_mead;
 
-pub use bfgs::{minimize_bfgs, BfgsOptions, OptimResult};
-pub use multistart::{multistart_minimize, MultistartOptions};
+pub use bfgs::{minimize_bfgs, minimize_bfgs_with_grad, BfgsOptions, OptimResult};
+pub use multistart::{multistart_minimize, multistart_minimize_with_grad, MultistartOptions};
 pub use nelder_mead::{minimize_nelder_mead, NelderMeadOptions};
 
 /// Central-difference numerical gradient of `f` at `x` with step `h`.

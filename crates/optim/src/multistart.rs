@@ -9,7 +9,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::bfgs::{minimize_bfgs, BfgsOptions, OptimResult};
+use crate::bfgs::{minimize_bfgs, minimize_bfgs_with_grad, BfgsOptions, OptimResult};
 
 /// Options controlling the multistart driver.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +58,47 @@ where
     F: Fn(&[f64]) -> f64 + ?Sized,
     R: Rng + ?Sized,
 {
+    multistart_with(&|start| minimize_bfgs(f, start, &opts.bfgs), x0, opts, rng)
+}
+
+/// Like [`multistart_minimize`], but every restart runs BFGS with the
+/// caller-supplied analytic gradient instead of central differences.
+///
+/// The restart points drawn from `rng` are identical to the numerical-gradient
+/// driver for the same seed, so the two variants explore the same basins and
+/// differ only in how each descent is steered.
+pub fn multistart_minimize_with_grad<F, G, R>(
+    f: &F,
+    grad: &G,
+    x0: &[f64],
+    opts: &MultistartOptions,
+    rng: &mut R,
+) -> OptimResult
+where
+    F: Fn(&[f64]) -> f64 + ?Sized,
+    G: Fn(&[f64]) -> Vec<f64> + ?Sized,
+    R: Rng + ?Sized,
+{
+    multistart_with(
+        &|start| minimize_bfgs_with_grad(f, grad, start, &opts.bfgs),
+        x0,
+        opts,
+        rng,
+    )
+}
+
+/// Shared restart loop: draws perturbed starts, runs `solve` on each, and
+/// keeps the best result with cumulative evaluation accounting.
+fn multistart_with<S, R>(
+    solve: &S,
+    x0: &[f64],
+    opts: &MultistartOptions,
+    rng: &mut R,
+) -> OptimResult
+where
+    S: Fn(&[f64]) -> OptimResult + ?Sized,
+    R: Rng + ?Sized,
+{
     assert!(opts.restarts >= 1, "multistart needs at least one start");
     let mut best: Option<OptimResult> = None;
     let mut total_evals = 0usize;
@@ -69,7 +110,7 @@ where
                 .map(|&v| v + rng.gen_range(-opts.spread..opts.spread))
                 .collect()
         };
-        let mut result = minimize_bfgs(f, &start, &opts.bfgs);
+        let mut result = solve(&start);
         total_evals += result.evaluations;
         result.evaluations = total_evals;
         let better = best.as_ref().is_none_or(|b| result.value < b.value);
@@ -102,6 +143,21 @@ mod tests {
             ..MultistartOptions::default()
         };
         let r = multistart_minimize(&f, &[5.0, 1.0], &opts, &mut rng);
+        assert!(r.value < 1e-4, "value = {}", r.value);
+        assert!(r.x[0].abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradient_variant_matches_numerical_multistart() {
+        let f = |x: &[f64]| (1.0 - x[0].cos()) + 0.3 * x[0].abs() + x[1] * x[1];
+        let g = |x: &[f64]| vec![x[0].sin() + 0.3 * x[0].signum(), 2.0 * x[1]];
+        let opts = MultistartOptions {
+            restarts: 8,
+            spread: 6.0,
+            ..MultistartOptions::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let r = multistart_minimize_with_grad(&f, &g, &[5.0, 1.0], &opts, &mut rng);
         assert!(r.value < 1e-4, "value = {}", r.value);
         assert!(r.x[0].abs() < 1e-2);
     }

@@ -116,6 +116,7 @@ fn request_mix(config: &Config) -> Vec<JobRequest> {
                         } else {
                             JobOp::Compile
                         },
+                        fusion: None,
                     });
                 }
             }

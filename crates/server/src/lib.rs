@@ -48,7 +48,7 @@
 //! let response = ticket.wait().unwrap();
 //! assert_eq!(response.sim.unwrap().shots, 128);
 //! # let _ = JobRequest { tenant: String::new(), set: String::new(),
-//! #     workload: WorkloadKind::Qv, qubits: 1, seed: 0, op: JobOp::Compile };
+//! #     workload: WorkloadKind::Qv, qubits: 1, seed: 0, op: JobOp::Compile, fusion: None };
 //! server.shutdown();
 //! ```
 

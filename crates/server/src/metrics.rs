@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use sim::FusionPolicy;
+
 /// Monotonic counters updated by the admission path and the workers. All
 /// updates are relaxed atomics: metrics tolerate being a moment stale, they
 /// must never contend with the jobs they measure.
@@ -18,6 +20,17 @@ pub struct ServerMetrics {
     pub(crate) simulate_nanos: AtomicU64,
     pub(crate) verify_errors: AtomicUsize,
     pub(crate) verify_warnings: AtomicUsize,
+    /// Simulate jobs per fusion policy, indexed by [`fusion_index`].
+    pub(crate) sim_by_fusion: [AtomicUsize; 3],
+}
+
+/// Stable index of a fusion policy in the per-policy counter arrays.
+pub(crate) fn fusion_index(policy: FusionPolicy) -> usize {
+    match policy {
+        FusionPolicy::Off => 0,
+        FusionPolicy::Safe => 1,
+        FusionPolicy::Aggressive => 2,
+    }
 }
 
 impl ServerMetrics {
@@ -26,10 +39,11 @@ impl ServerMetrics {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_simulate(&self, elapsed: Duration, shots: usize) {
+    pub(crate) fn record_simulate(&self, elapsed: Duration, shots: usize, policy: FusionPolicy) {
         self.simulate_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.shots_total.fetch_add(shots, Ordering::Relaxed);
+        self.sim_by_fusion[fusion_index(policy)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_verify(&self, diagnostics: &[verify::Diagnostic]) {
@@ -93,6 +107,12 @@ pub struct MetricsSnapshot {
     pub workers: usize,
     /// Measurement shots executed across all simulate jobs.
     pub shots_total: usize,
+    /// Simulate jobs that ran with `FusionPolicy::Off`.
+    pub sim_fusion_off: usize,
+    /// Simulate jobs that ran with `FusionPolicy::Safe`.
+    pub sim_fusion_safe: usize,
+    /// Simulate jobs that ran with `FusionPolicy::Aggressive`.
+    pub sim_fusion_aggressive: usize,
     /// Total wall-clock spent compiling, across all workers.
     pub compile_time: Duration,
     /// Total wall-clock spent simulating, across all workers.
@@ -124,6 +144,9 @@ impl MetricsSnapshot {
             queue_depth,
             workers,
             shots_total: metrics.shots_total.load(Ordering::Relaxed),
+            sim_fusion_off: metrics.sim_by_fusion[0].load(Ordering::Relaxed),
+            sim_fusion_safe: metrics.sim_by_fusion[1].load(Ordering::Relaxed),
+            sim_fusion_aggressive: metrics.sim_by_fusion[2].load(Ordering::Relaxed),
             compile_time: Duration::from_nanos(metrics.compile_nanos.load(Ordering::Relaxed)),
             simulate_time: Duration::from_nanos(metrics.simulate_nanos.load(Ordering::Relaxed)),
             verify_errors: metrics.verify_errors.load(Ordering::Relaxed),
@@ -145,6 +168,15 @@ impl MetricsSnapshot {
         out.push_str(&format!("  \"queue_depth\": {},\n", self.queue_depth));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"shots_total\": {},\n", self.shots_total));
+        out.push_str(&format!("  \"sim_fusion_off\": {},\n", self.sim_fusion_off));
+        out.push_str(&format!(
+            "  \"sim_fusion_safe\": {},\n",
+            self.sim_fusion_safe
+        ));
+        out.push_str(&format!(
+            "  \"sim_fusion_aggressive\": {},\n",
+            self.sim_fusion_aggressive
+        ));
         out.push_str(&format!(
             "  \"compile_micros\": {},\n",
             self.compile_time.as_micros()

@@ -14,10 +14,10 @@ use device::DeviceModel;
 use nuop_core::DecompositionCache;
 use parking_lot::Mutex;
 use qmath::RngSeed;
-use sim::{ExecutionEngine, NoiseModel, SimJob};
+use sim::{ExecutionEngine, FusionPolicy, NoiseModel, SimJob};
 
 use crate::error::ServerError;
-use crate::metrics::{MetricsSnapshot, ServerMetrics, TenantCacheStats};
+use crate::metrics::{fusion_index, MetricsSnapshot, ServerMetrics, TenantCacheStats};
 use crate::queue::{Scheduler, SubmitError};
 use crate::wire::{JobOp, JobRequest, JobResponse, SimSummary, WorkloadKind};
 
@@ -82,6 +82,10 @@ struct Shared {
     options: CompilerOptions,
     tenant_cache_capacity: usize,
     engine: ExecutionEngine,
+    /// Engine variants sharing the base engine's configuration but pinned to
+    /// one fusion policy each (indexed by [`fusion_index`]); serves requests
+    /// that name a policy on the wire.
+    fusion_engines: [ExecutionEngine; 3],
     validate: bool,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
     metrics: ServerMetrics,
@@ -135,6 +139,10 @@ impl Shared {
         let sim = match request.op {
             JobOp::Compile => None,
             JobOp::Simulate { shots } => {
+                let engine = match request.fusion {
+                    None => &self.engine,
+                    Some(policy) => &self.fusion_engines[fusion_index(policy)],
+                };
                 let noise = NoiseModel::from_device(&compiled.subdevice);
                 let job = SimJob::noisy(
                     compiled.circuit.clone(),
@@ -142,9 +150,12 @@ impl Shared {
                     shots,
                     RngSeed(request.seed),
                 );
-                let result = self.engine.run_job(&job);
-                self.metrics
-                    .record_simulate(result.report.total_duration(), shots);
+                let result = engine.run_job(&job);
+                self.metrics.record_simulate(
+                    result.report.total_duration(),
+                    shots,
+                    engine.fusion(),
+                );
                 if self.validate {
                     self.metrics.record_verify(&result.diagnostics);
                 }
@@ -152,6 +163,7 @@ impl Shared {
                     shots,
                     simulate_micros: result.report.total_duration().as_micros() as u64,
                     distinct_outcomes: result.counts.iter().filter(|(_, c)| *c > 0).count(),
+                    fusion: engine.fusion(),
                 })
             }
         };
@@ -243,6 +255,7 @@ impl JobTicket {
 ///         qubits: 3,
 ///         seed: 1,
 ///         op: JobOp::Compile,
+///         fusion: None,
 ///     })
 ///     .unwrap();
 /// let response = ticket.wait().unwrap();
@@ -508,12 +521,34 @@ impl ServerBuilder {
                 .build()
                 .expect("one thread and the default chunk size are a valid config")
         });
+        // One engine variant per fusion policy, inheriting every other knob
+        // from the base engine, so wire requests can pick their policy without
+        // the server rebuilding engines per job. A built engine's knobs are
+        // already a valid config, so the fallback arm is unreachable; it
+        // degrades to the base engine (and its policy) rather than panicking.
+        let fusion_engines = [
+            FusionPolicy::Off,
+            FusionPolicy::Safe,
+            FusionPolicy::Aggressive,
+        ]
+        .map(|policy| {
+            ExecutionEngine::builder()
+                .threads(engine.threads())
+                .shot_chunk_size(engine.shot_chunk_size())
+                .seed_policy(engine.seed_policy())
+                .fusion(policy)
+                .validate(engine.validate())
+                .parallel_sweep_min_qubits(engine.parallel_sweep_min_qubits())
+                .build()
+                .unwrap_or_else(|_| engine.clone())
+        });
         let shared = Arc::new(Shared {
             scheduler: Scheduler::new(self.workers, self.queue_capacity),
             device: self.device,
             options,
             tenant_cache_capacity: self.tenant_cache_capacity,
             engine,
+            fusion_engines,
             validate: self.validate,
             tenants: Mutex::new(HashMap::new()),
             metrics: ServerMetrics::default(),
@@ -551,6 +586,7 @@ mod tests {
             qubits: 3,
             seed,
             op: JobOp::Compile,
+            fusion: None,
         }
     }
 
@@ -648,6 +684,50 @@ mod tests {
         assert_eq!(metrics.verify_errors, 0);
         assert_eq!(metrics.verify_warnings, 0);
         assert!(server.metrics_json().contains("\"verify_errors\": 0"));
+    }
+
+    #[test]
+    fn wire_fusion_policy_selects_the_engine_and_shows_in_metrics() {
+        let server = test_server(2);
+        for (policy, expect) in [
+            (FusionPolicy::Off, "off"),
+            (FusionPolicy::Safe, "safe"),
+            (FusionPolicy::Aggressive, "aggressive"),
+        ] {
+            let ticket = server
+                .submit_request(JobRequest {
+                    op: JobOp::Simulate { shots: 32 },
+                    fusion: Some(policy),
+                    ..compile_request("f", 1)
+                })
+                .unwrap();
+            let response = ticket.wait().unwrap();
+            assert!(response
+                .encode()
+                .contains(&format!("\"fusion\":\"{expect}\"")));
+            let sim = response.sim.expect("simulate jobs report sampling stats");
+            assert_eq!(sim.fusion, policy);
+        }
+        let metrics = server.metrics();
+        assert_eq!(metrics.sim_fusion_off, 1);
+        assert_eq!(metrics.sim_fusion_safe, 1);
+        assert_eq!(metrics.sim_fusion_aggressive, 1);
+        assert!(server
+            .metrics_json()
+            .contains("\"sim_fusion_aggressive\": 1"));
+        // A request that leaves fusion unset runs on the server's base engine
+        // (Safe by default) and is counted under that policy.
+        let ticket = server
+            .submit_request(JobRequest {
+                op: JobOp::Simulate { shots: 16 },
+                ..compile_request("f", 2)
+            })
+            .unwrap();
+        assert_eq!(
+            ticket.wait().unwrap().sim.unwrap().fusion,
+            FusionPolicy::Safe
+        );
+        assert_eq!(server.metrics().sim_fusion_safe, 2);
     }
 
     #[test]

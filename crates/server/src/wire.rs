@@ -13,6 +13,27 @@
 //! mechanical change.
 
 use serde::{Deserialize, Serialize};
+use sim::FusionPolicy;
+
+/// Canonical wire spelling of a fusion policy.
+pub(crate) fn fusion_as_str(policy: FusionPolicy) -> &'static str {
+    match policy {
+        FusionPolicy::Off => "off",
+        FusionPolicy::Safe => "safe",
+        FusionPolicy::Aggressive => "aggressive",
+    }
+}
+
+fn fusion_from_str(text: &str) -> Result<FusionPolicy, WireError> {
+    match text {
+        "off" => Ok(FusionPolicy::Off),
+        "safe" => Ok(FusionPolicy::Safe),
+        "aggressive" => Ok(FusionPolicy::Aggressive),
+        other => Err(WireError::new(format!(
+            "unknown fusion {other:?} (expected \"off\", \"safe\" or \"aggressive\")"
+        ))),
+    }
+}
 
 /// What a job should do after compiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +81,10 @@ pub struct JobRequest {
     pub seed: u64,
     /// Compile only, or compile then simulate.
     pub op: JobOp,
+    /// Gate-fusion policy for the simulation engine. `None` uses the server's
+    /// configured engine unchanged; `Some` selects the engine variant running
+    /// that policy (`"off"`, `"safe"` or `"aggressive"` on the wire).
+    pub fusion: Option<FusionPolicy>,
 }
 
 impl JobRequest {
@@ -77,6 +102,9 @@ impl JobRequest {
                 push_str_field(&mut out, "op", "simulate");
                 push_num_field(&mut out, "shots", shots as u64);
             }
+        }
+        if let Some(policy) = self.fusion {
+            push_str_field(&mut out, "fusion", fusion_as_str(policy));
         }
         out.pop(); // trailing comma
         out.push('}');
@@ -113,6 +141,10 @@ impl JobRequest {
                 )))
             }
         };
+        let fusion = match fields.iter().find(|(k, _)| k == "fusion") {
+            None => None,
+            Some(_) => Some(fusion_from_str(require_str(&fields, "fusion")?)?),
+        };
         Ok(JobRequest {
             tenant,
             set,
@@ -120,6 +152,7 @@ impl JobRequest {
             qubits,
             seed,
             op,
+            fusion,
         })
     }
 }
@@ -134,6 +167,9 @@ pub struct SimSummary {
     /// Number of distinct measured outcomes (a cheap sanity statistic that
     /// does not bloat the wire with a full histogram).
     pub distinct_outcomes: usize,
+    /// Fusion policy the engine actually ran (the request's choice, or the
+    /// server engine's default when the request left it unset).
+    pub fusion: FusionPolicy,
 }
 
 /// What a completed job reports back.
@@ -172,6 +208,7 @@ impl JobResponse {
             push_num_field(&mut out, "shots", sim.shots as u64);
             push_num_field(&mut out, "simulate_micros", sim.simulate_micros);
             push_num_field(&mut out, "distinct_outcomes", sim.distinct_outcomes as u64);
+            push_str_field(&mut out, "fusion", fusion_as_str(sim.fusion));
         }
         out.pop();
         out.push('}');
@@ -229,7 +266,7 @@ fn parse_flat_object(text: &str) -> Result<Vec<(String, Value)>, WireError> {
     let mut chars = text.chars().peekable();
     let mut fields = Vec::new();
     skip_ws(&mut chars);
-    expect(&mut chars, '{')?;
+    expect_char(&mut chars, '{')?;
     skip_ws(&mut chars);
     if chars.peek() == Some(&'}') {
         chars.next();
@@ -239,7 +276,7 @@ fn parse_flat_object(text: &str) -> Result<Vec<(String, Value)>, WireError> {
         skip_ws(&mut chars);
         let key = parse_string(&mut chars)?;
         skip_ws(&mut chars);
-        expect(&mut chars, ':')?;
+        expect_char(&mut chars, ':')?;
         skip_ws(&mut chars);
         let value = match chars.peek() {
             Some('"') => Value::Str(parse_string(&mut chars)?),
@@ -284,7 +321,7 @@ fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
     }
 }
 
-fn expect(
+fn expect_char(
     chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
     want: char,
 ) -> Result<(), WireError> {
@@ -298,7 +335,7 @@ fn expect(
 }
 
 fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, WireError> {
-    expect(chars, '"')?;
+    expect_char(chars, '"')?;
     let mut out = String::new();
     for c in chars.by_ref() {
         match c {
@@ -312,8 +349,8 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<
 
 fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<u64, WireError> {
     let mut out = String::new();
-    while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
-        out.push(chars.next().expect("peeked digit"));
+    while let Some(c) = chars.next_if(|c| c.is_ascii_digit()) {
+        out.push(c);
     }
     out.parse()
         .map_err(|_| WireError::new(format!("integer {out:?} out of range")))
@@ -349,6 +386,7 @@ mod tests {
             qubits: 3,
             seed: 42,
             op: JobOp::Simulate { shots: 256 },
+            fusion: None,
         }
     }
 
@@ -365,6 +403,32 @@ mod tests {
             JobRequest::parse(&compile_only.encode()).unwrap(),
             compile_only
         );
+    }
+
+    #[test]
+    fn fusion_field_round_trips_and_defaults_to_unset() {
+        for policy in [
+            FusionPolicy::Off,
+            FusionPolicy::Safe,
+            FusionPolicy::Aggressive,
+        ] {
+            let req = JobRequest {
+                fusion: Some(policy),
+                ..sample()
+            };
+            let text = req.encode();
+            assert!(text.contains(&format!("\"fusion\":\"{}\"", fusion_as_str(policy))));
+            assert_eq!(JobRequest::parse(&text).unwrap(), req);
+        }
+        // Absent on the wire means "server's engine decides".
+        let req = sample();
+        assert!(!req.encode().contains("fusion"));
+        assert_eq!(JobRequest::parse(&req.encode()).unwrap().fusion, None);
+        // Unknown spellings are rejected with the reason.
+        let text = r#"{"tenant":"t","set":"G3","workload":"qv","qubits":3,"seed":1,
+                       "op":"compile","fusion":"turbo"}"#;
+        let err = JobRequest::parse(text).unwrap_err();
+        assert!(err.to_string().contains("unknown fusion"));
     }
 
     #[test]
@@ -421,12 +485,14 @@ mod tests {
                 shots: 256,
                 simulate_micros: 900,
                 distinct_outcomes: 8,
+                fusion: FusionPolicy::Aggressive,
             }),
         };
         let text = resp.encode();
         assert!(text.starts_with('{') && text.ends_with('}'));
         assert!(text.contains("\"two_qubit_gates\":12"));
         assert!(text.contains("\"shots\":256"));
+        assert!(text.contains("\"fusion\":\"aggressive\""));
         // Compile-only responses omit the simulation fields entirely.
         let compile_only = JobResponse { sim: None, ..resp };
         assert!(!compile_only.encode().contains("shots"));

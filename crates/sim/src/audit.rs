@@ -60,7 +60,11 @@ fn kernel_op(index: usize, op: &PrecompiledOp) -> KernelOp {
         },
         PrecompiledKind::Silent => KernelKind::Silent,
     };
-    let mut channels: Vec<ChannelView> = Vec::with_capacity(op.relaxation.len() + 1);
+    let mut channels: Vec<ChannelView> =
+        Vec::with_capacity(op.carried.len() + op.relaxation.len() + 1);
+    for carried in &op.carried {
+        channels.push(channel_view(carried));
+    }
     if let Some(depolarizing) = &op.depolarizing {
         channels.push(channel_view(depolarizing));
     }
@@ -94,8 +98,11 @@ impl PrecompiledCircuit {
     ///
     /// With `baseline` set to the unfused lowering of the same circuit, the
     /// fusion-preservation rules additionally prove that this (fused) stream
-    /// acts identically on a probe state and consumes RNG draws in exactly the
-    /// baseline's order. An empty report means the artifact is legal.
+    /// acts identically on a probe state and — under `FusionPolicy::Safe` —
+    /// consumes RNG draws in exactly the baseline's order. An
+    /// `Aggressive`-fused stream instead gets the `channel/composition` rule
+    /// (composed channels tightly trace-preserving, draw count never above
+    /// the baseline's). An empty report means the artifact is legal.
     pub fn verify_artifact(&self, baseline: Option<&PrecompiledCircuit>) -> VerifyReport {
         let ops = self.kernel_ops();
         let baseline_ops = baseline.map(PrecompiledCircuit::kernel_ops);
@@ -103,6 +110,7 @@ impl PrecompiledCircuit {
             num_qubits: self.num_qubits(),
             ops: &ops,
             baseline: baseline_ops.as_deref(),
+            rng_order_exact: self.fusion() != crate::precompiled::FusionPolicy::Aggressive,
         };
         Verifier::semantic().run(&Artifact::Kernels(&artifact))
     }
@@ -165,6 +173,7 @@ mod tests {
             num_qubits: fused.num_qubits(),
             ops: &ops,
             baseline: Some(&baseline_ops),
+            rng_order_exact: true,
         };
         let report = Verifier::semantic().run(&Artifact::Kernels(&artifact));
         let rules: Vec<&str> = report.diagnostics().iter().map(|d| d.rule()).collect();
@@ -215,6 +224,7 @@ mod tests {
             num_qubits: pre.num_qubits(),
             ops: &ops,
             baseline: None,
+            rng_order_exact: true,
         };
         let report = Verifier::semantic().run(&Artifact::Kernels(&artifact));
         let finding = report
@@ -250,6 +260,7 @@ mod tests {
             num_qubits: pre.num_qubits(),
             ops: &ops,
             baseline: Some(&baseline_ops),
+            rng_order_exact: true,
         };
         let report = Verifier::semantic().run(&Artifact::Kernels(&artifact));
         assert!(
@@ -259,6 +270,28 @@ mod tests {
                 .any(|d| d.rule() == "fusion/rng-order"),
             "{report:?}"
         );
+    }
+
+    #[test]
+    fn aggressive_fused_stream_verifies_with_the_composition_rule() {
+        let device = DeviceModel::aspen8(RngSeed(3));
+        let noise = NoiseModel::from_device(&device);
+        let fused =
+            PrecompiledCircuit::with_fusion(&layered_circuit(), &noise, FusionPolicy::Aggressive);
+        let baseline = PrecompiledCircuit::new(&layered_circuit(), &noise);
+        assert!(
+            fused.fused_ops() > 0,
+            "aggressive fusion must cross the calibration noise"
+        );
+        // The RNG stream legitimately differs from the baseline, so the
+        // rng-order audit must not fire; the composition rule and the
+        // equivalence spot check must both hold.
+        let report = fused.verify_artifact(Some(&baseline));
+        assert!(!report.has_errors(), "{report:?}");
+        assert!(report
+            .diagnostics()
+            .iter()
+            .all(|d| d.rule() != "fusion/rng-order"));
     }
 
     #[test]
@@ -273,6 +306,7 @@ mod tests {
             num_qubits: fused.num_qubits(),
             ops: &ops,
             baseline: Some(&baseline_ops),
+            rng_order_exact: true,
         };
         let verifier = Verifier::semantic().context(Context {
             equivalence_max_qubits: 1,

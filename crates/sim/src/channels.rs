@@ -10,8 +10,57 @@
 //! `KrausChannel<4>` for two-qubit ones), so sampling and applying Kraus
 //! operators in the trajectory inner loop never allocates per operator.
 
-use qmath::{Complex, Mat2, SmallMat};
+use qmath::{Complex, Mat2, Mat4, SmallMat};
 use serde::{Deserialize, Serialize};
+
+/// One branch of a probabilistic unitary mixture: with probability `weight`,
+/// apply `apply` (the identity when `None`).
+///
+/// Channels whose Kraus operators are all scaled unitaries (`K† K = λ I`) —
+/// depolarizing and pure-dephasing channels, and their compositions and
+/// unitary conjugations — admit a much cheaper trajectory step: the branch
+/// probabilities are state-independent, so one RNG draw picks a branch and a
+/// single in-place unitary applies it, with no probe clone or renormalization.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct UnitaryMixTerm<const N: usize> {
+    /// Probability of this branch; the weights of a mixture sum to 1.
+    pub weight: f64,
+    /// The unitary applied on this branch, or `None` for the identity.
+    pub apply: Option<SmallMat<N>>,
+}
+
+/// Detects whether every Kraus operator is a scaled unitary (`K† K = λ I`)
+/// and, if so, returns the equivalent probability-weighted unitary mixture.
+/// Exactly-zero operators become probability-zero branches and are dropped.
+fn detect_unitary_mix<const N: usize>(operators: &[SmallMat<N>]) -> Option<Vec<UnitaryMixTerm<N>>> {
+    let mut terms = Vec::with_capacity(operators.len());
+    for k in operators {
+        let gram = k.dagger() * *k;
+        let lambda = gram.trace().re / N as f64;
+        if lambda <= 1e-24 {
+            continue;
+        }
+        let scaled_identity = SmallMat::<N>::identity().scale(lambda);
+        if gram.max_abs_diff(&scaled_identity) > 1e-12 * lambda.max(1.0) {
+            return None;
+        }
+        let u = k.scale(1.0 / lambda.sqrt());
+        let apply = if u.approx_eq(&SmallMat::<N>::identity(), 1e-12) {
+            None
+        } else {
+            Some(u)
+        };
+        terms.push(UnitaryMixTerm {
+            weight: lambda,
+            apply,
+        });
+    }
+    if terms.is_empty() {
+        None
+    } else {
+        Some(terms)
+    }
+}
 
 /// A quantum channel as a list of `N`×`N` Kraus operators.
 ///
@@ -20,6 +69,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KrausChannel<const N: usize> {
     operators: Vec<SmallMat<N>>,
+    /// Cached scaled-unitary decomposition, recomputed on construction.
+    unitary_mix: Option<Vec<UnitaryMixTerm<N>>>,
 }
 
 /// A single-qubit (2×2) Kraus channel.
@@ -59,13 +110,20 @@ impl<const N: usize> KrausChannel<N> {
             sum.approx_eq(&SmallMat::<N>::identity(), 1e-6),
             "Kraus operators do not satisfy the completeness relation"
         );
-        KrausChannel { operators }
+        let unitary_mix = detect_unitary_mix(&operators);
+        KrausChannel {
+            operators,
+            unitary_mix,
+        }
     }
 
     /// The identity channel.
     pub fn identity() -> Self {
+        let operators = vec![SmallMat::identity()];
+        let unitary_mix = detect_unitary_mix(&operators);
         KrausChannel {
-            operators: vec![SmallMat::identity()],
+            operators,
+            unitary_mix,
         }
     }
 
@@ -85,14 +143,77 @@ impl<const N: usize> KrausChannel<N> {
     }
 
     /// Composes two channels acting on the same space: `other ∘ self`.
+    ///
+    /// Exactly-zero operator products (probability-zero branches, common when
+    /// one factor came from a zero-strength noise parameter) are pruned, so
+    /// composing identity-in-effect channels stays cheap under fusion.
     pub fn then(&self, other: &KrausChannel<N>) -> KrausChannel<N> {
         let mut ops = Vec::with_capacity(self.operators.len() * other.operators.len());
         for a in &other.operators {
             for b in &self.operators {
-                ops.push(*a * *b);
+                let prod = *a * *b;
+                if prod.frobenius_norm() == 0.0 {
+                    continue;
+                }
+                ops.push(prod);
             }
         }
         KrausChannel::new(ops)
+    }
+
+    /// Conjugates the channel by a unitary, mapping each Kraus operator `K`
+    /// to `U K U†`.
+    ///
+    /// This is the channel obtained by commuting this one past `U`: applying
+    /// the channel and then `U` is, in distribution, the same as applying `U`
+    /// and then the conjugated channel. Aggressive fusion uses this to carry
+    /// noise channels across fused unitary kernels.
+    pub fn conjugate_by(&self, u: &SmallMat<N>) -> KrausChannel<N> {
+        let ud = u.dagger();
+        KrausChannel::new(self.operators.iter().map(|k| *u * *k * ud).collect())
+    }
+
+    /// Scaled-unitary mixture view, when every operator satisfies `K†K = λI`.
+    pub(crate) fn unitary_mix(&self) -> Option<&[UnitaryMixTerm<N>]> {
+        self.unitary_mix.as_deref()
+    }
+}
+
+impl Kraus1q {
+    /// Embeds this single-qubit channel into two-qubit arity, acting on the
+    /// most-significant tensor factor (`K ↦ K ⊗ I`).
+    pub fn embed_msb(&self) -> Kraus2q {
+        KrausChannel::new(
+            self.operators
+                .iter()
+                .map(|k| k.kron(&Mat2::identity()))
+                .collect(),
+        )
+    }
+
+    /// Embeds this single-qubit channel into two-qubit arity, acting on the
+    /// least-significant tensor factor (`K ↦ I ⊗ K`).
+    pub fn embed_lsb(&self) -> Kraus2q {
+        KrausChannel::new(
+            self.operators
+                .iter()
+                .map(|k| Mat2::identity().kron(k))
+                .collect(),
+        )
+    }
+}
+
+impl Kraus2q {
+    /// Swaps the two tensor factors, re-expressing a channel on qubit pair
+    /// `(a, b)` as the same physical channel on `(b, a)`.
+    pub fn swap_factors(&self) -> Kraus2q {
+        const PERM: [usize; 4] = [0, 2, 1, 3];
+        KrausChannel::new(
+            self.operators
+                .iter()
+                .map(|k| Mat4::from_fn(|r, c| k[(PERM[r], PERM[c])]))
+                .collect(),
+        )
     }
 }
 
@@ -280,5 +401,59 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn invalid_probability_panics() {
         let _ = depolarizing_1q(1.5);
+    }
+
+    #[test]
+    fn depolarizing_and_dephasing_detect_as_unitary_mixtures() {
+        let mix = depolarizing_1q(0.3);
+        let terms = mix.unitary_mix().expect("depolarizing is a Pauli mixture");
+        let total: f64 = terms.iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(dephasing_kraus(0.2).unitary_mix().is_some());
+        assert!(depolarizing_2q(0.1).unitary_mix().is_some());
+        // The identity branch is recognized and stored without a matrix.
+        assert!(terms.iter().any(|t| t.apply.is_none()));
+    }
+
+    #[test]
+    fn amplitude_damping_is_not_a_unitary_mixture() {
+        assert!(amplitude_damping_kraus(0.3).unitary_mix().is_none());
+        assert!(thermal_relaxation(100.0, 20.0, 15.0)
+            .unitary_mix()
+            .is_none());
+    }
+
+    #[test]
+    fn conjugation_preserves_completeness_and_mixture_structure() {
+        let h = gates::standard::h();
+        let c = depolarizing_1q(0.2).conjugate_by(&h);
+        assert_eq!(c.operators().len(), 4);
+        assert!(c.unitary_mix().is_some());
+        // Conjugating amplitude damping also stays a valid channel.
+        let d = amplitude_damping_kraus(0.4).conjugate_by(&h);
+        assert_eq!(d.operators().len(), 2);
+    }
+
+    #[test]
+    fn embedding_into_two_qubit_arity_keeps_completeness() {
+        let c = depolarizing_1q(0.1);
+        let msb = c.embed_msb();
+        let lsb = c.embed_lsb();
+        assert_eq!(msb.dim(), 4);
+        assert_eq!(lsb.dim(), 4);
+        // Embedding a Pauli mixture is still a Pauli mixture.
+        assert!(msb.unitary_mix().is_some());
+        // X ⊗ I swaps under factor exchange to I ⊗ X.
+        let x_on_msb = KrausChannel::new(vec![gates::standard::x().kron(&Mat2::identity())]);
+        let swapped = x_on_msb.swap_factors();
+        let expected = Mat2::identity().kron(&gates::standard::x());
+        assert!(swapped.operators()[0].approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn zero_strength_composition_prunes_to_exact_identity() {
+        let id = thermal_relaxation(0.0, 20.0, 15.0);
+        assert_eq!(id.operators().len(), 1);
+        assert!(id.is_identity());
     }
 }

@@ -124,6 +124,16 @@ impl DensityMatrix {
                 }
                 PrecompiledKind::Silent => {}
             }
+            for carried in &op.carried {
+                match carried {
+                    AttachedChannel::One { channel, qubit } => {
+                        dm.apply_channel_1q(channel, *qubit);
+                    }
+                    AttachedChannel::Two { channel, q0, q1 } => {
+                        dm.apply_channel_2q(channel, *q0, *q1);
+                    }
+                }
+            }
             match &op.depolarizing {
                 Some(AttachedChannel::One { channel, qubit }) => {
                     dm.apply_channel_1q(channel, *qubit);

@@ -74,7 +74,7 @@ use serde::{Deserialize, Serialize};
 use crate::noise_model::NoiseModel;
 use crate::precompiled::{FusionPolicy, PrecompiledCircuit};
 use crate::runner::Counts;
-use crate::statevector::{MeasurementSampler, StateVector, PARALLEL_SWEEP_MIN_QUBITS};
+use crate::statevector::{MeasurementSampler, PARALLEL_SWEEP_MIN_QUBITS};
 
 /// Default number of shots per shard.
 ///
@@ -94,6 +94,9 @@ pub enum EngineConfigError {
     ZeroShotChunk,
     /// `threads(0)` was requested; the worker pool needs at least one thread.
     ZeroThreads,
+    /// `parallel_sweep_min_qubits(0)` was requested; a zero threshold would
+    /// claim even a one-qubit register is worth scoped sweep workers.
+    ZeroSweepThreshold,
 }
 
 impl std::fmt::Display for EngineConfigError {
@@ -104,6 +107,9 @@ impl std::fmt::Display for EngineConfigError {
             }
             EngineConfigError::ZeroThreads => {
                 write!(f, "worker thread count must be positive (got 0)")
+            }
+            EngineConfigError::ZeroSweepThreshold => {
+                write!(f, "parallel-sweep qubit threshold must be positive (got 0)")
             }
         }
     }
@@ -233,6 +239,7 @@ pub struct EngineBuilder {
     seed_policy: SeedPolicy,
     fusion: FusionPolicy,
     validate: bool,
+    parallel_sweep_min_qubits: usize,
 }
 
 impl EngineBuilder {
@@ -273,10 +280,27 @@ impl EngineBuilder {
     /// Enables validate-before-run (default off): every job's lowered circuit
     /// is statically verified before the shot loop — kernel unitarity, Kraus
     /// completeness, and, when fusion is on, equivalence and RNG-draw-order
-    /// fidelity against a freshly lowered unfused baseline. Findings land in
+    /// fidelity against a freshly lowered unfused baseline. Under
+    /// [`FusionPolicy::Aggressive`] (whose reordering makes counts
+    /// *distributionally* rather than bit-wise equal) an additional
+    /// statistical cross-check runs a small seed-derived sample under both
+    /// `Safe` and `Aggressive` lowering and holds their histograms to the
+    /// `fusion/tvd-bound` rule's analytic distance bound. Findings land in
     /// [`SimResult::diagnostics`]; they never abort the job.
     pub fn validate(mut self, on: bool) -> Self {
         self.validate = on;
+        self
+    }
+
+    /// Sets the register width (in qubits) at which the engine flips from
+    /// shot-parallel to amplitude-parallel scheduling (default
+    /// [`PARALLEL_SWEEP_MIN_QUBITS`]). Scheduling only — results are
+    /// bit-identical for any threshold. The `bench` crate's calibration sweep
+    /// measures the actual crossover on the host so deployments can pin an
+    /// empirically sized value. A zero threshold is rejected as
+    /// [`EngineConfigError::ZeroSweepThreshold`] at [`EngineBuilder::build`].
+    pub fn parallel_sweep_min_qubits(mut self, qubits: usize) -> Self {
+        self.parallel_sweep_min_qubits = qubits;
         self
     }
 
@@ -288,12 +312,16 @@ impl EngineBuilder {
         if self.threads == Some(0) {
             return Err(EngineConfigError::ZeroThreads);
         }
+        if self.parallel_sweep_min_qubits == 0 {
+            return Err(EngineConfigError::ZeroSweepThreshold);
+        }
         Ok(ExecutionEngine {
             threads: self.threads.unwrap_or_else(default_threads).max(1),
             shot_chunk_size: self.shot_chunk_size,
             seed_policy: self.seed_policy,
             fusion: self.fusion,
             validate: self.validate,
+            parallel_sweep_min_qubits: self.parallel_sweep_min_qubits,
         })
     }
 }
@@ -329,6 +357,7 @@ pub struct ExecutionEngine {
     seed_policy: SeedPolicy,
     fusion: FusionPolicy,
     validate: bool,
+    parallel_sweep_min_qubits: usize,
 }
 
 impl Default for ExecutionEngine {
@@ -354,6 +383,7 @@ impl ExecutionEngine {
             seed_policy: SeedPolicy::default(),
             fusion: FusionPolicy::default(),
             validate: false,
+            parallel_sweep_min_qubits: PARALLEL_SWEEP_MIN_QUBITS,
         }
     }
 
@@ -383,17 +413,34 @@ impl ExecutionEngine {
         self.validate
     }
 
+    /// The register width at which scheduling flips from shot-parallel to
+    /// amplitude-parallel (see [`EngineBuilder::parallel_sweep_min_qubits`]).
+    pub fn parallel_sweep_min_qubits(&self) -> usize {
+        self.parallel_sweep_min_qubits
+    }
+
     /// Runs a batch of jobs and returns one [`SimResult`] per job, in order.
     ///
     /// Each job is lowered once and its shot loop sharded across the worker
     /// pool; jobs run back to back so per-job wall-clock timings stay
-    /// meaningful.
+    /// meaningful. When consecutive jobs lower to the *same* noiseless
+    /// precompiled circuit (a common batch shape: one circuit swept over
+    /// seeds), the cached final state's measurement table is reused across
+    /// jobs — noiseless trajectories consume no randomness, so the table is
+    /// seed-independent and the reuse is exact.
     pub fn run_batch(&self, jobs: &[SimJob]) -> Vec<SimResult> {
-        jobs.iter().map(|job| self.run_job(job)).collect()
+        let mut cache: Option<NoiselessCache> = None;
+        jobs.iter()
+            .map(|job| self.run_job_cached(job, &mut cache))
+            .collect()
     }
 
     /// Runs a single job.
     pub fn run_job(&self, job: &SimJob) -> SimResult {
+        self.run_job_cached(job, &mut None)
+    }
+
+    fn run_job_cached(&self, job: &SimJob, cache: &mut Option<NoiselessCache>) -> SimResult {
         let started = Instant::now();
         let pre = match &job.noise {
             Some(noise) => PrecompiledCircuit::with_fusion(&job.circuit, noise, self.fusion),
@@ -404,20 +451,61 @@ impl ExecutionEngine {
             // under FusionPolicy::Off the lowered stream is its own baseline
             // and only the per-op rules (unitarity, completeness) apply.
             let baseline = match self.fusion {
-                FusionPolicy::Safe => Some(match &job.noise {
+                FusionPolicy::Safe | FusionPolicy::Aggressive => Some(match &job.noise {
                     Some(noise) => PrecompiledCircuit::new(&job.circuit, noise),
                     None => PrecompiledCircuit::ideal(&job.circuit),
                 }),
                 FusionPolicy::Off => None,
             };
-            pre.verify_artifact(baseline.as_ref()).into_diagnostics()
+            let mut out = pre.verify_artifact(baseline.as_ref()).into_diagnostics();
+            // Aggressive fusion reorders RNG draws, so counts are only
+            // *distributionally* equal to Safe — cross-check a small sample
+            // statistically instead of bit-wise.
+            if self.fusion == FusionPolicy::Aggressive {
+                out.extend(self.tvd_check(job, &pre));
+            }
+            out
         } else {
             Vec::new()
         };
         let precompile = started.elapsed();
-        let mut result = self.run_precompiled_timed(&pre, job.shots, job.seed, precompile);
+        let mut result = self.run_precompiled_cached(&pre, job.shots, job.seed, precompile, cache);
         result.diagnostics = diagnostics;
         result
+    }
+
+    /// The statistical half of Aggressive-fusion validation: runs a small
+    /// sample (at most [`TVD_CHECK_MAX_SHOTS`] shots, seeded off the job seed
+    /// so the check never perturbs the job's own stream) under both `Safe`
+    /// and `Aggressive` lowering and holds the two histograms to the
+    /// `fusion/tvd-bound` rule's analytic bound.
+    fn tvd_check(&self, job: &SimJob, aggressive: &PrecompiledCircuit) -> Vec<verify::Diagnostic> {
+        let shots = job.shots.min(TVD_CHECK_MAX_SHOTS);
+        let safe = match &job.noise {
+            Some(noise) => PrecompiledCircuit::with_fusion(&job.circuit, noise, FusionPolicy::Safe),
+            None => PrecompiledCircuit::ideal_with_fusion(&job.circuit, FusionPolicy::Safe),
+        };
+        let seed = job.seed.child(TVD_CHECK_SALT);
+        let counts_a: Vec<(usize, usize)> = self
+            .run_precompiled(&safe, shots, seed)
+            .counts
+            .iter()
+            .collect();
+        let counts_b: Vec<(usize, usize)> = self
+            .run_precompiled(aggressive, shots, seed)
+            .counts
+            .iter()
+            .collect();
+        let artifact = verify::DistributionArtifact {
+            num_qubits: aggressive.num_qubits(),
+            label_a: "safe-fusion sample",
+            label_b: "aggressive-fusion sample",
+            counts_a: &counts_a,
+            counts_b: &counts_b,
+        };
+        verify::Verifier::statistical()
+            .run(&verify::Artifact::Distributions(&artifact))
+            .into_diagnostics()
     }
 
     /// Runs `shots` shots of an already-lowered circuit. Use this to amortize
@@ -429,18 +517,19 @@ impl ExecutionEngine {
         shots: usize,
         seed: RngSeed,
     ) -> SimResult {
-        self.run_precompiled_timed(pre, shots, seed, Duration::ZERO)
+        self.run_precompiled_cached(pre, shots, seed, Duration::ZERO, &mut None)
     }
 
-    fn run_precompiled_timed(
+    fn run_precompiled_cached(
         &self,
         pre: &PrecompiledCircuit,
         shots: usize,
         seed: RngSeed,
         precompile: Duration,
+        cache: &mut Option<NoiselessCache>,
     ) -> SimResult {
         let started = Instant::now();
-        let (counts, shards, threads) = self.sample_shots(pre, shots, seed);
+        let (counts, shards, threads) = self.sample_shots(pre, shots, seed, cache);
         SimResult {
             counts,
             report: EngineReport {
@@ -461,6 +550,7 @@ impl ExecutionEngine {
         pre: &PrecompiledCircuit,
         shots: usize,
         seed: RngSeed,
+        cache: &mut Option<NoiselessCache>,
     ) -> (Counts, usize, usize) {
         let mut counts = Counts::new(pre.num_qubits());
         if shots == 0 {
@@ -471,12 +561,21 @@ impl ExecutionEngine {
         // Regime selection: below the sweep threshold the worker budget goes
         // to sharding shots; at or above it one trajectory dominates, so shots
         // run sequentially and the budget splits each amplitude sweep instead.
-        // Either way the result is bit-identical to the fully serial loop.
-        let amp_threads = if pre.num_qubits() >= PARALLEL_SWEEP_MIN_QUBITS {
-            self.threads
-        } else {
-            1
-        };
+        // The flip consults more than the qubit count: a *noisy* wide job on
+        // a host without real parallelism pays the per-sweep scoped-thread
+        // setup with nothing to run it on (the bench suite measured the
+        // "parallel" unfused sweep slower than serial there), and its channel
+        // probe work doesn't split across amplitudes at all — so it keeps
+        // shot sharding, which pays the spawn cost once per shard instead of
+        // once per sweep. Either way the result is bit-identical to the fully
+        // serial loop.
+        let wide = pre.num_qubits() >= self.parallel_sweep_min_qubits;
+        let amp_threads =
+            if wide && self.threads > 1 && (pre.is_noiseless() || default_threads() > 1) {
+                self.threads
+            } else {
+                1
+            };
         let workers = if amp_threads > 1 {
             1
         } else {
@@ -487,16 +586,28 @@ impl ExecutionEngine {
         // (via a cumulative table + binary search instead of a per-shot
         // linear scan). The per-shot/per-shard RNG draws are unchanged, which
         // keeps this fast path bit-identical to re-running the trajectory
-        // every shot.
-        let cached_state = if pre.is_noiseless() {
-            let mut rng = seed.rng();
-            Some(pre.run_trajectory_threaded(&mut rng, amp_threads))
+        // every shot. The table is cached across batch jobs that lower to the
+        // same circuit (it is seed-independent — no randomness is consumed
+        // building it).
+        if pre.is_noiseless() {
+            let hit = cache.as_ref().is_some_and(|c| c.pre == *pre);
+            if !hit {
+                let mut rng = seed.rng();
+                let state =
+                    pre.run_trajectory_with(&mut rng, amp_threads, self.parallel_sweep_min_qubits);
+                *cache = Some(NoiselessCache {
+                    pre: pre.clone(),
+                    sampler: state.measurement_sampler(),
+                });
+            }
+        }
+        let cached = if pre.is_noiseless() {
+            cache.as_ref().map(|c| &c.sampler)
         } else {
             None
         };
-        let sampler = cached_state.as_ref().map(StateVector::measurement_sampler);
         let policy = self.seed_policy;
-        let cached = sampler.as_ref();
+        let min_parallel = self.parallel_sweep_min_qubits;
         let run_shard = |shard: usize, local: &mut Counts| {
             let start = shard * chunk;
             let end = (start + chunk).min(shots);
@@ -504,13 +615,13 @@ impl ExecutionEngine {
                 SeedPolicy::PerShard => {
                     let mut rng = seed.child(shard as u64).rng();
                     for _ in start..end {
-                        local.record(sample_one(pre, cached, amp_threads, &mut rng));
+                        local.record(sample_one(pre, cached, amp_threads, min_parallel, &mut rng));
                     }
                 }
                 SeedPolicy::PerShot => {
                     for shot in start..end {
                         let mut rng = seed.child(shot as u64).rng();
-                        local.record(sample_one(pre, cached, amp_threads, &mut rng));
+                        local.record(sample_one(pre, cached, amp_threads, min_parallel, &mut rng));
                     }
                 }
             }
@@ -528,6 +639,24 @@ impl ExecutionEngine {
         }
         (counts, shards, workers)
     }
+}
+
+/// Maximum shot count of the Aggressive-validation statistical cross-check
+/// (see [`EngineBuilder::validate`]): enough mass for the `fusion/tvd-bound`
+/// marginals to be meaningful, small enough that validation stays a fraction
+/// of a production shot loop.
+const TVD_CHECK_MAX_SHOTS: usize = 512;
+
+/// Seed salt deriving the cross-check's RNG stream from the job seed, so the
+/// check never perturbs (or reuses) the job's own shard/shot streams.
+const TVD_CHECK_SALT: u64 = 0x7fd_c4ec;
+
+/// Batch-scoped reuse of the noiseless fast path's measurement table (see
+/// [`ExecutionEngine::run_batch`]): the lowered circuit the table was built
+/// from, and the table itself.
+struct NoiselessCache {
+    pre: PrecompiledCircuit,
+    sampler: MeasurementSampler,
 }
 
 /// Runs `shards` calls of `run_shard` over `workers` scoped threads pulling
@@ -592,6 +721,7 @@ fn sample_one<R: rand::Rng + ?Sized>(
     pre: &PrecompiledCircuit,
     cached: Option<&MeasurementSampler>,
     amp_threads: usize,
+    min_parallel_qubits: usize,
     rng: &mut R,
 ) -> usize {
     match cached {
@@ -599,7 +729,7 @@ fn sample_one<R: rand::Rng + ?Sized>(
             let outcome = sampler.sample(rng);
             pre.apply_readout_error(outcome, rng)
         }
-        None => pre.sample_shot_threaded(rng, amp_threads),
+        None => pre.sample_shot_with(rng, amp_threads, min_parallel_qubits),
     }
 }
 
@@ -779,9 +909,97 @@ mod tests {
             ExecutionEngine::builder().threads(0).build().err(),
             Some(EngineConfigError::ZeroThreads)
         );
+        assert_eq!(
+            ExecutionEngine::builder()
+                .parallel_sweep_min_qubits(0)
+                .build()
+                .err(),
+            Some(EngineConfigError::ZeroSweepThreshold)
+        );
         assert!(EngineConfigError::ZeroShotChunk.to_string().contains("0"));
         let err: &dyn std::error::Error = &EngineConfigError::ZeroThreads;
         assert!(err.to_string().contains("thread"));
+        assert!(EngineConfigError::ZeroSweepThreshold
+            .to_string()
+            .contains("threshold"));
+    }
+
+    #[test]
+    fn sweep_threshold_knob_is_scheduling_only() {
+        // Forcing the amplitude-parallel regime onto a tiny register (and the
+        // shot-parallel regime onto everything) must leave counts
+        // bit-identical — the knob only reschedules.
+        let job = noisy_job(300, 19);
+        let reference = engine_with(1).run_job(&job);
+        for threshold in [2usize, 64] {
+            let tuned = ExecutionEngine::builder()
+                .threads(4)
+                .parallel_sweep_min_qubits(threshold)
+                .build()
+                .unwrap();
+            assert_eq!(tuned.parallel_sweep_min_qubits(), threshold);
+            assert_eq!(
+                tuned.run_job(&job).counts,
+                reference.counts,
+                "threshold = {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_noiseless_jobs_reuse_the_sampler_cache_exactly() {
+        // A batch repeating the same ideal circuit under different seeds hits
+        // the cross-job sampler cache; results must match isolated runs bit
+        // for bit (the cached table is seed-independent).
+        let engine = engine_with(2);
+        let jobs: Vec<SimJob> = (0..4)
+            .map(|i| SimJob::ideal(bell_circuit(), 200, RngSeed(100 + i)))
+            .collect();
+        let batched = engine.run_batch(&jobs);
+        for (job, batched) in jobs.iter().zip(&batched) {
+            let isolated = engine.run_job(job);
+            assert_eq!(batched.counts, isolated.counts);
+        }
+        // A noisy job interleaved in the batch must not be served stale
+        // noiseless samples.
+        let mixed = vec![
+            SimJob::ideal(bell_circuit(), 150, RngSeed(7)),
+            noisy_job(150, 7),
+            SimJob::ideal(bell_circuit(), 150, RngSeed(8)),
+        ];
+        let results = engine.run_batch(&mixed);
+        for (job, result) in mixed.iter().zip(&results) {
+            assert_eq!(result.counts, engine.run_job(job).counts);
+        }
+    }
+
+    #[test]
+    fn aggressive_validation_reports_tvd_agreement() {
+        let device = DeviceModel::ideal(3, 0.98);
+        let mut circuit = Circuit::new(3);
+        circuit.push(Operation::h(0));
+        circuit.push(Operation::cnot(0, 1));
+        circuit.push(Operation::rx(2, 0.4));
+        circuit.push(Operation::cnot(1, 2));
+        circuit.measure_all();
+        let job = SimJob::noisy(circuit, NoiseModel::from_device(&device), 400, RngSeed(29));
+        let result = ExecutionEngine::builder()
+            .threads(2)
+            .fusion(FusionPolicy::Aggressive)
+            .validate(true)
+            .build()
+            .unwrap()
+            .run_job(&job);
+        assert!(!result.has_verify_errors(), "{:?}", result.diagnostics);
+        assert!(
+            result
+                .diagnostics
+                .iter()
+                .any(|d| d.rule() == "fusion/tvd-bound"),
+            "expected a tvd-bound finding: {:?}",
+            result.diagnostics
+        );
+        assert_eq!(result.counts.total(), 400);
     }
 
     #[test]

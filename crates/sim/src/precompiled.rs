@@ -30,12 +30,27 @@
 //! state sweeps into one, which is what keeps large-register simulation
 //! compute-bound instead of memory-bound.
 //!
-//! Fusion never crosses an RNG-consuming noise channel: an op can only be
-//! fused *into a later op* when its own attached channels are absent or
-//! identity (identity channels consume no randomness). On the ideal path all
-//! channels are empty, so fusion is unrestricted; on the noisy path
-//! trajectory semantics and the RNG consumption order are preserved exactly,
-//! which is what makes `Safe`-fused counts bit-identical to unfused runs.
+//! Under [`FusionPolicy::Safe`], fusion never crosses an RNG-consuming noise
+//! channel: an op can only be fused *into a later op* when its own attached
+//! channels are absent or identity (identity channels consume no randomness).
+//! On the ideal path all channels are empty, so fusion is unrestricted; on the
+//! noisy path trajectory semantics and the RNG consumption order are preserved
+//! exactly, which is what makes `Safe`-fused counts bit-identical to unfused
+//! runs.
+//!
+//! [`FusionPolicy::Aggressive`] additionally fuses *across* noise channels by
+//! carrying them forward: when an op with channels is absorbed into a later
+//! kernel `U`, each of its channels `{K_i}` is conjugated into `{U K_i U†}`
+//! and re-attached after the fused kernel. Conjugation commutes a channel past
+//! a unitary exactly — `‖U K U† (U|ψ⟩)‖ = ‖K|ψ⟩‖` for every operator, so both
+//! the per-branch probabilities and the post-branch states are unchanged — and
+//! adjacent carried channels on the same target are composed
+//! ([`KrausChannel::then`](crate::KrausChannel::then), completeness re-checked
+//! on construction) to bound the per-kernel channel count. Noisy circuits
+//! therefore fuse as deeply as ideal ones. The trade: the *number and order*
+//! of RNG draws changes, so Aggressive counts are not bit-identical to `Safe`
+//! counts — they are equal in distribution, which the `verify` crate's TVD
+//! harness checks statistically (see `verify::distribution`).
 //!
 //! Both the Monte-Carlo engine ([`crate::engine`]) and the exact
 //! density-matrix simulator ([`crate::DensityMatrix::evolve`]) consume the
@@ -53,6 +68,29 @@ use crate::statevector::StateVector;
 
 /// How aggressively [`PrecompiledCircuit`] coalesces adjacent ops into single
 /// kernels before simulation.
+///
+/// `Safe` keeps noisy counts bit-identical to the unfused lowering;
+/// `Aggressive` carries noise channels across fused kernels (conjugating their
+/// Kraus sets), trading bit-identity for distribution-identity so noisy
+/// circuits fuse as deeply as ideal ones:
+///
+/// ```
+/// use circuit::{Circuit, Operation};
+/// use device::DeviceModel;
+/// use qmath::RngSeed;
+/// use sim::{FusionPolicy, NoiseModel, PrecompiledCircuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Operation::h(0));
+/// c.push(Operation::cnot(0, 1));
+/// c.measure_all();
+/// let noise = NoiseModel::from_device(&DeviceModel::aspen8(RngSeed(1)));
+///
+/// let safe = PrecompiledCircuit::with_fusion(&c, &noise, FusionPolicy::Safe);
+/// let aggressive = PrecompiledCircuit::with_fusion(&c, &noise, FusionPolicy::Aggressive);
+/// assert_eq!(safe.fused_ops(), 0); // calibration noise blocks every Safe fusion
+/// assert_eq!(aggressive.fused_ops(), 1); // the H fuses across its noise into the CNOT
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum FusionPolicy {
     /// No fusion: one lowered op per circuit op (the pre-fusion behaviour).
@@ -63,6 +101,12 @@ pub enum FusionPolicy {
     /// is unrestricted fusion. The execution-engine default.
     #[default]
     Safe,
+    /// Fuse across noise channels by conjugating their Kraus sets past the
+    /// fused kernel and composing adjacent same-target channels. Counts are
+    /// equal to [`FusionPolicy::Safe`] in distribution but not bit-identical
+    /// (the RNG stream differs); the engine's `validate` mode checks the
+    /// equivalence statistically with a TVD bound instead of bit-identity.
+    Aggressive,
 }
 
 /// The unitary part of a lowered operation.
@@ -153,6 +197,12 @@ impl AttachedChannel {
 pub struct PrecompiledOp {
     /// The unitary kernel (or [`PrecompiledKind::Silent`]).
     pub kind: PrecompiledKind,
+    /// Channels carried forward from earlier ops by
+    /// [`FusionPolicy::Aggressive`], already conjugated past this op's kernel.
+    /// Applied directly after the kernel, before
+    /// [`depolarizing`](PrecompiledOp::depolarizing). Always empty under
+    /// [`FusionPolicy::Off`] and [`FusionPolicy::Safe`].
+    pub carried: Vec<AttachedChannel>,
     /// Depolarizing channel with its target qubits, `None` when noiseless.
     pub depolarizing: Option<AttachedChannel>,
     /// Per-qubit thermal-relaxation channels for the op's duration.
@@ -160,11 +210,13 @@ pub struct PrecompiledOp {
 }
 
 impl PrecompiledOp {
-    /// True when applying this op draws no randomness: its depolarizing
-    /// channel is absent or identity and every relaxation channel is identity.
-    /// Fusing a *later* op into such an op cannot disturb the RNG stream.
+    /// True when applying this op draws no randomness: its carried and
+    /// depolarizing channels are absent or identity and every relaxation
+    /// channel is identity. Fusing a *later* op into such an op cannot disturb
+    /// the RNG stream.
     fn consumes_no_rng(&self) -> bool {
-        self.depolarizing.as_ref().is_none_or(|c| c.is_identity())
+        self.carried.iter().all(|c| c.is_identity())
+            && self.depolarizing.as_ref().is_none_or(|c| c.is_identity())
             && self
                 .relaxation
                 .iter()
@@ -214,6 +266,7 @@ impl PrecompiledCircuit {
                 let op_noise = noise.noise_for(op);
                 PrecompiledOp {
                     kind: lower_kind(op),
+                    carried: Vec::new(),
                     depolarizing: op_noise
                         .depolarizing
                         .map(|c| AttachedChannel::from_arity(c, op.qubits())),
@@ -241,6 +294,7 @@ impl PrecompiledCircuit {
             .iter()
             .map(|op| PrecompiledOp {
                 kind: lower_kind(op),
+                carried: Vec::new(),
                 depolarizing: None,
                 relaxation: Vec::new(),
             })
@@ -259,7 +313,8 @@ impl PrecompiledCircuit {
     ) -> Self {
         let (ops, fused_ops) = match fusion {
             FusionPolicy::Off => (ops, 0),
-            FusionPolicy::Safe => fuse_ops(ops),
+            FusionPolicy::Safe => fuse_ops(ops, false),
+            FusionPolicy::Aggressive => fuse_ops(ops, true),
         };
         PrecompiledCircuit {
             num_qubits,
@@ -321,16 +376,39 @@ impl PrecompiledCircuit {
         rng: &mut R,
         threads: usize,
     ) -> StateVector {
+        self.run_trajectory_with(rng, threads, crate::statevector::PARALLEL_SWEEP_MIN_QUBITS)
+    }
+
+    /// [`run_trajectory_threaded`](PrecompiledCircuit::run_trajectory_threaded)
+    /// with an explicit parallel-sweep threshold (see
+    /// [`StateVector::apply_one_qubit_with`]). Scheduling only — bit-identical
+    /// for any `(threads, min_parallel_qubits)` pair.
+    pub fn run_trajectory_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        threads: usize,
+        min_parallel_qubits: usize,
+    ) -> StateVector {
         let mut state = StateVector::zero_state(self.num_qubits);
         for op in &self.ops {
             match &op.kind {
                 PrecompiledKind::Unitary1Q { matrix, qubit } => {
-                    state.apply_one_qubit_threaded(matrix, *qubit, threads);
+                    state.apply_one_qubit_with(matrix, *qubit, threads, min_parallel_qubits);
                 }
                 PrecompiledKind::Unitary2Q { matrix, q0, q1 } => {
-                    state.apply_two_qubit_threaded(matrix, *q0, *q1, threads);
+                    state.apply_two_qubit_with(matrix, *q0, *q1, threads, min_parallel_qubits);
                 }
                 PrecompiledKind::Silent => {}
+            }
+            for carried in &op.carried {
+                match carried {
+                    AttachedChannel::One { channel, qubit } => {
+                        apply_channel_1q(&mut state, channel, *qubit, rng);
+                    }
+                    AttachedChannel::Two { channel, q0, q1 } => {
+                        apply_channel_2q(&mut state, channel, *q0, *q1, rng);
+                    }
+                }
             }
             match &op.depolarizing {
                 Some(AttachedChannel::One { channel, qubit }) => {
@@ -360,7 +438,19 @@ impl PrecompiledCircuit {
     /// parallelism (same RNG stream, bit-identical outcome for any thread
     /// count).
     pub fn sample_shot_threaded<R: Rng + ?Sized>(&self, rng: &mut R, threads: usize) -> usize {
-        let state = self.run_trajectory_threaded(rng, threads);
+        self.sample_shot_with(rng, threads, crate::statevector::PARALLEL_SWEEP_MIN_QUBITS)
+    }
+
+    /// [`sample_shot_threaded`](PrecompiledCircuit::sample_shot_threaded) with
+    /// an explicit parallel-sweep threshold (scheduling only — bit-identical
+    /// for any `(threads, min_parallel_qubits)` pair).
+    pub fn sample_shot_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        threads: usize,
+        min_parallel_qubits: usize,
+    ) -> usize {
+        let state = self.run_trajectory_with(rng, threads, min_parallel_qubits);
         let outcome = state.sample_measurement(rng);
         self.apply_readout_error(outcome, rng)
     }
@@ -533,11 +623,14 @@ fn qubits_overlap(a: (QubitId, Option<QubitId>), b: (QubitId, Option<QubitId>)) 
 /// intersect `blocked` (or whose kernel shape cannot combine) is itself added
 /// to `blocked` and the scan continues deeper.
 ///
-/// The fused op keeps the *later* op's channels (the earlier op's identity
-/// channels are dropped — they consumed no RNG), so the channel application
-/// order of a trajectory is unchanged. Returns the fused list and the number
-/// of ops eliminated.
-fn fuse_ops(ops: Vec<PrecompiledOp>) -> (Vec<PrecompiledOp>, usize) {
+/// The fused op keeps the *later* op's channels (under `Safe` the earlier
+/// op's identity channels are dropped — they consumed no RNG), so the channel
+/// application order of a trajectory is unchanged. With `aggressive` set, the
+/// scan no longer stops at RNG-consuming ops: an absorbed op's real channels
+/// are conjugated past the absorbing kernel ([`carry_channels`]) and prepended
+/// to its carried list. Returns the fused list and the number of ops
+/// eliminated.
+fn fuse_ops(ops: Vec<PrecompiledOp>, aggressive: bool) -> (Vec<PrecompiledOp>, usize) {
     let mut out: Vec<PrecompiledOp> = Vec::with_capacity(ops.len());
     let mut fused = 0usize;
     for op in ops {
@@ -548,7 +641,7 @@ fn fuse_ops(ops: Vec<PrecompiledOp>) -> (Vec<PrecompiledOp>, usize) {
             let mut blocked: Vec<QubitId> = Vec::new();
             for i in (0..out.len()).rev() {
                 let prev = &out[i];
-                if !prev.consumes_no_rng() {
+                if !aggressive && !prev.consumes_no_rng() {
                     break 'retry;
                 }
                 let Some(prev_q) = kind_qubits(&prev.kind) else {
@@ -556,10 +649,17 @@ fn fuse_ops(ops: Vec<PrecompiledOp>) -> (Vec<PrecompiledOp>, usize) {
                 };
                 if qubits_overlap(cur_q, prev_q) && disjoint_from(&blocked, prev_q) {
                     if let Some(kind) = combine_kinds(&prev.kind, &cur.kind) {
-                        cur.kind = kind;
-                        out.remove(i);
-                        fused += 1;
-                        continue 'retry;
+                        // Conjugate the absorbed op's channels past `cur`'s
+                        // *pre-fusion* kernel — the unitary they now have to
+                        // cross — before committing to the fused kernel.
+                        if let Some(mut carried) = carry_channels(prev, &cur.kind) {
+                            cur.kind = kind;
+                            carried.append(&mut cur.carried);
+                            cur.carried = compress_carried(carried);
+                            out.remove(i);
+                            fused += 1;
+                            continue 'retry;
+                        }
                     }
                 }
                 blocked.push(prev_q.0);
@@ -579,7 +679,191 @@ fn fuse_ops(ops: Vec<PrecompiledOp>) -> (Vec<PrecompiledOp>, usize) {
     (out, fused)
 }
 
+/// Upper bound on the Kraus-operator count of a composed carried channel;
+/// adjacent same-target channels whose composition would exceed it stay
+/// separate (each then costs one RNG draw instead of one combined draw).
+const MAX_COMPOSED_KRAUS: usize = 64;
+
+/// The qubit set an attached channel acts on.
+fn attached_qubits(ch: &AttachedChannel) -> (QubitId, Option<QubitId>) {
+    match ch {
+        AttachedChannel::One { qubit, .. } => (*qubit, None),
+        AttachedChannel::Two { q0, q1, .. } => (*q0, Some(*q1)),
+    }
+}
+
+/// Collects `prev`'s real (non-identity) channels — carried, depolarizing,
+/// relaxation, in trajectory order — each conjugated past `cur_kind` so they
+/// can be re-attached after the fused kernel. `None` when some channel cannot
+/// be carried (the caller then declines the fusion).
+fn carry_channels(
+    prev: &PrecompiledOp,
+    cur_kind: &PrecompiledKind,
+) -> Option<Vec<AttachedChannel>> {
+    let own = prev
+        .depolarizing
+        .iter()
+        .cloned()
+        .chain(
+            prev.relaxation
+                .iter()
+                .map(|(q, channel)| AttachedChannel::One {
+                    channel: channel.clone(),
+                    qubit: *q,
+                }),
+        );
+    let mut carried = Vec::new();
+    for ch in prev.carried.iter().cloned().chain(own) {
+        if ch.is_identity() {
+            continue;
+        }
+        carried.push(carry_channel(ch, cur_kind)?);
+    }
+    Some(carried)
+}
+
+/// Conjugates one attached channel past the unitary kernel `cur_kind`,
+/// commuting it from before the kernel to after it. Channels on qubits
+/// disjoint from the kernel pass through unchanged; overlapping channels are
+/// conjugated by the kernel (1q channels are tensor-embedded into 2q arity
+/// first). `None` for the one uncarriable shape: a 2q channel partially
+/// overlapping a 2q kernel.
+fn carry_channel(ch: AttachedChannel, cur_kind: &PrecompiledKind) -> Option<AttachedChannel> {
+    match cur_kind {
+        PrecompiledKind::Unitary1Q { matrix, qubit } => Some(match ch {
+            AttachedChannel::One { channel, qubit: q } if q == *qubit => AttachedChannel::One {
+                channel: channel.conjugate_by(matrix),
+                qubit: q,
+            },
+            AttachedChannel::Two { channel, q0, q1 } if *qubit == q0 || *qubit == q1 => {
+                AttachedChannel::Two {
+                    channel: channel.conjugate_by(&embed_in_pair(matrix, *qubit, q0, q1)),
+                    q0,
+                    q1,
+                }
+            }
+            disjoint => disjoint,
+        }),
+        PrecompiledKind::Unitary2Q { matrix, q0, q1 } => match ch {
+            AttachedChannel::One { channel, qubit } if qubit == *q0 => Some(AttachedChannel::Two {
+                channel: channel.embed_msb().conjugate_by(matrix),
+                q0: *q0,
+                q1: *q1,
+            }),
+            AttachedChannel::One { channel, qubit } if qubit == *q1 => Some(AttachedChannel::Two {
+                channel: channel.embed_lsb().conjugate_by(matrix),
+                q0: *q0,
+                q1: *q1,
+            }),
+            AttachedChannel::Two {
+                channel,
+                q0: a,
+                q1: b,
+            } if (a, b) == (*q0, *q1) => Some(AttachedChannel::Two {
+                channel: channel.conjugate_by(matrix),
+                q0: a,
+                q1: b,
+            }),
+            AttachedChannel::Two {
+                channel,
+                q0: a,
+                q1: b,
+            } if (a, b) == (*q1, *q0) => Some(AttachedChannel::Two {
+                channel: channel.swap_factors().conjugate_by(matrix),
+                q0: *q0,
+                q1: *q1,
+            }),
+            AttachedChannel::Two { q0: a, q1: b, .. }
+                if qubits_overlap((a, Some(b)), (*q0, Some(*q1))) =>
+            {
+                None
+            }
+            disjoint => Some(disjoint),
+        },
+        // `combine_kinds` never fuses into a Silent op.
+        PrecompiledKind::Silent => None,
+    }
+}
+
+/// Composes adjacent same-target carried channels to bound the RNG draws per
+/// fused kernel. Each incoming channel scans backward across channels on
+/// disjoint qubits (which commute with it) for one on the same target; a
+/// merge is taken only while the composed Kraus set stays within
+/// [`MAX_COMPOSED_KRAUS`] operators.
+fn compress_carried(channels: Vec<AttachedChannel>) -> Vec<AttachedChannel> {
+    let mut out: Vec<AttachedChannel> = Vec::with_capacity(channels.len());
+    'next: for ch in channels {
+        for slot in out.iter_mut().rev() {
+            if let Some(merged) = merge_same_target(slot, &ch) {
+                *slot = merged;
+                continue 'next;
+            }
+            if qubits_overlap(attached_qubits(slot), attached_qubits(&ch)) {
+                break;
+            }
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Composes `later ∘ earlier` when both channels act on the same target
+/// (including a reversed 2q pair) and the composed operator count stays
+/// within [`MAX_COMPOSED_KRAUS`].
+fn merge_same_target(
+    earlier: &AttachedChannel,
+    later: &AttachedChannel,
+) -> Option<AttachedChannel> {
+    let fits = |a: usize, b: usize| a * b <= MAX_COMPOSED_KRAUS;
+    match (earlier, later) {
+        (
+            AttachedChannel::One { channel: a, qubit },
+            AttachedChannel::One {
+                channel: b,
+                qubit: qb,
+            },
+        ) if qubit == qb && fits(a.operators().len(), b.operators().len()) => {
+            Some(AttachedChannel::One {
+                channel: a.then(b),
+                qubit: *qubit,
+            })
+        }
+        (
+            AttachedChannel::Two { channel: a, q0, q1 },
+            AttachedChannel::Two {
+                channel: b,
+                q0: b0,
+                q1: b1,
+            },
+        ) if fits(a.operators().len(), b.operators().len()) => {
+            if (b0, b1) == (q0, q1) {
+                Some(AttachedChannel::Two {
+                    channel: a.then(b),
+                    q0: *q0,
+                    q1: *q1,
+                })
+            } else if (b0, b1) == (q1, q0) {
+                Some(AttachedChannel::Two {
+                    channel: a.then(&b.swap_factors()),
+                    q0: *q0,
+                    q1: *q1,
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
 /// Samples and applies one Kraus operator of a single-qubit channel.
+///
+/// Channels that are probabilistic unitary mixtures (`K†K = λI` for every
+/// operator — depolarizing, dephasing, and their fused compositions) take a
+/// fast path: the branch probabilities are state-independent, so one draw
+/// picks a branch and at most one in-place sweep applies it, with no per-probe
+/// state clone or renormalization. General channels fall back to the exact
+/// probe loop.
 pub(crate) fn apply_channel_1q<R: Rng + ?Sized>(
     state: &mut StateVector,
     channel: &Kraus1q,
@@ -590,6 +874,19 @@ pub(crate) fn apply_channel_1q<R: Rng + ?Sized>(
         return;
     }
     let mut r: f64 = rng.gen_range(0.0..1.0);
+    if let Some(mix) = channel.unitary_mix() {
+        let last = mix.len() - 1;
+        for (i, term) in mix.iter().enumerate() {
+            if r < term.weight || i == last {
+                if let Some(u) = &term.apply {
+                    state.apply_one_qubit(u, q);
+                }
+                return;
+            }
+            r -= term.weight;
+        }
+        return;
+    }
     let last = channel.operators().len() - 1;
     for (i, k) in channel.operators().iter().enumerate() {
         let mut probe = state.clone();
@@ -606,7 +903,8 @@ pub(crate) fn apply_channel_1q<R: Rng + ?Sized>(
     }
 }
 
-/// Samples and applies one Kraus operator of a two-qubit channel.
+/// Samples and applies one Kraus operator of a two-qubit channel (same
+/// unitary-mixture fast path as [`apply_channel_1q`]).
 pub(crate) fn apply_channel_2q<R: Rng + ?Sized>(
     state: &mut StateVector,
     channel: &Kraus2q,
@@ -618,6 +916,19 @@ pub(crate) fn apply_channel_2q<R: Rng + ?Sized>(
         return;
     }
     let mut r: f64 = rng.gen_range(0.0..1.0);
+    if let Some(mix) = channel.unitary_mix() {
+        let last = mix.len() - 1;
+        for (i, term) in mix.iter().enumerate() {
+            if r < term.weight || i == last {
+                if let Some(u) = &term.apply {
+                    state.apply_two_qubit(u, q0, q1);
+                }
+                return;
+            }
+            r -= term.weight;
+        }
+        return;
+    }
     let last = channel.operators().len() - 1;
     for (i, k) in channel.operators().iter().enumerate() {
         let mut probe = state.clone();

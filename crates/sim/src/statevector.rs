@@ -9,10 +9,28 @@
 //! [`apply_one_qubit_threaded`](StateVector::apply_one_qubit_threaded) /
 //! [`apply_two_qubit_threaded`](StateVector::apply_two_qubit_threaded)
 //! variants additionally split that base-index space across scoped worker
-//! threads. Every base index owns a disjoint set of amplitudes and each
+//! threads (the [`apply_one_qubit_with`](StateVector::apply_one_qubit_with) /
+//! [`apply_two_qubit_with`](StateVector::apply_two_qubit_with) variants take
+//! the threshold as a parameter so the engine can expose it as a tuning
+//! knob). Every base index owns a disjoint set of amplitudes and each
 //! amplitude's update is computed from the same inputs with the same
 //! arithmetic regardless of the split, so results are **bit-identical for any
 //! thread count**.
+//!
+//! # Split-complex inner blocks
+//!
+//! Within a contiguous run of base indices the inner loop processes
+//! fixed-width blocks ([`LANES_1Q`] pairs / [`LANES_2Q`] quadruples) through
+//! stack-local *split-complex* scratch: amplitudes are deinterleaved into
+//! separate re/im `f64` arrays, updated with lane-indexed loops over plain
+//! doubles, and reinterleaved. The interleaved `Vec<Complex>` layout is great
+//! for cache locality but hides the data parallelism from the
+//! autovectorizer (each `Complex` multiply mixes re/im lanes); the
+//! split-complex blocks expose straight-line same-shape arithmetic across
+//! lanes instead. Every lane evaluates the **same floating-point expression
+//! tree** as the scalar `Complex` operators (`(re·re − im·im)` then
+//! left-associated additions), so the restructuring is bit-identical to the
+//! scalar tail that handles run remainders.
 
 use std::ops::Range;
 
@@ -26,6 +44,101 @@ use serde::{Deserialize, Serialize};
 /// scoped-thread setup costs more than the sweep itself and the state is
 /// updated serially regardless of the requested thread count.
 pub const PARALLEL_SWEEP_MIN_QUBITS: usize = 14;
+
+/// Amplitude *pairs* per split-complex block of a one-qubit sweep (16
+/// doubles of input — two AVX-512 registers or four AVX2 registers per
+/// re/im stream, comfortably inside the 16-register x86-64 budget).
+pub const LANES_1Q: usize = 8;
+
+/// Amplitude *quadruples* per split-complex block of a two-qubit sweep (the
+/// 4×4 kernel touches four input streams, so half the width of the one-qubit
+/// block keeps the live scratch within the register budget).
+pub const LANES_2Q: usize = 4;
+
+/// One split-complex block of a one-qubit sweep: applies the 2×2 kernel
+/// `[[m00, m01], [m10, m11]]` to the [`LANES_1Q`] amplitude pairs starting at
+/// `(pa, pb)`. Bit-identical to the scalar `m00 * a0 + m01 * a1` /
+/// `m10 * a0 + m11 * a1` updates (see the module docs).
+///
+/// SAFETY: `pa` and `pb` must each point at `LANES_1Q` valid amplitudes and
+/// the two streams must not overlap.
+#[inline(always)]
+unsafe fn one_qubit_block(
+    pa: *mut Complex,
+    pb: *mut Complex,
+    m00: Complex,
+    m01: Complex,
+    m10: Complex,
+    m11: Complex,
+) {
+    let mut ar = [0.0f64; LANES_1Q];
+    let mut ai = [0.0f64; LANES_1Q];
+    let mut br = [0.0f64; LANES_1Q];
+    let mut bi = [0.0f64; LANES_1Q];
+    for l in 0..LANES_1Q {
+        let a = *pa.add(l);
+        ar[l] = a.re;
+        ai[l] = a.im;
+        let b = *pb.add(l);
+        br[l] = b.re;
+        bi[l] = b.im;
+    }
+    let mut o0r = [0.0f64; LANES_1Q];
+    let mut o0i = [0.0f64; LANES_1Q];
+    let mut o1r = [0.0f64; LANES_1Q];
+    let mut o1i = [0.0f64; LANES_1Q];
+    for l in 0..LANES_1Q {
+        o0r[l] = (m00.re * ar[l] - m00.im * ai[l]) + (m01.re * br[l] - m01.im * bi[l]);
+        o0i[l] = (m00.re * ai[l] + m00.im * ar[l]) + (m01.re * bi[l] + m01.im * br[l]);
+        o1r[l] = (m10.re * ar[l] - m10.im * ai[l]) + (m11.re * br[l] - m11.im * bi[l]);
+        o1i[l] = (m10.re * ai[l] + m10.im * ar[l]) + (m11.re * bi[l] + m11.im * br[l]);
+    }
+    for l in 0..LANES_1Q {
+        *pa.add(l) = Complex::new(o0r[l], o0i[l]);
+        *pb.add(l) = Complex::new(o1r[l], o1i[l]);
+    }
+}
+
+/// One split-complex block of a two-qubit sweep: applies the 4×4 kernel `m`
+/// to the [`LANES_2Q`] amplitude quadruples starting at the four stream
+/// pointers `p` (basis order `|00⟩, |01⟩, |10⟩, |11⟩` of the target pair).
+/// Bit-identical to the scalar four-term row updates (left-associated
+/// additions — see the module docs).
+///
+/// SAFETY: each stream must point at `LANES_2Q` valid amplitudes and the four
+/// streams must be pairwise disjoint.
+#[inline(always)]
+unsafe fn two_qubit_block(p: [*mut Complex; 4], m: &Mat4) {
+    let mut re = [[0.0f64; LANES_2Q]; 4];
+    let mut im = [[0.0f64; LANES_2Q]; 4];
+    for s in 0..4 {
+        for l in 0..LANES_2Q {
+            let a = *p[s].add(l);
+            re[s][l] = a.re;
+            im[s][l] = a.im;
+        }
+    }
+    let mut out_re = [[0.0f64; LANES_2Q]; 4];
+    let mut out_im = [[0.0f64; LANES_2Q]; 4];
+    for r in 0..4 {
+        let (m0, m1, m2, m3) = (m[(r, 0)], m[(r, 1)], m[(r, 2)], m[(r, 3)]);
+        for l in 0..LANES_2Q {
+            out_re[r][l] = (m0.re * re[0][l] - m0.im * im[0][l])
+                + (m1.re * re[1][l] - m1.im * im[1][l])
+                + (m2.re * re[2][l] - m2.im * im[2][l])
+                + (m3.re * re[3][l] - m3.im * im[3][l]);
+            out_im[r][l] = (m0.re * im[0][l] + m0.im * re[0][l])
+                + (m1.re * im[1][l] + m1.im * re[1][l])
+                + (m2.re * im[2][l] + m2.im * re[2][l])
+                + (m3.re * im[3][l] + m3.im * re[3][l]);
+        }
+    }
+    for s in 0..4 {
+        for l in 0..LANES_2Q {
+            *p[s].add(l) = Complex::new(out_re[s][l], out_im[s][l]);
+        }
+    }
+}
 
 /// Returns `k` with a zero bit inserted at position `shift`: bits below
 /// `shift` stay in place, bits at and above it move up by one. Enumerates the
@@ -61,16 +174,17 @@ unsafe impl Sync for AmpCursor {}
 
 /// Runs `kernel` over `0..base_count`, split into contiguous chunks across at
 /// most `threads` scoped workers. Serial when the register is below
-/// [`PARALLEL_SWEEP_MIN_QUBITS`] or only one worker is requested; the kernel
-/// performs identical per-index arithmetic either way.
+/// `min_parallel_qubits` or only one worker is requested; the kernel performs
+/// identical per-index arithmetic either way.
 fn run_sweep(
     base_count: usize,
     num_qubits: usize,
     threads: usize,
+    min_parallel_qubits: usize,
     kernel: impl Fn(Range<usize>) + Sync,
 ) {
     let workers = threads.max(1).min(base_count.max(1));
-    if workers <= 1 || num_qubits < PARALLEL_SWEEP_MIN_QUBITS {
+    if workers <= 1 || num_qubits < min_parallel_qubits {
         kernel(0..base_count);
         return;
     }
@@ -182,6 +296,24 @@ impl StateVector {
     /// # Panics
     /// Panics if `q` is out of range.
     pub fn apply_one_qubit_threaded(&mut self, m: &Mat2, q: QubitId, threads: usize) {
+        self.apply_one_qubit_with(m, q, threads, PARALLEL_SWEEP_MIN_QUBITS);
+    }
+
+    /// [`apply_one_qubit_threaded`](StateVector::apply_one_qubit_threaded)
+    /// with an explicit parallel-sweep threshold: registers below
+    /// `min_parallel_qubits` stay serial regardless of `threads`. The engine
+    /// exposes this as a tuning knob; the threshold only affects scheduling,
+    /// never the result.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    pub fn apply_one_qubit_with(
+        &mut self,
+        m: &Mat2,
+        q: QubitId,
+        threads: usize,
+        min_parallel_qubits: usize,
+    ) {
         assert!(q < self.num_qubits, "qubit out of range");
         let shift = self.num_qubits - 1 - q;
         let mask = 1usize << shift;
@@ -192,8 +324,9 @@ impl StateVector {
             let amps = cursor.ptr();
             // Walk the range in contiguous runs: base indices whose low bits
             // (below `shift`) increment without carrying map to consecutive
-            // amplitude indices, so the inner loop is a straight pointer walk
-            // the compiler can unroll and vectorize.
+            // amplitude indices, so both partner streams are straight pointer
+            // walks (`(i0 + o) | mask == (i0 | mask) + o` while `o` stays
+            // inside the run).
             let mut k = range.start;
             while k < range.end {
                 let run = (mask - (k & (mask - 1))).min(range.end - k);
@@ -201,19 +334,26 @@ impl StateVector {
                 // SAFETY: distinct base indices map to distinct (i, j) pairs
                 // and workers own disjoint base-index ranges (see AmpCursor).
                 unsafe {
-                    for o in 0..run {
-                        let i = i0 + o;
-                        let j = i | mask;
-                        let a0 = *amps.add(i);
-                        let a1 = *amps.add(j);
-                        *amps.add(i) = m00 * a0 + m01 * a1;
-                        *amps.add(j) = m10 * a0 + m11 * a1;
+                    let pa = amps.add(i0);
+                    let pb = amps.add(i0 | mask);
+                    let mut o = 0usize;
+                    while o + LANES_1Q <= run {
+                        one_qubit_block(pa.add(o), pb.add(o), m00, m01, m10, m11);
+                        o += LANES_1Q;
+                    }
+                    // Scalar tail for the run remainder (identical arithmetic
+                    // to the block — see the module docs).
+                    for t in o..run {
+                        let a0 = *pa.add(t);
+                        let a1 = *pb.add(t);
+                        *pa.add(t) = m00 * a0 + m01 * a1;
+                        *pb.add(t) = m10 * a0 + m11 * a1;
                     }
                 }
                 k += run;
             }
         };
-        run_sweep(half, self.num_qubits, threads, kernel);
+        run_sweep(half, self.num_qubits, threads, min_parallel_qubits, kernel);
     }
 
     /// Applies a 4×4 unitary (or Kraus operator) to qubits `(q0, q1)` in place;
@@ -234,6 +374,23 @@ impl StateVector {
     /// # Panics
     /// Panics if the qubits are out of range or equal.
     pub fn apply_two_qubit_threaded(&mut self, m: &Mat4, q0: QubitId, q1: QubitId, threads: usize) {
+        self.apply_two_qubit_with(m, q0, q1, threads, PARALLEL_SWEEP_MIN_QUBITS);
+    }
+
+    /// [`apply_two_qubit_threaded`](StateVector::apply_two_qubit_threaded)
+    /// with an explicit parallel-sweep threshold (see
+    /// [`apply_one_qubit_with`](StateVector::apply_one_qubit_with)).
+    ///
+    /// # Panics
+    /// Panics if the qubits are out of range or equal.
+    pub fn apply_two_qubit_with(
+        &mut self,
+        m: &Mat4,
+        q0: QubitId,
+        q1: QubitId,
+        threads: usize,
+        min_parallel_qubits: usize,
+    ) {
         assert!(
             q0 < self.num_qubits && q1 < self.num_qubits,
             "qubit out of range"
@@ -261,31 +418,47 @@ impl StateVector {
                 let base = insert_zero_bit(insert_zero_bit(k, lo), hi);
                 // SAFETY: distinct base indices map to distinct index
                 // quadruples and workers own disjoint base-index ranges (see
-                // AmpCursor).
+                // AmpCursor). Within a run all four partner streams advance
+                // by one per step, so they are straight pointer walks.
                 unsafe {
-                    for o in 0..run {
-                        let i00 = base + o;
-                        let i01 = i00 | mask1;
-                        let i10 = i00 | mask0;
-                        let i11 = i00 | mask0 | mask1;
-                        let a0 = *amps.add(i00);
-                        let a1 = *amps.add(i01);
-                        let a2 = *amps.add(i10);
-                        let a3 = *amps.add(i11);
-                        *amps.add(i00) =
+                    let p = [
+                        amps.add(base),
+                        amps.add(base | mask1),
+                        amps.add(base | mask0),
+                        amps.add(base | mask0 | mask1),
+                    ];
+                    let mut o = 0usize;
+                    while o + LANES_2Q <= run {
+                        two_qubit_block([p[0].add(o), p[1].add(o), p[2].add(o), p[3].add(o)], &m);
+                        o += LANES_2Q;
+                    }
+                    // Scalar tail for the run remainder (identical arithmetic
+                    // to the block — see the module docs).
+                    for t in o..run {
+                        let a0 = *p[0].add(t);
+                        let a1 = *p[1].add(t);
+                        let a2 = *p[2].add(t);
+                        let a3 = *p[3].add(t);
+                        *p[0].add(t) =
                             m[(0, 0)] * a0 + m[(0, 1)] * a1 + m[(0, 2)] * a2 + m[(0, 3)] * a3;
-                        *amps.add(i01) =
+                        *p[1].add(t) =
                             m[(1, 0)] * a0 + m[(1, 1)] * a1 + m[(1, 2)] * a2 + m[(1, 3)] * a3;
-                        *amps.add(i10) =
+                        *p[2].add(t) =
                             m[(2, 0)] * a0 + m[(2, 1)] * a1 + m[(2, 2)] * a2 + m[(2, 3)] * a3;
-                        *amps.add(i11) =
+                        *p[3].add(t) =
                             m[(3, 0)] * a0 + m[(3, 1)] * a1 + m[(3, 2)] * a2 + m[(3, 3)] * a3;
                     }
                 }
                 k += run;
             }
         };
-        run_sweep(quarter, self.num_qubits, threads, kernel);
+        run_sweep(
+            quarter,
+            self.num_qubits,
+            threads,
+            min_parallel_qubits,
+            kernel,
+        );
     }
 
     /// Probability of measuring qubit `q` in state `|1⟩`.
@@ -545,6 +718,66 @@ mod tests {
                 par.apply_two_qubit_threaded(syc.unitary(), 0, n - 1, threads);
                 assert_eq!(par, serial, "n = {n}, threads = {threads}");
             }
+        }
+    }
+
+    #[test]
+    fn split_complex_blocks_match_the_scalar_expressions_exactly() {
+        // Applying a gate to qubit 0 of a 6-qubit register yields runs of 32
+        // (1q) / 16 (2q) base indices, so the split-complex blocks carry the
+        // whole sweep. The result must be bit-identical (assert_eq on f64
+        // pairs, no tolerance) to the naive scalar Complex updates.
+        let base = scrambled_state(6);
+        let m = standard::u3(0.7, 0.3, 1.1);
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let mask = 1usize << 5;
+        let mut expect = base.amplitudes().to_vec();
+        for i in 0..64 {
+            if i & mask == 0 {
+                let j = i | mask;
+                let (a0, a1) = (expect[i], expect[j]);
+                expect[i] = m00 * a0 + m01 * a1;
+                expect[j] = m10 * a0 + m11 * a1;
+            }
+        }
+        let mut got = base.clone();
+        got.apply_one_qubit(&m, 0);
+        assert_eq!(got.amplitudes(), &expect[..]);
+
+        let syc = gates::GateType::syc();
+        let u = *syc.unitary();
+        let (mask0, mask1) = (1usize << 5, 1usize << 4);
+        let mut expect = base.amplitudes().to_vec();
+        for i in 0..64 {
+            if i & (mask0 | mask1) == 0 {
+                let idx = [i, i | mask1, i | mask0, i | mask0 | mask1];
+                let a = idx.map(|k| expect[k]);
+                for (r, &k) in idx.iter().enumerate() {
+                    expect[k] =
+                        u[(r, 0)] * a[0] + u[(r, 1)] * a[1] + u[(r, 2)] * a[2] + u[(r, 3)] * a[3];
+                }
+            }
+        }
+        let mut got = base.clone();
+        got.apply_two_qubit(&u, 0, 1);
+        assert_eq!(got.amplitudes(), &expect[..]);
+    }
+
+    #[test]
+    fn explicit_sweep_threshold_is_invisible_in_the_result() {
+        // The `_with` variants only reschedule: any threshold (including one
+        // that forces scoped workers on a tiny register) must be bit-identical
+        // to the serial sweep.
+        let base = scrambled_state(6);
+        let syc = gates::GateType::syc();
+        let mut serial = base.clone();
+        serial.apply_one_qubit(&standard::h(), 2);
+        serial.apply_two_qubit(syc.unitary(), 0, 5);
+        for min_parallel in [0usize, 6, 7, usize::MAX] {
+            let mut par = base.clone();
+            par.apply_one_qubit_with(&standard::h(), 2, 4, min_parallel);
+            par.apply_two_qubit_with(syc.unitary(), 0, 5, 4, min_parallel);
+            assert_eq!(par, serial, "min_parallel = {min_parallel}");
         }
     }
 

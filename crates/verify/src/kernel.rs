@@ -80,6 +80,12 @@ pub struct KernelArtifact<'a> {
     pub ops: &'a [KernelOp],
     /// The unfused baseline the stream was derived from, when available.
     pub baseline: Option<&'a [KernelOp]>,
+    /// Whether the lowering promises to preserve the baseline's RNG draw
+    /// sequence verbatim (`FusionPolicy::Off`/`Safe`). When `false`
+    /// (`FusionPolicy::Aggressive` carried channels past kernels), the
+    /// [`RngOrderAudit`] does not apply and [`ChannelComposition`] checks the
+    /// composed channels instead.
+    pub rng_order_exact: bool,
 }
 
 /// `kernel/unitarity`: every non-silent kernel matrix is unitary within
@@ -194,6 +200,11 @@ impl Rule for RngOrderAudit {
         let Artifact::Kernels(art) = artifact else {
             return;
         };
+        if !art.rng_order_exact {
+            // Aggressive fusion deliberately reorders and composes draws; the
+            // ChannelComposition rule covers that lowering instead.
+            return;
+        }
         let Some(baseline) = art.baseline else {
             return;
         };
@@ -281,6 +292,74 @@ fn kraus_differ<const N: usize>(a: &[SmallMat<N>], b: &[SmallMat<N>], tol: f64) 
         }
     }
     None
+}
+
+/// `channel/composition`: sanity rules for lowerings that compose or
+/// conjugate noise channels (`FusionPolicy::Aggressive`, flagged by
+/// [`KernelArtifact::rng_order_exact`] being `false`).
+///
+/// Conjugating a Kraus set by a unitary and composing trace-preserving
+/// channels both preserve completeness *exactly* in exact arithmetic, so the
+/// composed channels must satisfy `Σ K†K = I` within the much tighter
+/// [`Context::composed_tolerance`] — numerical drift here means the carry
+/// math is wrong, not that the inputs were loose. Against a baseline, the
+/// composed stream must also consume at most the baseline's number of draws
+/// (composition only ever merges draws).
+#[derive(Debug, Default)]
+pub struct ChannelComposition;
+
+impl Rule for ChannelComposition {
+    fn id(&self) -> &'static str {
+        "channel/composition"
+    }
+
+    fn description(&self) -> &'static str {
+        "composed/conjugated channels stay tightly trace-preserving and never add RNG draws"
+    }
+
+    fn check(&self, artifact: &Artifact<'_>, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let Artifact::Kernels(art) = artifact else {
+            return;
+        };
+        if art.rng_order_exact {
+            return;
+        }
+        for op in art.ops {
+            for channel in &op.channels {
+                let deviation = match &channel.kraus {
+                    ChannelKraus::One(ops) => completeness_deviation(ops),
+                    ChannelKraus::Two(ops) => completeness_deviation(ops),
+                };
+                if deviation > ctx.composed_tolerance {
+                    out.push(
+                        Diagnostic::error(
+                            self.id(),
+                            format!(
+                                "composed channel on qubits {:?} of op {} deviates from \
+                                 completeness by {deviation:.2e} (composition must preserve \
+                                 it within {:.0e})",
+                                channel.qubits, op.index, ctx.composed_tolerance
+                            ),
+                        )
+                        .at_op(op.index),
+                    );
+                }
+            }
+        }
+        if let Some(baseline) = art.baseline {
+            let fused_draws = rng_events(art.ops).len();
+            let base_draws = rng_events(baseline).len();
+            if fused_draws > base_draws {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    format!(
+                        "composed stream consumes {fused_draws} RNG draws but the baseline \
+                         consumes {base_draws}; channel composition may only merge draws"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 /// `fusion/equivalence`: phase-insensitive spot check that the fused stream's
@@ -420,6 +499,7 @@ pub fn semantic_rules() -> Vec<Box<dyn Rule>> {
         Box::new(KernelUnitarity),
         Box::new(KrausCompleteness),
         Box::new(RngOrderAudit),
+        Box::new(ChannelComposition),
         Box::new(FusionEquivalence),
     ]
 }

@@ -14,7 +14,11 @@
 //!   (bounds, post-routing coupling, post-decomposition instruction-set
 //!   conformance, layout bijections, swap/permutation consistency).
 //! * [`kernel`] — semantic rules for lowered simulation kernels (unitarity,
-//!   Kraus completeness, fused-vs-unfused equivalence, RNG draw-order audit).
+//!   Kraus completeness, fused-vs-unfused equivalence, RNG draw-order audit,
+//!   composed-channel sanity for aggressive fusion).
+//! * [`distribution`] — statistical rules over measurement-count histograms
+//!   (the TVD-bound harness validating `FusionPolicy::Aggressive` against
+//!   `Safe`, where bit-identity no longer holds).
 //!
 //! # Example
 //!
@@ -50,11 +54,13 @@
 #![deny(deprecated)]
 
 pub mod diagnostic;
+pub mod distribution;
 pub mod kernel;
 pub mod rule;
 pub mod stage;
 
 pub use diagnostic::{Diagnostic, Severity, Span, VerifyReport};
+pub use distribution::{marginal_probabilities, tvd_bound, two_sample_tvd, DistributionArtifact};
 pub use kernel::{ChannelKraus, ChannelView, KernelArtifact, KernelKind, KernelOp};
 pub use rule::{Artifact, Context, Rule, Verifier, VerifyLevel};
 pub use stage::{Stage, StageSnapshot};

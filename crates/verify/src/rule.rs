@@ -2,6 +2,7 @@
 //! the [`Verifier`] that runs a rule set over an artifact.
 
 use crate::diagnostic::{Diagnostic, VerifyReport};
+use crate::distribution::DistributionArtifact;
 use crate::kernel::KernelArtifact;
 use crate::stage::StageSnapshot;
 
@@ -14,6 +15,9 @@ pub enum Artifact<'a> {
     Stage(&'a StageSnapshot<'a>),
     /// A lowered simulation kernel stream (see [`KernelArtifact`]).
     Kernels(&'a KernelArtifact<'a>),
+    /// Two empirical count distributions that should agree (see
+    /// [`DistributionArtifact`]).
+    Distributions(&'a DistributionArtifact<'a>),
 }
 
 /// How much static verification an integration point should run.
@@ -51,6 +55,15 @@ pub struct Context {
     /// check will propagate a probe state through; wider registers are
     /// skipped with an info finding.
     pub equivalence_max_qubits: usize,
+    /// Tight completeness tolerance for *composed* channels (the
+    /// `channel/composition` rule): conjugation and composition preserve
+    /// trace preservation exactly in exact arithmetic, so drift beyond
+    /// rounding noise indicates broken carry math.
+    pub composed_tolerance: f64,
+    /// Confidence level `1 − δ` for the statistical `fusion/tvd-bound` rule's
+    /// analytic bound (probability that two same-distribution samples stay
+    /// within the bound).
+    pub tvd_confidence: f64,
 }
 
 impl Default for Context {
@@ -58,6 +71,8 @@ impl Default for Context {
         Context {
             tolerance: 1e-6,
             equivalence_max_qubits: 16,
+            composed_tolerance: 1e-9,
+            tvd_confidence: 0.999_999,
         }
     }
 }
@@ -131,6 +146,13 @@ impl Verifier {
     pub fn semantic() -> Verifier {
         let mut v = Verifier::new();
         v.rules.extend(crate::kernel::semantic_rules());
+        v
+    }
+
+    /// A verifier with only the statistical (count-distribution) rules.
+    pub fn statistical() -> Verifier {
+        let mut v = Verifier::new();
+        v.rules.extend(crate::distribution::statistical_rules());
         v
     }
 

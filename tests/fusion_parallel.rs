@@ -1,19 +1,24 @@
 //! Validation of gate fusion (`FusionPolicy`) and parallel amplitude sweeps:
 //! fused lowerings must agree with unfused ones to 1e-12 on random circuits,
-//! `Safe` fusion must leave noisy counts bit-identical, and amplitude-sweep
-//! threading must be invisible in the results at and around
+//! `Safe` fusion must leave noisy counts bit-identical, `Aggressive` fusion
+//! must stay within the statistical TVD bound (and be exact when every
+//! channel is identity), composed Kraus sets must stay complete, and
+//! amplitude-sweep threading must be invisible in the results at and around
 //! `PARALLEL_SWEEP_MIN_QUBITS`.
 
 use circuit::{Circuit, Operation};
-use device::DeviceModel;
+use device::{DeviceModel, EdgeCalibration, GateDurations, QubitCalibration, Topology};
 use proptest::prelude::*;
-use qmath::RngSeed;
+use qmath::{haar_random_su4, Mat4, RngSeed};
 use rand::Rng;
 use sim::{
-    ExecutionEngine, FusionPolicy, NoiseModel, PrecompiledCircuit, SeedPolicy, SimJob,
+    amplitude_damping_kraus, dephasing_kraus, depolarizing_1q, depolarizing_2q, ExecutionEngine,
+    FusionPolicy, Kraus2q, NoiseModel, PrecompiledCircuit, SeedPolicy, SimJob,
     PARALLEL_SWEEP_MIN_QUBITS,
 };
+use std::collections::BTreeMap;
 use std::f64::consts::{PI, TAU};
+use verify::{Artifact, DistributionArtifact, Verifier};
 
 /// A pseudo-random gate soup drawn from the full 1q/2q vocabulary, designed
 /// to produce plenty of fusable runs (repeated 1q rotations, back-to-back
@@ -130,6 +135,144 @@ proptest! {
         prop_assert_eq!(unfused.report.fused_ops, 0);
         prop_assert_eq!(&fused.counts, &unfused.counts);
     }
+}
+
+/// A noise model whose every channel is *exactly* the single-operator
+/// identity: perfect gate fidelities remove the depolarizing channels, and
+/// zero gate durations collapse thermal relaxation to `[I]` (the zero-weight
+/// Kraus branches are pruned during channel composition).
+fn identity_noise(num_qubits: usize) -> NoiseModel {
+    let mut topology = Topology::new(num_qubits);
+    for a in 0..num_qubits {
+        for b in (a + 1)..num_qubits {
+            topology.add_edge(a, b);
+        }
+    }
+    let mut edges = BTreeMap::new();
+    for (a, b) in topology.edges() {
+        edges.insert((a, b), EdgeCalibration::new(1.0));
+    }
+    let qubits = vec![QubitCalibration::new(50.0, 40.0, 0.0, 1.0); num_qubits];
+    let durations = GateDurations {
+        one_qubit_ns: 0.0,
+        two_qubit_ns: 0.0,
+        measurement_ns: 0.0,
+    };
+    NoiseModel::from_device(&DeviceModel::new(
+        "identity-noise",
+        topology,
+        edges,
+        qubits,
+        durations,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random chains of the channel-algebra operations Aggressive fusion
+    /// performs (composition, 1q→2q embedding, unitary conjugation, factor
+    /// swap) keep the Kraus completeness relation `Σ K†K = I` satisfied to
+    /// 1e-12 — the tolerance the `channel/composition` verify rule enforces.
+    #[test]
+    fn composed_kraus_sets_stay_complete(
+        seed in 0u64..10_000,
+        steps in 1usize..6,
+    ) {
+        let mut rng = RngSeed(seed).rng();
+        let mut channel: Kraus2q = match rng.gen_range(0..3) {
+            0 => depolarizing_2q(rng.gen_range(0.0..1.0)),
+            1 => depolarizing_1q(rng.gen_range(0.0..1.0)).embed_msb(),
+            _ => amplitude_damping_kraus(rng.gen_range(0.0..1.0)).embed_lsb(),
+        };
+        for _ in 0..steps {
+            channel = match rng.gen_range(0..4) {
+                0 => channel.then(&dephasing_kraus(rng.gen_range(0.0..0.5)).embed_msb()),
+                1 => channel.then(&amplitude_damping_kraus(rng.gen_range(0.0..1.0)).embed_lsb()),
+                2 => channel.conjugate_by(&haar_random_su4(&mut rng)),
+                _ => channel.swap_factors(),
+            };
+        }
+        let mut sum = Mat4::zeros();
+        for k in channel.operators() {
+            sum = sum + k.dagger() * *k;
+        }
+        prop_assert!(
+            sum.max_abs_diff(&Mat4::identity()) < 1e-12,
+            "completeness defect {} after {} steps",
+            sum.max_abs_diff(&Mat4::identity()),
+            steps
+        );
+    }
+
+    /// When every attached channel is exactly identity, Aggressive fusion's
+    /// carried-channel rewrite is a no-op on the RNG stream: counts match
+    /// `Safe` (and `Off`) bit for bit, not just in distribution.
+    #[test]
+    fn aggressive_equals_safe_exactly_on_identity_channels(
+        seed in 0u64..10_000,
+        shots in 1usize..150,
+    ) {
+        let circuit = random_circuit(4, 40, seed);
+        let job = SimJob::noisy(circuit, identity_noise(4), shots, RngSeed(seed ^ 0xA5));
+        let run = |fusion| {
+            ExecutionEngine::builder()
+                .fusion(fusion)
+                .build()
+                .unwrap()
+                .run_job(&job)
+        };
+        let off = run(FusionPolicy::Off);
+        let safe = run(FusionPolicy::Safe);
+        let aggressive = run(FusionPolicy::Aggressive);
+        prop_assert_eq!(&safe.counts, &off.counts);
+        prop_assert_eq!(&aggressive.counts, &off.counts);
+    }
+}
+
+#[test]
+fn aggressive_vs_safe_tvd_is_within_the_analytic_bound() {
+    // Seed-pinned statistical equivalence: Aggressive fusion changes the RNG
+    // stream, so counts are compared through the `fusion/tvd-bound` rule
+    // instead of bit-identity. The distributions are identical by
+    // construction, so the observed TVD is pure sampling noise and must stay
+    // inside the two-sample bound.
+    let circuit = random_circuit(3, 40, 23);
+    let noise = two_qubit_noise(3, 0.95);
+    let job = SimJob::noisy(circuit, noise, 600, RngSeed(29));
+    let run = |fusion| {
+        ExecutionEngine::builder()
+            .fusion(fusion)
+            .build()
+            .unwrap()
+            .run_job(&job)
+    };
+    let safe = run(FusionPolicy::Safe);
+    let aggressive = run(FusionPolicy::Aggressive);
+    assert!(
+        aggressive.report.fused_ops > safe.report.fused_ops,
+        "aggressive fusion should fuse deeper on a noisy circuit ({} vs {})",
+        aggressive.report.fused_ops,
+        safe.report.fused_ops
+    );
+    let counts_a: Vec<(usize, usize)> = safe.counts.iter().collect();
+    let counts_b: Vec<(usize, usize)> = aggressive.counts.iter().collect();
+    let artifact = DistributionArtifact {
+        num_qubits: 3,
+        label_a: "safe-fusion sample",
+        label_b: "aggressive-fusion sample",
+        counts_a: &counts_a,
+        counts_b: &counts_b,
+    };
+    let report = Verifier::statistical().run(&Artifact::Distributions(&artifact));
+    assert!(!report.has_errors(), "{:?}", report.diagnostics());
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.rule() == "fusion/tvd-bound"),
+        "the TVD rule should report its margin"
+    );
 }
 
 #[test]

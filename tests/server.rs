@@ -30,6 +30,7 @@ fn request(tenant: &str, seed: u64, op: JobOp) -> JobRequest {
         qubits: 3,
         seed,
         op,
+        fusion: None,
     }
 }
 
