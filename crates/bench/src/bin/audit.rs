@@ -19,7 +19,7 @@
 //! cargo run -p bench --bin audit -- --scale paper
 //! ```
 
-use bench::{qaoa_suite, qv_suite, BenchCircuit, Scale};
+use bench::{qaoa_suite, qv_suite, trace_sink_from_args, write_trace_or_exit, BenchCircuit, Scale};
 use compiler::{CompiledCircuit, Compiler, VerifyLevel};
 use device::DeviceModel;
 use gates::InstructionSet;
@@ -40,6 +40,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = Scale::from_args();
+    // --trace <path>: record per-pass compiler spans as Trace Event JSON.
+    let trace = trace_sink_from_args();
     let seed = RngSeed(0xA0D1);
 
     let sets: Vec<InstructionSet> = if smoke {
@@ -65,10 +67,14 @@ fn main() {
     let mut findings: Vec<Located> = Vec::new();
     let mut combinations = 0usize;
     for set in &sets {
-        let compiler = Compiler::for_device(device.clone())
+        let mut builder = Compiler::for_device(device.clone())
             .instruction_set(set.clone())
             .options(options.clone())
-            .verify(VerifyLevel::PerStage)
+            .verify(VerifyLevel::PerStage);
+        if let Some(trace) = &trace {
+            builder = builder.telemetry(std::sync::Arc::clone(trace.collector()));
+        }
+        let compiler = builder
             .build()
             .expect("table2 sets are valid compiler configurations");
         for (workload, suite) in &workloads {
@@ -115,6 +121,7 @@ fn main() {
         "audit: {combinations} combinations, {} findings ({errors} errors, {warnings} warnings)",
         findings.len()
     );
+    write_trace_or_exit(&trace);
     if errors > 0 {
         std::process::exit(1);
     }

@@ -3,7 +3,8 @@
 //! and QAOA XED on the Sycamore model.
 
 use bench::{
-    compiler_for, engine_from_args, evaluate_set_with_engine, qaoa_suite, qv_suite, Scale,
+    compiler_for, engine_and_trace_from_args, evaluate_set_with_engine, qaoa_suite, qv_suite,
+    write_trace_or_exit, Scale,
 };
 use compiler::CompilerOptions;
 use device::DeviceModel;
@@ -24,8 +25,9 @@ fn main() {
     let qv = qv_suite(qv_n, circuits, seed.child(1));
     let qaoa = qaoa_suite(qaoa_n, circuits, seed.child(2));
     let set = InstructionSet::s(1); // SYC
-                                    // Honours --fusion off|safe and --sim-threads N (neither changes counts).
-    let engine = engine_from_args();
+                                    // Honours --fusion off|safe, --sim-threads N (neither changes
+                                    // counts) and --trace <path> (Trace Event JSON of the run).
+    let (engine, trace) = engine_and_trace_from_args();
 
     let exact_options = CompilerOptions {
         decompose: DecomposeConfig {
@@ -84,6 +86,7 @@ fn main() {
     }
     println!("\nExpected shape (paper Fig. 7): the two modes tie at low error rates and");
     println!("the approximate mode pulls ahead as error rates grow past ~0.62%.");
+    write_trace_or_exit(&trace);
 }
 
 fn evaluate_exact(

@@ -3,8 +3,8 @@
 //! (a) 3-qubit QV HOP, (b) 4-qubit QAOA XED, (c) 3-qubit QFT success rate.
 
 use bench::{
-    compiler_for, engine_from_args, evaluate_set_with_engine, print_results, qaoa_suite, qft_suite,
-    qv_suite, Metric, Scale,
+    compiler_for, engine_and_trace_from_args, evaluate_set_with_engine, print_results, qaoa_suite,
+    qft_suite, qv_suite, write_trace_or_exit, Metric, Scale,
 };
 use compiler::Compiler;
 use device::DeviceModel;
@@ -26,8 +26,9 @@ fn main() {
     let seed = RngSeed(0xF9);
     let device = DeviceModel::aspen8(seed.child(0));
     let options = scale.compiler_options();
-    // Honours --fusion off|safe and --sim-threads N (neither changes counts).
-    let engine = engine_from_args();
+    // Honours --fusion off|safe, --sim-threads N (neither changes counts)
+    // and --trace <path> (Trace Event JSON of the run).
+    let (engine, trace) = engine_and_trace_from_args();
 
     let experiments = [
         (
@@ -65,4 +66,5 @@ fn main() {
     println!("\nExpected shape (paper Fig. 9): multi-type sets R1-R5 beat the");
     println!("single-type sets; only R3-R5 cross the HOP=2/3 threshold; R5 (native");
     println!("SWAP) approaches FullXY in both reliability and instruction count.");
+    write_trace_or_exit(&trace);
 }

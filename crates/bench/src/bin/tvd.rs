@@ -18,7 +18,7 @@
 //! the bound — the distributions are identical by construction, so that
 //! would mean the aggressive lowering changed the sampled distribution).
 
-use bench::all_depolarizing_noise;
+use bench::{all_depolarizing_noise, trace_sink_from_args, write_trace_or_exit};
 use circuit::{Circuit, Operation};
 use qmath::RngSeed;
 use sim::{ExecutionEngine, FusionPolicy, SimJob};
@@ -47,6 +47,8 @@ fn layered_circuit(n: usize, rounds: usize) -> Circuit {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // --trace <path>: record simulate/shard spans of both policy runs.
+    let trace = trace_sink_from_args();
     let (num_qubits, rounds, shots) = if smoke { (4, 2, 800) } else { (6, 3, 4000) };
 
     // Noise on every gate: `Safe` cannot fuse across any channel while
@@ -61,8 +63,11 @@ fn main() {
         RngSeed(29),
     );
     let run = |policy: FusionPolicy| {
-        ExecutionEngine::builder()
-            .fusion(policy)
+        let mut builder = ExecutionEngine::builder().fusion(policy);
+        if let Some(trace) = &trace {
+            builder = builder.telemetry(std::sync::Arc::clone(trace.collector()));
+        }
+        builder
             .build()
             .expect("default engine knobs are a valid config")
             .run_job(&job)
@@ -112,6 +117,7 @@ fn main() {
     println!("  ]");
     println!("}}");
 
+    write_trace_or_exit(&trace);
     if report.has_errors() {
         eprintln!("tvd: observed distance exceeded the analytic bound");
         std::process::exit(1);

@@ -20,6 +20,8 @@ use gates::InstructionSet;
 use qmath::RngSeed;
 use serde::{Deserialize, Serialize};
 use sim::{Counts, ExecutionEngine, FusionPolicy, IdealSimulator, NoiseModel, SimJob};
+use std::sync::Arc;
+use telemetry::Collector;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -154,6 +156,80 @@ fn exit_on_arg_error<T>(result: Result<T, ArgError>) -> T {
     })
 }
 
+/// A `--trace <path>` destination: an enabled [`telemetry::Collector`] plus
+/// the file the collected spans are written to (as Chrome Trace Event JSON,
+/// loadable in Perfetto) when the run finishes.
+#[derive(Debug)]
+pub struct TraceSink {
+    path: String,
+    collector: Arc<Collector>,
+}
+
+impl TraceSink {
+    /// The collector recording this run's spans. Attach it to engines and
+    /// compilers (their builders take `.telemetry(...)`).
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// The destination path given on the command line.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Writes every span collected so far to the destination as Chrome
+    /// Trace Event JSON.
+    pub fn write(&self) -> std::io::Result<()> {
+        let trace = telemetry::export::trace_json(&self.collector.completed_spans());
+        std::fs::write(&self.path, trace)
+    }
+}
+
+/// Parses `--trace <path>` from the process arguments (default none).
+/// Unwritable paths are rejected at parse time, before the experiment runs.
+pub fn trace_sink_from_args() -> Option<TraceSink> {
+    exit_on_arg_error(trace_sink_from_arg_list(
+        &std::env::args().collect::<Vec<_>>(),
+    ))
+}
+
+/// [`trace_sink_from_args`] over an explicit argument list (testable core).
+/// The path is probed by creating (or truncating) the file now, so a typo'd
+/// directory fails before minutes of simulation, with the same typed
+/// [`ArgError`] framing as `--sim-threads`.
+pub fn trace_sink_from_arg_list(args: &[String]) -> Result<Option<TraceSink>, ArgError> {
+    let mut path: Option<&str> = None;
+    for (_, value) in flag_values(args, "--trace")? {
+        path = Some(value);
+    }
+    let Some(path) = path else { return Ok(None) };
+    if std::fs::write(path, "").is_err() {
+        return Err(ArgError {
+            flag: "--trace",
+            value: path.to_string(),
+            expected: "a writable file path",
+        });
+    }
+    let collector = Arc::new(Collector::new());
+    collector.set_enabled(true);
+    Ok(Some(TraceSink {
+        path: path.to_string(),
+        collector,
+    }))
+}
+
+/// Writes the sink (when one was requested) and reports the destination;
+/// write failures exit with status 2. Call at the end of a figure binary.
+pub fn write_trace_or_exit(sink: &Option<TraceSink>) {
+    if let Some(sink) = sink {
+        if let Err(err) = sink.write() {
+            eprintln!("error: failed to write trace to {}: {err}", sink.path());
+            std::process::exit(2);
+        }
+        eprintln!("trace written to {}", sink.path());
+    }
+}
+
 /// Builds the simulation engine the figure binaries share, honouring two
 /// optional command-line knobs:
 ///
@@ -168,9 +244,37 @@ pub fn engine_from_args() -> ExecutionEngine {
     exit_on_arg_error(engine_from_arg_list(&std::env::args().collect::<Vec<_>>()))
 }
 
+/// [`engine_from_args`] plus `--trace <path>`: when a trace is requested the
+/// engine is built with the sink's collector attached, so its precompile /
+/// simulate / shard spans land in the written trace.
+pub fn engine_and_trace_from_args() -> (ExecutionEngine, Option<TraceSink>) {
+    exit_on_arg_error(engine_and_trace_from_arg_list(
+        &std::env::args().collect::<Vec<_>>(),
+    ))
+}
+
+/// [`engine_and_trace_from_args`] over an explicit argument list.
+pub fn engine_and_trace_from_arg_list(
+    args: &[String],
+) -> Result<(ExecutionEngine, Option<TraceSink>), ArgError> {
+    let sink = trace_sink_from_arg_list(args)?;
+    let collector = sink.as_ref().map(|s| Arc::clone(s.collector()));
+    Ok((engine_from_arg_list_with(args, collector)?, sink))
+}
+
 /// [`engine_from_args`] over an explicit argument list (testable core).
 pub fn engine_from_arg_list(args: &[String]) -> Result<ExecutionEngine, ArgError> {
+    engine_from_arg_list_with(args, None)
+}
+
+fn engine_from_arg_list_with(
+    args: &[String],
+    collector: Option<Arc<Collector>>,
+) -> Result<ExecutionEngine, ArgError> {
     let mut builder = ExecutionEngine::builder();
+    if let Some(collector) = collector {
+        builder = builder.telemetry(collector);
+    }
     for (flag, value) in flag_values(args, "--fusion")? {
         builder = match value.to_ascii_lowercase().as_str() {
             "off" => builder.fusion(FusionPolicy::Off),
@@ -616,5 +720,37 @@ mod tests {
     fn metric_names() {
         assert_eq!(Metric::Hop.name(), "HOP");
         assert_eq!(Metric::SuccessRate.name(), "success rate");
+    }
+
+    #[test]
+    fn trace_flag_is_optional_and_rejects_unwritable_paths() {
+        assert!(trace_sink_from_arg_list(&args(&["fig"])).unwrap().is_none());
+        let err = trace_sink_from_arg_list(&args(&["fig", "--trace", "/nonexistent-dir/x.json"]))
+            .unwrap_err();
+        assert_eq!(err.flag, "--trace");
+        assert!(err.to_string().contains("writable file path"));
+        let err = trace_sink_from_arg_list(&args(&["fig", "--trace"])).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn traced_engine_writes_perfetto_loadable_json() {
+        let path = std::env::temp_dir().join("bench-lib-trace-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let (engine, sink) =
+            engine_and_trace_from_arg_list(&args(&["fig", "--trace", &path_str])).unwrap();
+        let sink = sink.expect("--trace yields a sink");
+        assert_eq!(sink.path(), path_str);
+        // Run one tiny job through the traced engine, then write the sink.
+        let mut circuit = Circuit::new(2);
+        circuit.push(circuit::Operation::h(0));
+        circuit.measure_all();
+        engine.run_job(&SimJob::ideal(circuit, 16, RngSeed(1)));
+        assert!(!sink.collector().completed_spans().is_empty());
+        sink.write().unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("{\"traceEvents\":["));
+        assert!(written.contains("\"name\":\"simulate\""));
+        let _ = std::fs::remove_file(&path);
     }
 }

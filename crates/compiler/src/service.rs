@@ -8,13 +8,13 @@
 //! SU(4), ZZ or SWAP decomposition after the first is a cache hit.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use circuit::Circuit;
 use device::DeviceModel;
 use gates::{InstructionSet, InvalidInstructionSet};
 use nuop_core::DecompositionCache;
 use parking_lot::Mutex;
+use telemetry::{Collector, SpanId};
 
 use verify::{Artifact, Stage, StageSnapshot, Verifier, VerifyLevel};
 
@@ -58,6 +58,7 @@ pub struct Compiler {
     passes: Vec<Box<dyn Pass>>,
     cache: Arc<DecompositionCache>,
     verify_level: VerifyLevel,
+    telemetry: Option<Arc<Collector>>,
 }
 
 impl Compiler {
@@ -72,6 +73,7 @@ impl Compiler {
             cache_capacity: None,
             passes: None,
             verify_level: VerifyLevel::Off,
+            telemetry: None,
         }
     }
 
@@ -103,7 +105,7 @@ impl Compiler {
 
     /// Compiles one circuit.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, CompileError> {
-        self.compile_inner(circuit, self.options.threads.max(1))
+        self.compile_inner(circuit, self.options.threads.max(1), SpanId::NONE)
             .map(|(compiled, _)| compiled)
     }
 
@@ -112,7 +114,19 @@ impl Compiler {
         &self,
         circuit: &Circuit,
     ) -> Result<(CompiledCircuit, CompileReport), CompileError> {
-        self.compile_inner(circuit, self.options.threads.max(1))
+        self.compile_inner(circuit, self.options.threads.max(1), SpanId::NONE)
+    }
+
+    /// Like [`Compiler::compile_with_report`], but records each pass as a
+    /// telemetry span parented under `parent` (the caller's job or compile
+    /// span). With no collector configured — or a disabled one — this is
+    /// exactly `compile_with_report`.
+    pub fn compile_with_report_in_span(
+        &self,
+        circuit: &Circuit,
+        parent: SpanId,
+    ) -> Result<(CompiledCircuit, CompileReport), CompileError> {
+        self.compile_inner(circuit, self.options.threads.max(1), parent)
     }
 
     /// Compiles many circuits, fanning out across the configured worker
@@ -141,7 +155,7 @@ impl Compiler {
                     let base = w * chunk.max(1);
                     let mut local = Vec::with_capacity(piece.len());
                     for (offset, circuit) in piece.iter().enumerate() {
-                        local.push((base + offset, self.compile_inner(circuit, 1)));
+                        local.push((base + offset, self.compile_inner(circuit, 1, SpanId::NONE)));
                     }
                     results_ref.lock().extend(local);
                 });
@@ -159,6 +173,7 @@ impl Compiler {
         &self,
         circuit: &Circuit,
         threads: usize,
+        parent: SpanId,
     ) -> Result<(CompiledCircuit, CompileReport), CompileError> {
         if circuit.num_qubits() == 0 {
             return Err(CompileError::EmptyCircuit);
@@ -174,11 +189,14 @@ impl Compiler {
         let mut report = CompileReport::default();
         let verifier = self.verify_level.is_enabled().then(Verifier::structural);
         for (index, pass) in self.passes.iter().enumerate() {
-            let started = Instant::now();
+            // The span guard is the single timing source: it measures with a
+            // plain `Instant` even when no collector records it, so
+            // `CompileReport` stays accurate with telemetry off.
+            let span = telemetry::Span::enter_child(self.telemetry.as_ref(), pass.name(), parent);
             pass.run(&mut ir, &ctx)?;
             report.stages.push(StageTiming {
                 pass: pass.name().to_string(),
-                duration: started.elapsed(),
+                duration: span.finish(),
             });
             // Between-pass verification: check the IR after this stage when
             // the level asks for it (PerStage: always; Final: last pass only).
@@ -210,6 +228,25 @@ impl Compiler {
         }
         report.cache_hits = ir.pass_stats.cache_hits;
         report.cache_misses = ir.pass_stats.cache_misses;
+        if let Some(collector) = self.telemetry.as_ref().filter(|c| c.enabled()) {
+            // Per-compile deltas as counters; cache-lifetime totals (shared
+            // across compilers) as gauges.
+            collector
+                .counter("compiler.cache_hits")
+                .add(report.cache_hits as u64);
+            collector
+                .counter("compiler.cache_misses")
+                .add(report.cache_misses as u64);
+            collector
+                .gauge("compiler.cache_evictions")
+                .set(self.cache.evictions() as i64);
+            collector
+                .gauge("compiler.cache_contended_locks")
+                .set(self.cache.contended_locks() as i64);
+            collector
+                .gauge("compiler.cache_inflight_waits")
+                .set(self.cache.inflight_waits() as i64);
+        }
         let subdevice = ir.require_subdevice("finalize")?.clone();
         Ok((
             CompiledCircuit {
@@ -253,6 +290,7 @@ pub struct CompilerBuilder {
     cache_capacity: Option<usize>,
     passes: Option<Vec<Box<dyn Pass>>>,
     verify_level: VerifyLevel,
+    telemetry: Option<Arc<Collector>>,
 }
 
 impl CompilerBuilder {
@@ -317,6 +355,16 @@ impl CompilerBuilder {
         self
     }
 
+    /// Attaches a telemetry collector: every compile records one span per
+    /// pass (use [`Compiler::compile_with_report_in_span`] to parent them
+    /// under a job span) and folds decomposition-cache traffic into the
+    /// collector's registry. The default is no collector, which keeps the
+    /// pipeline allocation-free on the telemetry side.
+    pub fn telemetry(mut self, collector: Arc<Collector>) -> Self {
+        self.telemetry = Some(collector);
+        self
+    }
+
     /// Builds the compiler, validating the configuration.
     pub fn build(self) -> Result<Compiler, CompileError> {
         let instruction_set = match (self.instruction_set, self.instruction_set_name) {
@@ -347,6 +395,7 @@ impl CompilerBuilder {
             passes: self.passes.unwrap_or_else(default_passes),
             cache,
             verify_level: self.verify_level,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -573,6 +622,70 @@ mod tests {
             let standalone = compiled.verify(&set);
             assert!(!standalone.has_errors(), "set {}: {standalone}", set.name());
         }
+    }
+
+    #[test]
+    fn telemetry_records_one_span_per_pass_under_the_parent() {
+        let collector = Arc::new(telemetry::Collector::new());
+        let compiler = Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+            .instruction_set(InstructionSet::s(3))
+            .options(quick_options())
+            .telemetry(Arc::clone(&collector))
+            .build()
+            .unwrap();
+        let job = telemetry::Span::enter(Some(&collector), "job");
+        let (_, report) = compiler
+            .compile_with_report_in_span(&qv_circuit(3, RngSeed(5)), job.id())
+            .unwrap();
+        let job_id = job.id();
+        job.finish();
+
+        let spans = collector.completed_spans();
+        let pass_spans: Vec<&str> = spans
+            .iter()
+            .filter(|s| s.parent == job_id)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(
+            pass_spans,
+            vec![
+                "region-select",
+                "initial-map",
+                "swap-route",
+                "nuop-decompose"
+            ]
+        );
+        // The report is a thin view over the same measurements.
+        for span in spans.iter().filter(|s| s.parent == job_id) {
+            let reported = report.stage_duration(span.name).unwrap();
+            assert_eq!(reported.as_micros() as u64, span.duration_micros);
+        }
+        // Cache traffic landed in the registry.
+        assert_eq!(
+            collector.counter("compiler.cache_misses").get(),
+            report.cache_misses as u64
+        );
+        assert_eq!(
+            collector.counter("compiler.cache_hits").get(),
+            report.cache_hits as u64
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_still_times_stages() {
+        let collector = Arc::new(telemetry::Collector::disabled());
+        let compiler = Compiler::for_device(DeviceModel::aspen8(RngSeed(1)))
+            .instruction_set(InstructionSet::s(3))
+            .options(quick_options())
+            .telemetry(Arc::clone(&collector))
+            .build()
+            .unwrap();
+        let (_, report) = compiler
+            .compile_with_report(&qv_circuit(3, RngSeed(5)))
+            .unwrap();
+        assert_eq!(report.stages.len(), 4);
+        assert!(report.total_duration().as_nanos() > 0);
+        assert!(collector.completed_spans().is_empty());
     }
 
     #[test]

@@ -172,6 +172,10 @@ pub struct DecompositionCache {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    /// Shard-lock acquisitions that found the lock already held.
+    contended: AtomicUsize,
+    /// Times a caller blocked on another thread's in-flight computation.
+    inflight_waits: AtomicUsize,
 }
 
 impl Default for DecompositionCache {
@@ -196,6 +200,8 @@ impl DecompositionCache {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            contended: AtomicUsize::new(0),
+            inflight_waits: AtomicUsize::new(0),
         }
     }
 
@@ -230,12 +236,20 @@ impl DecompositionCache {
         self.per_shard_capacity.map(|c| c * self.shards.len())
     }
 
+    /// Locks the shard holding `key`, counting the acquisition as contended
+    /// when the lock was already held — the observable that tells an
+    /// operator whether more shards would help.
+    fn lock_shard(&self, key: &CacheKey) -> parking_lot::MutexGuard<'_, Shard> {
+        let shard = &self.shards[key.shard_index(self.shards.len())];
+        if let Some(guard) = shard.try_lock() {
+            return guard;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        shard.lock()
+    }
+
     fn peek(&self, key: &CacheKey) -> Option<CachedDecomposition> {
-        self.shards[key.shard_index(self.shards.len())]
-            .lock()
-            .map
-            .get(key)
-            .cloned()
+        self.lock_shard(key).map.get(key).cloned()
     }
 
     /// Looks up a decomposition, recording a hit or miss.
@@ -289,6 +303,7 @@ impl DecompositionCache {
             }
             // Another thread is computing this key; wait for it to finish
             // (spurious wakeups just loop and re-check).
+            self.inflight_waits.fetch_add(1, Ordering::Relaxed);
             let _waited = self
                 .in_flight_done
                 .wait(guard)
@@ -323,12 +338,14 @@ impl DecompositionCache {
     /// Stores a decomposition, evicting the shard's oldest entry first when a
     /// capacity bound is set and the shard is full.
     pub fn insert(&self, key: CacheKey, value: CachedDecomposition) {
-        let mut shard = self.shards[key.shard_index(self.shards.len())].lock();
+        let mut shard = self.lock_shard(&key);
         if let Some(cap) = self.per_shard_capacity {
             if shard.map.insert(key.clone(), value).is_none() {
                 shard.order.push_back(key);
                 while shard.map.len() > cap {
-                    let oldest = shard.order.pop_front().expect("order tracks map");
+                    let Some(oldest) = shard.order.pop_front() else {
+                        break; // order list exhausted; nothing left to evict
+                    };
                     shard.map.remove(&oldest);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
@@ -363,6 +380,19 @@ impl DecompositionCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Shard-lock acquisitions that had to wait behind another holder. High
+    /// values relative to hits+misses mean the shard count is too low for
+    /// the worker count.
+    pub fn contended_locks(&self) -> usize {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Times [`DecompositionCache::get_or_insert_with`] blocked on another
+    /// thread's in-flight computation of the same key (deduplicated work).
+    pub fn inflight_waits(&self) -> usize {
+        self.inflight_waits.load(Ordering::Relaxed)
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -382,6 +412,8 @@ impl std::fmt::Debug for DecompositionCache {
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("evictions", &self.evictions())
+            .field("contended_locks", &self.contended_locks())
+            .field("inflight_waits", &self.inflight_waits())
             .finish()
     }
 }
@@ -506,6 +538,41 @@ mod tests {
         assert!(!hit);
         let (_, hit) = cache.get_or_insert_with(&key, || panic!("must not recompute"));
         assert!(hit);
+    }
+
+    #[test]
+    fn contention_counters_stay_zero_without_concurrency() {
+        let cache = DecompositionCache::with_shards(4);
+        let key = sample_key(9, 0.99);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), dummy_entry());
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.contended_locks(), 0);
+        assert_eq!(cache.inflight_waits(), 0);
+    }
+
+    #[test]
+    fn inflight_waits_count_deduplicated_computations() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = DecompositionCache::with_shards(4);
+        let key = sample_key(11, 0.99);
+        let computations = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    cache.get_or_insert_with(&key, || {
+                        computations.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        dummy_entry()
+                    });
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::Relaxed), 1);
+        // Every thread that lost the claim race waited at least once; threads
+        // that arrived after the insert hit directly, so the count is bounded
+        // by the loser count but may legitimately be smaller.
+        assert!(cache.inflight_waits() <= 16);
     }
 
     #[test]

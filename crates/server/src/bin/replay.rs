@@ -14,8 +14,14 @@
 //! Per-request latency (p50/p99) and jobs/sec go to `BENCH_server.json`
 //! (default; `--out` overrides). `--smoke` runs a tiny mix and writes no
 //! file unless `--out` is given — that is what CI runs.
+//!
+//! `--telemetry on|off` controls whether the server run records spans and
+//! per-stage latency histograms (default: on in full mode, off in smoke).
+//! `--trace <path>` writes the server's span ring buffer as Chrome Trace
+//! Event JSON (Perfetto-loadable) and implies `--telemetry on`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apps::workloads::{qaoa_circuit, qv_circuit};
@@ -24,6 +30,7 @@ use device::DeviceModel;
 use qmath::RngSeed;
 use server::{JobOp, JobRequest, JobServer, ServerError, WorkloadKind};
 use sim::{ExecutionEngine, NoiseModel, SimJob};
+use telemetry::Collector;
 
 struct Config {
     requests: usize,
@@ -32,6 +39,12 @@ struct Config {
     tenants: usize,
     smoke: bool,
     out: Option<String>,
+    /// Whether the server run records spans and latency histograms. Resolved
+    /// from `--telemetry on|off`; defaults to on in full mode, off in smoke
+    /// mode (so the CI smoke measures the un-instrumented hot path), and
+    /// `--trace` forces it on.
+    telemetry: bool,
+    trace: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Config, String> {
@@ -42,7 +55,10 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         tenants: 2,
         smoke: false,
         out: None,
+        telemetry: false,
+        trace: None,
     };
+    let mut telemetry: Option<bool> = None;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -76,12 +92,37 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                 config.out = Some(value(flag)?.to_string());
                 i += 2;
             }
+            "--telemetry" => {
+                telemetry = Some(match value(flag)? {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid value {other:?} for --telemetry (expected on|off)"
+                        ))
+                    }
+                });
+                i += 2;
+            }
+            "--trace" => {
+                let path = value(flag)?;
+                // Probe the path now: a typo'd directory must fail before
+                // the replay runs, not after.
+                if std::fs::write(path, "").is_err() {
+                    return Err(format!(
+                        "invalid value {path:?} for --trace (expected a writable file path)"
+                    ));
+                }
+                config.trace = Some(path.to_string());
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if config.smoke {
         config.requests = config.requests.min(16);
     }
+    config.telemetry = config.trace.is_some() || telemetry.unwrap_or(!config.smoke);
     Ok(config)
 }
 
@@ -224,10 +265,16 @@ fn run_server(
     requests: &[JobRequest],
     config: &Config,
 ) -> (RunStats, String, bool) {
+    // The collector is always attached; it records only when --telemetry
+    // resolves to on. The disabled path is a single atomic load per span
+    // site, which is what the <2% overhead acceptance bound measures.
+    let collector = Arc::new(Collector::new());
+    collector.set_enabled(config.telemetry);
     let server = JobServer::builder(device.clone())
         .workers(config.workers)
         .queue_capacity(config.queue_capacity)
         .options(CompilerOptions::sweep())
+        .telemetry(collector)
         .build()
         .expect("replay config validated at arg parse time");
 
@@ -268,6 +315,10 @@ fn run_server(
 
     let probe_isolated = matches!(probe.wait(), Err(ServerError::Panicked { .. }));
     let metrics_json = server.metrics_json();
+    if let Some(path) = &config.trace {
+        std::fs::write(path, server.trace_json()).expect("trace path probed at arg parse time");
+        println!("wrote trace {path}");
+    }
     server.shutdown();
     (stats_from(latencies, total), metrics_json, probe_isolated)
 }
@@ -375,7 +426,7 @@ fn render_json(
     format!(
         r#"{{
   "description": "Replay harness for the compile-and-simulate job server (crates/server). A deterministic request mix (tenants x {{S3, G3}} x {{qv, qaoa}} x seeds, 3-qubit workloads on Aspen-8 calibration, half compile-only and half compile+64-shot simulate) is replayed three ways. serial_cold = fresh compiler and empty decomposition cache per request (a per-request CLI process). serial_warm = long-lived serial loop with one warm compiler per (tenant, set). server = JobServer with a bounded work-stealing queue, per-tenant caches and panic-isolated workers, driven closed-loop. Latencies are per-request submit-to-complete wall-clock.",
-  "config": {{"requests": {requests_len}, "distinct_requests": {distinct}, "workers": {workers}, "queue_capacity": {queue}, "tenants": {tenants}}},
+  "config": {{"requests": {requests_len}, "distinct_requests": {distinct}, "workers": {workers}, "queue_capacity": {queue}, "tenants": {tenants}, "telemetry": {telemetry}}},
   "serial_cold": {cold},
   "serial_warm": {warm},
   "server": {server},
@@ -398,6 +449,7 @@ fn render_json(
         workers = config.workers,
         queue = config.queue_capacity,
         tenants = config.tenants,
+        telemetry = config.telemetry,
         cold = run(cold),
         warm = run(warm),
         server = run(served),

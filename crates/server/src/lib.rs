@@ -23,7 +23,14 @@
 //!   few scalars reproduce any circuit on both ends of the wire.
 //! * **Metrics endpoint** ([`metrics`]): [`JobServer::metrics_json`] serves
 //!   queue depth, completion/failure/panic counts, compile and simulate
-//!   wall-clock, and per-tenant cache statistics as JSON.
+//!   wall-clock, per-stage latency quantiles (p50/p90/p99 for queue wait,
+//!   compile, simulate and per tenant, when telemetry is attached), and
+//!   per-tenant cache statistics as JSON.
+//! * **Trace endpoint** ([`JobServer::trace_json`]): with a
+//!   [`telemetry::Collector`] attached via [`ServerBuilder::telemetry`],
+//!   every job leaves a `job → queue_wait / compile / simulate → shard`
+//!   span tree; the endpoint renders the most recent completed spans as
+//!   Chrome Trace Event JSON loadable in Perfetto.
 //!
 //! The `replay` binary (`cargo run --release -p server --bin replay`) replays
 //! a recorded request mix against the server and a serial baseline, writing
@@ -62,7 +69,7 @@ pub mod server;
 pub mod wire;
 
 pub use error::ServerError;
-pub use metrics::{MetricsSnapshot, ServerMetrics, TenantCacheStats};
+pub use metrics::{LatencyStats, MetricsSnapshot, ServerMetrics, TenantCacheStats};
 pub use queue::{Scheduler, SubmitError};
 pub use server::{JobServer, JobTicket, ServerBuilder, ServerConfigError, MAX_SIM_QUBITS};
 pub use wire::{JobOp, JobRequest, JobResponse, SimSummary, WireError, WorkloadKind};

@@ -20,6 +20,10 @@ pub struct ServerMetrics {
     pub(crate) simulate_nanos: AtomicU64,
     pub(crate) verify_errors: AtomicUsize,
     pub(crate) verify_warnings: AtomicUsize,
+    /// Telemetry span id of the most recent job that produced an error-level
+    /// verifier finding (0 when none has). Lets a metrics consumer jump from
+    /// a non-zero `verify_errors` to the exact traced request.
+    pub(crate) verify_last_error_span: AtomicU64,
     /// Simulate jobs per fusion policy, indexed by [`fusion_index`].
     pub(crate) sim_by_fusion: [AtomicUsize; 3],
 }
@@ -57,6 +61,16 @@ impl ServerMetrics {
             .count();
         self.verify_errors.fetch_add(errors, Ordering::Relaxed);
         self.verify_warnings.fetch_add(warnings, Ordering::Relaxed);
+        // Remember which traced job produced the latest error so the metrics
+        // endpoint can point at the exact request, not just a count.
+        if let Some(span) = diagnostics
+            .iter()
+            .filter(|d| d.severity() == verify::Severity::Error)
+            .filter_map(verify::Diagnostic::trace_span)
+            .next_back()
+        {
+            self.verify_last_error_span.store(span, Ordering::Relaxed);
+        }
     }
 }
 
@@ -85,6 +99,47 @@ impl TenantCacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// Latency distribution of one pipeline stage, summarised from the
+/// telemetry registry's log-bucketed histogram for that stage. All values
+/// are microseconds except `count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Stage name (`queue_wait`, `compile`, `simulate`, `tenant.<name>`).
+    pub stage: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Estimated median, µs.
+    pub p50_micros: u64,
+    /// Estimated 90th percentile, µs.
+    pub p90_micros: u64,
+    /// Estimated 99th percentile, µs.
+    pub p99_micros: u64,
+    /// Largest recorded sample, µs.
+    pub max_micros: u64,
+}
+
+/// Summarises every `latency.*` histogram in a telemetry registry, sorted by
+/// stage name. Returns an empty list when the server runs without telemetry.
+pub(crate) fn latency_stats(registry: &telemetry::Registry) -> Vec<LatencyStats> {
+    let mut stats: Vec<LatencyStats> = registry
+        .histograms()
+        .into_iter()
+        .filter_map(|(name, histogram)| {
+            let stage = name.strip_prefix("latency.")?;
+            Some(LatencyStats {
+                stage: stage.to_string(),
+                count: histogram.count(),
+                p50_micros: histogram.p50(),
+                p90_micros: histogram.p90(),
+                p99_micros: histogram.p99(),
+                max_micros: histogram.max(),
+            })
+        })
+        .collect();
+    stats.sort_by(|a, b| a.stage.cmp(&b.stage));
+    stats
 }
 
 /// A point-in-time copy of every server counter — what the metrics endpoint
@@ -123,6 +178,14 @@ pub struct MetricsSnapshot {
     /// Warning-level findings of the static verifier across all validated
     /// jobs.
     pub verify_warnings: usize,
+    /// Telemetry span id of the most recent job with an error-level verifier
+    /// finding (0 when none, or when telemetry is off).
+    pub verify_last_error_span: u64,
+    /// Jobs claimed by work-stealing rather than a worker's own deque.
+    pub queue_steals: u64,
+    /// Per-stage latency distributions from the telemetry registry, sorted
+    /// by stage name; empty when the server runs without telemetry.
+    pub latency: Vec<LatencyStats>,
     /// Per-tenant decomposition-cache statistics, sorted by tenant name.
     pub tenants: Vec<TenantCacheStats>,
 }
@@ -132,6 +195,8 @@ impl MetricsSnapshot {
         metrics: &ServerMetrics,
         queue_depth: usize,
         workers: usize,
+        queue_steals: u64,
+        latency: Vec<LatencyStats>,
         mut tenants: Vec<TenantCacheStats>,
     ) -> Self {
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -151,6 +216,9 @@ impl MetricsSnapshot {
             simulate_time: Duration::from_nanos(metrics.simulate_nanos.load(Ordering::Relaxed)),
             verify_errors: metrics.verify_errors.load(Ordering::Relaxed),
             verify_warnings: metrics.verify_warnings.load(Ordering::Relaxed),
+            verify_last_error_span: metrics.verify_last_error_span.load(Ordering::Relaxed),
+            queue_steals,
+            latency,
             tenants,
         }
     }
@@ -190,6 +258,25 @@ impl MetricsSnapshot {
             "  \"verify_warnings\": {},\n",
             self.verify_warnings
         ));
+        out.push_str(&format!(
+            "  \"verify_last_error_span\": {},\n",
+            self.verify_last_error_span
+        ));
+        out.push_str(&format!("  \"queue_steals\": {},\n", self.queue_steals));
+        out.push_str("  \"latency\": {");
+        for (i, stage) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"p50_micros\": {}, \"p90_micros\": {}, \"p99_micros\": {}, \"max_micros\": {}}}",
+                stage.stage, stage.count, stage.p50_micros, stage.p90_micros, stage.p99_micros, stage.max_micros
+            ));
+        }
+        if !self.latency.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
         out.push_str("  \"tenants\": [");
         for (i, t) in self.tenants.iter().enumerate() {
             if i > 0 {
@@ -238,6 +325,8 @@ mod tests {
             &metrics,
             1,
             2,
+            0,
+            Vec::new(),
             vec![
                 TenantCacheStats {
                     tenant: "zeta".into(),
@@ -260,5 +349,55 @@ mod tests {
         assert!(json.contains("\"submitted\": 5"));
         assert!(json.find("alpha").unwrap() < json.find("zeta").unwrap());
         assert!(json.contains("\"hit_rate\": 0.5000"));
+        // Without telemetry the latency object is present but empty.
+        assert!(json.contains("\"latency\": {}"));
+        assert!(json.contains("\"queue_steals\": 0"));
+    }
+
+    #[test]
+    fn latency_stats_summarise_only_latency_histograms() {
+        let registry = telemetry::Registry::new();
+        registry.histogram("latency.simulate").record(100);
+        registry.histogram("latency.compile").record(10);
+        registry.histogram("latency.compile").record(20);
+        registry.histogram("engine.shots").record(999); // not a latency stage
+        let stats = latency_stats(&registry);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].stage, "compile");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[1].stage, "simulate");
+        assert_eq!(stats[1].max_micros, 100);
+        assert!(stats[1].p50_micros >= 64 && stats[1].p50_micros <= 127);
+    }
+
+    #[test]
+    fn latency_json_renders_per_stage_quantiles() {
+        let registry = telemetry::Registry::new();
+        for v in [10, 20, 40, 80] {
+            registry.histogram("latency.queue_wait").record(v);
+        }
+        let metrics = ServerMetrics::default();
+        let snap =
+            MetricsSnapshot::from_counters(&metrics, 0, 1, 3, latency_stats(&registry), vec![]);
+        assert_eq!(snap.queue_steals, 3);
+        let json = snap.to_json();
+        assert!(json.contains("\"queue_wait\": {\"count\": 4"));
+        assert!(json.contains("\"p50_micros\":"));
+        assert!(json.contains("\"p99_micros\":"));
+        assert!(json.contains("\"queue_steals\": 3"));
+    }
+
+    #[test]
+    fn record_verify_remembers_the_last_error_trace_span() {
+        let metrics = ServerMetrics::default();
+        metrics.record_verify(&[
+            verify::Diagnostic::warning("rule/w", "odd").with_trace_span(7),
+            verify::Diagnostic::error("rule/e", "bad").with_trace_span(42),
+        ]);
+        assert_eq!(metrics.verify_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.verify_last_error_span.load(Ordering::Relaxed), 42);
+        // Warnings alone never overwrite the remembered error span.
+        metrics.record_verify(&[verify::Diagnostic::warning("rule/w", "odd").with_trace_span(9)]);
+        assert_eq!(metrics.verify_last_error_span.load(Ordering::Relaxed), 42);
     }
 }

@@ -14,7 +14,7 @@
 //! path uses `std::sync` with explicit poison recovery).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
@@ -40,6 +40,7 @@ pub struct Scheduler<T> {
     queued: AtomicUsize,
     capacity: usize,
     next_queue: AtomicUsize,
+    steals: AtomicU64,
     shutdown: AtomicBool,
     sleep: StdMutex<()>,
     wake: Condvar,
@@ -60,6 +61,7 @@ impl<T> Scheduler<T> {
             queued: AtomicUsize::new(0),
             capacity,
             next_queue: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sleep: StdMutex::new(()),
             wake: Condvar::new(),
@@ -84,6 +86,12 @@ impl<T> Scheduler<T> {
     /// Whether no jobs are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime count of jobs claimed by stealing from a sibling's deque
+    /// rather than from the claiming worker's own queue.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
     /// Admits `job`, or rejects it when the queue is full or shut down.
@@ -150,6 +158,7 @@ impl<T> Scheduler<T> {
         for offset in 1..n {
             let victim = (worker + offset) % n;
             if let Some(job) = self.locals[victim].lock().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -205,6 +214,9 @@ mod tests {
         let mut got: Vec<usize> = (0..8).map(|_| s.pop(0).unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, (0..8).collect::<Vec<_>>());
+        // Round-robin put 2 jobs on worker 0's own deque; the other 6 were
+        // stolen from siblings and the counter says so.
+        assert_eq!(s.steals(), 6);
     }
 
     #[test]

@@ -15,9 +15,12 @@ use nuop_core::DecompositionCache;
 use parking_lot::Mutex;
 use qmath::RngSeed;
 use sim::{ExecutionEngine, FusionPolicy, NoiseModel, SimJob};
+use telemetry::{Collector, Span, SpanId};
 
 use crate::error::ServerError;
-use crate::metrics::{fusion_index, MetricsSnapshot, ServerMetrics, TenantCacheStats};
+use crate::metrics::{
+    fusion_index, latency_stats, MetricsSnapshot, ServerMetrics, TenantCacheStats,
+};
 use crate::queue::{Scheduler, SubmitError};
 use crate::wire::{JobOp, JobRequest, JobResponse, SimSummary, WorkloadKind};
 
@@ -89,6 +92,9 @@ struct Shared {
     validate: bool,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
     metrics: ServerMetrics,
+    /// Telemetry sink shared by the server, its per-tenant compilers and its
+    /// engines; `None` when the server was built without telemetry.
+    collector: Option<Arc<Collector>>,
 }
 
 impl Shared {
@@ -106,34 +112,76 @@ impl Shared {
         if let Some(compiler) = map.get(&key) {
             return Ok(Arc::clone(compiler));
         }
-        let compiler = Arc::new(
-            Compiler::for_device(self.device.clone())
-                .instruction_set_named(set)
-                .shared_cache(Arc::clone(&tenant.cache))
-                .options(self.options.clone())
-                .build()?,
-        );
+        let mut builder = Compiler::for_device(self.device.clone())
+            .instruction_set_named(set)
+            .shared_cache(Arc::clone(&tenant.cache))
+            .options(self.options.clone());
+        if let Some(collector) = &self.collector {
+            builder = builder.telemetry(Arc::clone(collector));
+        }
+        let compiler = Arc::new(builder.build()?);
         map.insert(key, Arc::clone(&compiler));
         Ok(compiler)
     }
 
-    fn execute(&self, request: &JobRequest) -> Result<JobResponse, ServerError> {
+    /// Records `elapsed` into the registry histogram `latency.<stage>`, in
+    /// microseconds. A no-op without an enabled collector.
+    fn record_latency(&self, stage: &str, elapsed: std::time::Duration) {
+        if let Some(collector) = self.collector.as_ref().filter(|c| c.enabled()) {
+            collector
+                .registry()
+                .histogram(&format!("latency.{stage}"))
+                .record(elapsed.as_micros() as u64);
+        }
+    }
+
+    /// Runs one job on a worker thread. `admitted` is the admission
+    /// timestamp, captured in [`JobServer::submit_request`]; the job span
+    /// opens there so queue wait is inside the job span, as a synthesized
+    /// `queue_wait` child covering admission → worker pickup.
+    fn execute(&self, request: &JobRequest, admitted: Instant) -> Result<JobResponse, ServerError> {
+        let collector = self.collector.as_ref();
+        let mut job_span = Span::enter_at(collector, "job", SpanId::NONE, admitted);
+        let job_id = job_span.id();
+        if job_span.recording() {
+            job_span.set_attr("qubits", request.qubits as u64);
+            job_span.set_attr("seed", request.seed);
+            job_span.set_tag(
+                "workload",
+                match request.workload {
+                    WorkloadKind::Qv => "qv",
+                    WorkloadKind::Qaoa => "qaoa",
+                },
+            );
+        }
+        let queue_wait = Span::enter_at(collector, "queue_wait", job_id, admitted).finish();
+        self.record_latency("queue_wait", queue_wait);
+
         let tenant = self.tenant(&request.tenant);
         let compiler = self.compiler_for(&tenant, &request.set)?;
         let circuit = match request.workload {
             WorkloadKind::Qv => qv_circuit(request.qubits, RngSeed(request.seed)),
             WorkloadKind::Qaoa => qaoa_circuit(request.qubits, RngSeed(request.seed)),
         };
-        let started = Instant::now();
-        let (compiled, report) = compiler.compile_with_report(&circuit)?;
-        let compile_elapsed = started.elapsed();
+        let compile_span = Span::enter_child(collector, "compile", job_id);
+        let (compiled, report) =
+            compiler.compile_with_report_in_span(&circuit, compile_span.id())?;
+        let compile_elapsed = compile_span.finish();
         self.metrics.record_compile(compile_elapsed);
+        self.record_latency("compile", compile_elapsed);
         if self.validate {
             // Validate-before-run: prove the compiled artifact legal (coupling,
             // gate set, layouts) before any shot executes. Findings feed the
-            // metrics endpoint; they never abort the job.
-            let verified = compiled.verify(compiler.instruction_set());
-            self.metrics.record_verify(verified.diagnostics());
+            // metrics endpoint tagged with the job's span id, so a non-zero
+            // error count correlates to the exact traced request; they never
+            // abort the job.
+            let diagnostics: Vec<_> = compiled
+                .verify(compiler.instruction_set())
+                .into_diagnostics()
+                .into_iter()
+                .map(|d| d.with_trace_span(job_id.0))
+                .collect();
+            self.metrics.record_verify(&diagnostics);
         }
 
         let sim = match request.op {
@@ -150,23 +198,34 @@ impl Shared {
                     shots,
                     RngSeed(request.seed),
                 );
-                let result = engine.run_job(&job);
-                self.metrics.record_simulate(
-                    result.report.total_duration(),
-                    shots,
-                    engine.fusion(),
-                );
+                let result = engine.run_job_in_span(&job, job_id);
+                // Account simulation by the simulate phase alone: the
+                // report's total also includes precompilation (lowering and
+                // validation), which belongs to neither shots/sec nor the
+                // simulate latency histogram.
+                self.metrics
+                    .record_simulate(result.report.simulate, shots, engine.fusion());
+                self.record_latency("simulate", result.report.simulate);
                 if self.validate {
-                    self.metrics.record_verify(&result.diagnostics);
+                    let diagnostics: Vec<_> = result
+                        .diagnostics
+                        .iter()
+                        .cloned()
+                        .map(|d| d.with_trace_span(job_id.0))
+                        .collect();
+                    self.metrics.record_verify(&diagnostics);
                 }
                 Some(SimSummary {
                     shots,
-                    simulate_micros: result.report.total_duration().as_micros() as u64,
+                    simulate_micros: result.report.simulate.as_micros() as u64,
                     distinct_outcomes: result.counts.iter().filter(|(_, c)| *c > 0).count(),
                     fusion: engine.fusion(),
                 })
             }
         };
+
+        let total = job_span.finish();
+        self.record_latency(&format!("tenant.{}", request.tenant), total);
 
         Ok(JobResponse {
             tenant: request.tenant.clone(),
@@ -279,6 +338,7 @@ impl JobServer {
             options: CompilerOptions::default(),
             engine: None,
             validate: false,
+            telemetry: None,
         }
     }
 
@@ -288,7 +348,11 @@ impl JobServer {
     pub fn submit_request(&self, request: JobRequest) -> Result<JobTicket, ServerError> {
         validate(&request)?;
         let shared = Arc::clone(&self.shared);
-        self.submit_task(move || shared.execute(&request))
+        // Stamp admission time now: the worker that picks the job up opens
+        // the job's telemetry span at this instant and derives the
+        // queue-wait histogram sample from it.
+        let admitted = Instant::now();
+        self.submit_task(move || shared.execute(&request, admitted))
     }
 
     /// Parses a wire-format request (see [`JobRequest::parse`]) and submits
@@ -346,10 +410,16 @@ impl JobServer {
                 evictions: tenant.cache.evictions(),
             })
             .collect();
+        let latency = match &self.shared.collector {
+            Some(collector) => latency_stats(collector.registry()),
+            None => Vec::new(),
+        };
         MetricsSnapshot::from_counters(
             &self.shared.metrics,
             self.shared.scheduler.len(),
             self.shared.scheduler.workers(),
+            self.shared.scheduler.steals(),
+            latency,
             tenants,
         )
     }
@@ -357,6 +427,19 @@ impl JobServer {
     /// The metrics endpoint body: [`JobServer::metrics`] rendered as JSON.
     pub fn metrics_json(&self) -> String {
         self.metrics().to_json()
+    }
+
+    /// The trace endpoint body: the collector's ring buffer of completed
+    /// spans (most recent [`telemetry::span::DEFAULT_SPAN_CAPACITY`] by
+    /// default) rendered as Chrome Trace Event JSON — load it in Perfetto or
+    /// `chrome://tracing`. Returns an empty trace when the server was built
+    /// without telemetry.
+    pub fn trace_json(&self) -> String {
+        let spans = match &self.shared.collector {
+            Some(collector) => collector.completed_spans(),
+            None => Vec::new(),
+        };
+        telemetry::export::trace_json(&spans)
     }
 
     /// Stops admission, drains already-queued jobs and joins every worker.
@@ -455,6 +538,7 @@ pub struct ServerBuilder {
     options: CompilerOptions,
     engine: Option<ExecutionEngine>,
     validate: bool,
+    telemetry: Option<Arc<Collector>>,
 }
 
 impl ServerBuilder {
@@ -501,6 +585,17 @@ impl ServerBuilder {
         self
     }
 
+    /// Attaches a telemetry collector (default none). The collector is
+    /// shared with every per-tenant compiler and every engine variant, so
+    /// one trace carries the full job → stage → shard span tree, and
+    /// [`JobServer::metrics_json`] grows per-stage latency histograms.
+    /// Telemetry costs nothing until [`Collector::set_enabled`] turns the
+    /// collector on; sampling knobs live on the collector itself.
+    pub fn telemetry(mut self, collector: Arc<Collector>) -> Self {
+        self.telemetry = Some(collector);
+        self
+    }
+
     /// Builds and starts the server (spawns the worker threads).
     pub fn build(self) -> Result<JobServer, ServerConfigError> {
         if self.workers == 0 {
@@ -521,6 +616,23 @@ impl ServerBuilder {
                 .build()
                 .expect("one thread and the default chunk size are a valid config")
         });
+        // When the server carries a collector, rebuild the base engine from
+        // its own knobs with the collector attached, so engine-side spans
+        // (precompile / simulate / shard) land in the same trace as the
+        // server's job spans.
+        let engine = match &self.telemetry {
+            Some(collector) => ExecutionEngine::builder()
+                .threads(engine.threads())
+                .shot_chunk_size(engine.shot_chunk_size())
+                .seed_policy(engine.seed_policy())
+                .fusion(engine.fusion())
+                .validate(engine.validate())
+                .parallel_sweep_min_qubits(engine.parallel_sweep_min_qubits())
+                .telemetry(Arc::clone(collector))
+                .build()
+                .unwrap_or_else(|_| engine.clone()),
+            None => engine,
+        };
         // One engine variant per fusion policy, inheriting every other knob
         // from the base engine, so wire requests can pick their policy without
         // the server rebuilding engines per job. A built engine's knobs are
@@ -532,15 +644,17 @@ impl ServerBuilder {
             FusionPolicy::Aggressive,
         ]
         .map(|policy| {
-            ExecutionEngine::builder()
+            let mut builder = ExecutionEngine::builder()
                 .threads(engine.threads())
                 .shot_chunk_size(engine.shot_chunk_size())
                 .seed_policy(engine.seed_policy())
                 .fusion(policy)
                 .validate(engine.validate())
-                .parallel_sweep_min_qubits(engine.parallel_sweep_min_qubits())
-                .build()
-                .unwrap_or_else(|_| engine.clone())
+                .parallel_sweep_min_qubits(engine.parallel_sweep_min_qubits());
+            if let Some(collector) = &self.telemetry {
+                builder = builder.telemetry(Arc::clone(collector));
+            }
+            builder.build().unwrap_or_else(|_| engine.clone())
         });
         let shared = Arc::new(Shared {
             scheduler: Scheduler::new(self.workers, self.queue_capacity),
@@ -552,6 +666,7 @@ impl ServerBuilder {
             validate: self.validate,
             tenants: Mutex::new(HashMap::new()),
             metrics: ServerMetrics::default(),
+            collector: self.telemetry,
         });
         let handles = (0..self.workers)
             .map(|index| {
@@ -728,6 +843,110 @@ mod tests {
             FusionPolicy::Safe
         );
         assert_eq!(server.metrics().sim_fusion_safe, 2);
+    }
+
+    #[test]
+    fn telemetry_server_reports_latency_histograms_and_a_job_span_tree() {
+        let collector = Arc::new(Collector::new());
+        collector.set_enabled(true);
+        let server = JobServer::builder(DeviceModel::ideal(3, 0.99))
+            .workers(2)
+            .options(CompilerOptions::sweep())
+            .telemetry(Arc::clone(&collector))
+            .build()
+            .unwrap();
+        let compile = server.submit_request(compile_request("t", 1)).unwrap();
+        let simulate = server
+            .submit_request(JobRequest {
+                op: JobOp::Simulate { shots: 64 },
+                ..compile_request("t", 2)
+            })
+            .unwrap();
+        compile.wait().unwrap();
+        simulate.wait().unwrap();
+
+        // Per-stage latency quantiles in the snapshot and the JSON endpoint.
+        let metrics = server.metrics();
+        let stage = |name: &str| {
+            metrics
+                .latency
+                .iter()
+                .find(|s| s.stage == name)
+                .unwrap_or_else(|| panic!("latency stage {name} missing"))
+                .clone()
+        };
+        assert_eq!(stage("queue_wait").count, 2);
+        assert_eq!(stage("compile").count, 2);
+        assert_eq!(stage("simulate").count, 1);
+        assert_eq!(stage("tenant.t").count, 2);
+        let latency = stage("compile");
+        assert!(latency.p50_micros <= latency.p90_micros);
+        assert!(latency.p90_micros <= latency.p99_micros);
+        let json = server.metrics_json();
+        assert!(json.contains("\"compile\": {\"count\": 2"));
+        assert!(json.contains("\"p50_micros\":"));
+        assert!(json.contains("\"p99_micros\":"));
+
+        // The trace holds a job → stage span tree with consistent parent ids.
+        let spans = collector.completed_spans();
+        let jobs: Vec<_> = spans.iter().filter(|s| s.name == "job").collect();
+        assert_eq!(jobs.len(), 2);
+        for name in ["queue_wait", "compile", "simulate"] {
+            assert!(
+                spans
+                    .iter()
+                    .filter(|s| s.name == name)
+                    .all(|s| jobs.iter().any(|j| j.id == s.parent)),
+                "every {name} span nests under a job span"
+            );
+        }
+        assert!(spans.iter().any(|s| s.name == "simulate"));
+        let trace = server.trace_json();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"name\":\"job\""));
+        assert!(trace.contains("\"name\":\"queue_wait\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn untraced_server_serves_empty_latency_and_trace() {
+        let server = test_server(1);
+        server
+            .submit_request(compile_request("t", 1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(server.metrics().latency.is_empty());
+        assert_eq!(server.trace_json(), "{\"traceEvents\":[]}");
+        assert!(server.metrics_json().contains("\"latency\": {}"));
+    }
+
+    #[test]
+    fn validated_telemetry_jobs_tag_findings_with_the_job_span() {
+        // A legal pipeline yields no findings, so the correlation field stays
+        // zero — but the endpoint must expose it.
+        let collector = Arc::new(Collector::new());
+        collector.set_enabled(true);
+        let server = JobServer::builder(DeviceModel::ideal(3, 0.99))
+            .workers(1)
+            .options(CompilerOptions::sweep())
+            .validate(true)
+            .telemetry(collector)
+            .build()
+            .unwrap();
+        let ticket = server
+            .submit_request(JobRequest {
+                op: JobOp::Simulate { shots: 16 },
+                ..compile_request("v", 1)
+            })
+            .unwrap();
+        ticket.wait().unwrap();
+        let metrics = server.metrics();
+        assert_eq!(metrics.verify_errors, 0);
+        assert_eq!(metrics.verify_last_error_span, 0);
+        assert!(server
+            .metrics_json()
+            .contains("\"verify_last_error_span\": 0"));
     }
 
     #[test]

@@ -64,12 +64,14 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use circuit::Circuit;
 use parking_lot::Mutex;
 use qmath::RngSeed;
 use serde::{Deserialize, Serialize};
+use telemetry::{Collector, Span, SpanGuard, SpanId};
 
 use crate::noise_model::NoiseModel;
 use crate::precompiled::{FusionPolicy, PrecompiledCircuit};
@@ -197,7 +199,16 @@ impl EngineReport {
     }
 
     /// Achieved throughput in shots per second (0 when nothing ran).
+    /// Equivalent to [`EngineReport::simulate_shots_per_sec`].
     pub fn shots_per_sec(&self) -> f64 {
+        self.simulate_shots_per_sec()
+    }
+
+    /// Throughput of the shot loop alone, in shots per second (0 when
+    /// nothing ran). Computed from the simulate span only — precompile time
+    /// is deliberately excluded, so a job whose lowering dominates (deep
+    /// circuit, few shots) still reports the true sampling rate.
+    pub fn simulate_shots_per_sec(&self) -> f64 {
         let secs = self.simulate.as_secs_f64();
         if secs > 0.0 {
             self.shots as f64 / secs
@@ -240,6 +251,7 @@ pub struct EngineBuilder {
     fusion: FusionPolicy,
     validate: bool,
     parallel_sweep_min_qubits: usize,
+    telemetry: Option<Arc<Collector>>,
 }
 
 impl EngineBuilder {
@@ -304,6 +316,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a telemetry collector: each job records precompile and
+    /// simulate spans (with qubit count, fused-op and regime attributes) and
+    /// one span per shot shard, plus latency histograms in the collector's
+    /// registry. Use [`ExecutionEngine::run_job_in_span`] to parent the
+    /// spans under a caller's job span. Default: no collector — the engine
+    /// stays telemetry-free at zero cost.
+    pub fn telemetry(mut self, collector: Arc<Collector>) -> Self {
+        self.telemetry = Some(collector);
+        self
+    }
+
     /// Builds the engine, validating the configuration.
     pub fn build(self) -> Result<ExecutionEngine, EngineConfigError> {
         if self.shot_chunk_size == 0 {
@@ -322,6 +345,7 @@ impl EngineBuilder {
             fusion: self.fusion,
             validate: self.validate,
             parallel_sweep_min_qubits: self.parallel_sweep_min_qubits,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -358,13 +382,22 @@ pub struct ExecutionEngine {
     fusion: FusionPolicy,
     validate: bool,
     parallel_sweep_min_qubits: usize,
+    telemetry: Option<Arc<Collector>>,
 }
 
 impl Default for ExecutionEngine {
     fn default() -> Self {
-        ExecutionEngine::builder()
-            .build()
-            .expect("default engine configuration is valid")
+        // Built directly: every default is statically valid, so there is no
+        // fallible configuration step to unwrap.
+        ExecutionEngine {
+            threads: default_threads().max(1),
+            shot_chunk_size: DEFAULT_SHOT_CHUNK,
+            seed_policy: SeedPolicy::default(),
+            fusion: FusionPolicy::default(),
+            validate: false,
+            parallel_sweep_min_qubits: PARALLEL_SWEEP_MIN_QUBITS,
+            telemetry: None,
+        }
     }
 }
 
@@ -384,6 +417,7 @@ impl ExecutionEngine {
             fusion: FusionPolicy::default(),
             validate: false,
             parallel_sweep_min_qubits: PARALLEL_SWEEP_MIN_QUBITS,
+            telemetry: None,
         }
     }
 
@@ -431,17 +465,30 @@ impl ExecutionEngine {
     pub fn run_batch(&self, jobs: &[SimJob]) -> Vec<SimResult> {
         let mut cache: Option<NoiselessCache> = None;
         jobs.iter()
-            .map(|job| self.run_job_cached(job, &mut cache))
+            .map(|job| self.run_job_cached(job, &mut cache, SpanId::NONE))
             .collect()
     }
 
     /// Runs a single job.
     pub fn run_job(&self, job: &SimJob) -> SimResult {
-        self.run_job_cached(job, &mut None)
+        self.run_job_cached(job, &mut None, SpanId::NONE)
     }
 
-    fn run_job_cached(&self, job: &SimJob, cache: &mut Option<NoiselessCache>) -> SimResult {
-        let started = Instant::now();
+    /// Like [`ExecutionEngine::run_job`], but records the precompile,
+    /// simulate and shard telemetry spans as children of `parent` (the
+    /// caller's job span). With no collector configured — or a disabled one —
+    /// this is exactly `run_job`.
+    pub fn run_job_in_span(&self, job: &SimJob, parent: SpanId) -> SimResult {
+        self.run_job_cached(job, &mut None, parent)
+    }
+
+    fn run_job_cached(
+        &self,
+        job: &SimJob,
+        cache: &mut Option<NoiselessCache>,
+        parent: SpanId,
+    ) -> SimResult {
+        let mut precompile_span = Span::enter_child(self.telemetry.as_ref(), "precompile", parent);
         let pre = match &job.noise {
             Some(noise) => PrecompiledCircuit::with_fusion(&job.circuit, noise, self.fusion),
             None => PrecompiledCircuit::ideal_with_fusion(&job.circuit, self.fusion),
@@ -468,8 +515,11 @@ impl ExecutionEngine {
         } else {
             Vec::new()
         };
-        let precompile = started.elapsed();
-        let mut result = self.run_precompiled_cached(&pre, job.shots, job.seed, precompile, cache);
+        precompile_span.set_attr("qubits", pre.num_qubits() as u64);
+        precompile_span.set_attr("fused_ops", pre.fused_ops() as u64);
+        let precompile = precompile_span.finish();
+        let mut result =
+            self.run_precompiled_in_span(&pre, job.shots, job.seed, precompile, cache, parent);
         result.diagnostics = diagnostics;
         result
     }
@@ -517,19 +567,35 @@ impl ExecutionEngine {
         shots: usize,
         seed: RngSeed,
     ) -> SimResult {
-        self.run_precompiled_cached(pre, shots, seed, Duration::ZERO, &mut None)
+        self.run_precompiled_in_span(pre, shots, seed, Duration::ZERO, &mut None, SpanId::NONE)
     }
 
-    fn run_precompiled_cached(
+    fn run_precompiled_in_span(
         &self,
         pre: &PrecompiledCircuit,
         shots: usize,
         seed: RngSeed,
         precompile: Duration,
         cache: &mut Option<NoiselessCache>,
+        parent: SpanId,
     ) -> SimResult {
-        let started = Instant::now();
-        let (counts, shards, threads) = self.sample_shots(pre, shots, seed, cache);
+        // The simulate span is the single timing source for the report, so
+        // the split stays exact with telemetry disabled.
+        let mut span = Span::enter_child(self.telemetry.as_ref(), "simulate", parent);
+        span.set_attr("shots", shots as u64);
+        span.set_attr("qubits", pre.num_qubits() as u64);
+        span.set_attr("fused_ops", pre.fused_ops() as u64);
+        let (counts, shards, threads) = self.sample_shots(pre, shots, seed, cache, &mut span);
+        let simulate = span.finish();
+        if let Some(collector) = self.telemetry.as_ref().filter(|c| c.enabled()) {
+            collector
+                .histogram("engine.precompile_micros")
+                .record(precompile.as_micros() as u64);
+            collector
+                .histogram("engine.simulate_micros")
+                .record(simulate.as_micros() as u64);
+            collector.counter("engine.shots").add(shots as u64);
+        }
         SimResult {
             counts,
             report: EngineReport {
@@ -538,7 +604,7 @@ impl ExecutionEngine {
                 threads,
                 fused_ops: pre.fused_ops(),
                 precompile,
-                simulate: started.elapsed(),
+                simulate,
             },
             diagnostics: Vec::new(),
         }
@@ -551,6 +617,7 @@ impl ExecutionEngine {
         shots: usize,
         seed: RngSeed,
         cache: &mut Option<NoiselessCache>,
+        span: &mut SpanGuard,
     ) -> (Counts, usize, usize) {
         let mut counts = Counts::new(pre.num_qubits());
         if shots == 0 {
@@ -581,6 +648,14 @@ impl ExecutionEngine {
         } else {
             self.threads.min(shards)
         };
+        span.set_tag(
+            "regime",
+            if amp_threads > 1 {
+                "amplitude_parallel"
+            } else {
+                "shot_parallel"
+            },
+        );
         // Noiseless trajectories are deterministic and consume no randomness,
         // so the state is evolved once and every shot only samples from it
         // (via a cumulative table + binary search instead of a per-shot
@@ -608,9 +683,17 @@ impl ExecutionEngine {
         };
         let policy = self.seed_policy;
         let min_parallel = self.parallel_sweep_min_qubits;
+        let collector = self.telemetry.as_ref();
+        let simulate_id = span.id();
         let run_shard = |shard: usize, local: &mut Counts| {
             let start = shard * chunk;
             let end = (start + chunk).min(shots);
+            // Recorded on drop; shard spans attach to the simulate span by
+            // explicit parent id, which is what keeps the nesting correct
+            // when this closure runs on a scoped worker thread.
+            let mut shard_span = Span::enter_child(collector, "shard", simulate_id);
+            shard_span.set_attr("shard", shard as u64);
+            shard_span.set_attr("shots", (end - start) as u64);
             match policy {
                 SeedPolicy::PerShard => {
                     let mut rng = seed.child(shard as u64).rng();
@@ -866,6 +949,76 @@ mod tests {
             reference.record(pre.sample_shot(&mut rng));
         }
         assert_eq!(fast.counts, reference);
+    }
+
+    #[test]
+    fn simulate_shots_per_sec_excludes_precompile_time() {
+        // Satellite fix pin: a job whose lowering dominates wall-clock must
+        // still report throughput from the simulate span alone.
+        let report = EngineReport {
+            shots: 1000,
+            shards: 4,
+            threads: 2,
+            fused_ops: 0,
+            precompile: Duration::from_secs(10),
+            simulate: Duration::from_secs(1),
+        };
+        assert_eq!(report.simulate_shots_per_sec(), 1000.0);
+        assert_eq!(report.shots_per_sec(), 1000.0);
+        // Computing from total wall-clock would have reported ~90.9.
+        assert!(report.total_duration().as_secs_f64() > 10.0);
+    }
+
+    #[test]
+    fn telemetry_records_the_job_span_tree() {
+        let collector = Arc::new(Collector::new());
+        let engine = ExecutionEngine::builder()
+            .threads(2)
+            .telemetry(Arc::clone(&collector))
+            .build()
+            .unwrap();
+        let job = noisy_job(200, 37);
+        let job_span = Span::enter(Some(&collector), "job");
+        let job_id = job_span.id();
+        let result = engine.run_job_in_span(&job, job_id);
+        job_span.finish();
+
+        let spans = collector.completed_spans();
+        let precompile: Vec<_> = spans.iter().filter(|s| s.name == "precompile").collect();
+        let simulate: Vec<_> = spans.iter().filter(|s| s.name == "simulate").collect();
+        let shard_spans: Vec<_> = spans.iter().filter(|s| s.name == "shard").collect();
+        assert_eq!(precompile.len(), 1);
+        assert_eq!(simulate.len(), 1);
+        assert_eq!(precompile[0].parent, job_id);
+        assert_eq!(simulate[0].parent, job_id);
+        // Every shard span nests under the simulate span, one per shard.
+        assert_eq!(shard_spans.len(), result.report.shards);
+        for shard in &shard_spans {
+            assert_eq!(shard.parent, simulate[0].id);
+        }
+        // The report is a thin view over the simulate span's measurement.
+        assert_eq!(
+            result.report.simulate.as_micros() as u64,
+            simulate[0].duration_micros
+        );
+        assert_eq!(collector.counter("engine.shots").get(), 200);
+        assert_eq!(collector.histogram("engine.simulate_micros").count(), 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_no_counts_and_records_nothing() {
+        let collector = Arc::new(Collector::disabled());
+        let job = noisy_job(300, 43);
+        let plain = engine_with(2).run_job(&job);
+        let instrumented = ExecutionEngine::builder()
+            .threads(2)
+            .telemetry(Arc::clone(&collector))
+            .build()
+            .unwrap()
+            .run_job(&job);
+        assert_eq!(instrumented.counts, plain.counts);
+        assert!(instrumented.report.simulate.as_nanos() > 0);
+        assert!(collector.completed_spans().is_empty());
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct Diagnostic {
     rule: &'static str,
     span: Option<Span>,
     message: String,
+    /// Telemetry span id of the job the finding was produced under (see the
+    /// `telemetry` crate); lets a server metrics consumer correlate a
+    /// `verify_errors` count back to the exact traced request.
+    trace_span: Option<u64>,
 }
 
 impl Diagnostic {
@@ -78,6 +82,7 @@ impl Diagnostic {
             rule,
             span: None,
             message: message.into(),
+            trace_span: None,
         }
     }
 
@@ -107,6 +112,14 @@ impl Diagnostic {
         self.with_span(Span::op(index))
     }
 
+    /// Attaches the telemetry span id of the job this finding belongs to,
+    /// correlating it to a traced request (id 0 — "no span" — is treated as
+    /// absent and not rendered).
+    pub fn with_trace_span(mut self, span_id: u64) -> Diagnostic {
+        self.trace_span = (span_id != 0).then_some(span_id);
+        self
+    }
+
     /// The finding's severity.
     pub fn severity(&self) -> Severity {
         self.severity
@@ -127,6 +140,11 @@ impl Diagnostic {
         &self.message
     }
 
+    /// The correlated telemetry span id, when one was attached.
+    pub fn trace_span(&self) -> Option<u64> {
+        self.trace_span
+    }
+
     /// Renders the finding as a flat JSON object matching the server codec:
     /// a single-level object with string and unsigned-integer values and no
     /// escape sequences (characters the codec cannot carry are replaced by
@@ -138,6 +156,9 @@ impl Diagnostic {
         if let Some(span) = self.span {
             push_num_field(&mut out, "start", span.start as u64);
             push_num_field(&mut out, "end", span.end as u64);
+        }
+        if let Some(trace_span) = self.trace_span {
+            push_num_field(&mut out, "trace_span", trace_span);
         }
         push_str_field(&mut out, "message", &self.message);
         out.pop(); // trailing comma
@@ -306,6 +327,20 @@ mod tests {
             d.to_json(),
             r#"{"severity":"warning","rule":"rule/y","start":7,"end":8,"message":"odd"}"#
         );
+    }
+
+    #[test]
+    fn json_carries_trace_span_only_when_attached() {
+        let d = Diagnostic::error("rule/x", "broken").with_trace_span(42);
+        assert_eq!(d.trace_span(), Some(42));
+        assert_eq!(
+            d.to_json(),
+            r#"{"severity":"error","rule":"rule/x","trace_span":42,"message":"broken"}"#
+        );
+        // Id 0 means "no span" and renders nothing.
+        let none = Diagnostic::error("rule/x", "broken").with_trace_span(0);
+        assert_eq!(none.trace_span(), None);
+        assert!(!none.to_json().contains("trace_span"));
     }
 
     #[test]

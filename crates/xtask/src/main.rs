@@ -1,8 +1,9 @@
 //! Workspace automation tasks.
 //!
 //! ```text
-//! cargo run -p xtask -- lint            # enforce the panic-hygiene ratchet
-//! cargo run -p xtask -- lint --bless    # rewrite lint-allow.txt to current counts
+//! cargo run -p xtask -- lint               # enforce the panic-hygiene ratchet
+//! cargo run -p xtask -- lint --bless       # rewrite lint-allow.txt to current counts
+//! cargo run -p xtask -- check-trace <path> # validate a --trace output file
 //! ```
 //!
 //! `lint` counts `unwrap(`/`expect(`/`panic!(` in non-test library code and
@@ -11,6 +12,12 @@
 //! allowance fails the build, pushing new code toward typed errors. Counts
 //! below the allowance are reported so the allowance can be ratcheted down
 //! with `--bless`.
+//!
+//! `check-trace` structurally validates a Chrome Trace Event file written by
+//! `replay --trace` (or a figure binary's `--trace`): the `traceEvents`
+//! array is present, events carry the complete-event fields (`ph:"X"`, `ts`,
+//! `dur`, `pid`, `tid`), a `job` span exists and at least one event nests
+//! under a job via `parent_id`. CI runs it after the replay trace smoke.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -23,11 +30,97 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--bless")),
+        Some("check-trace") => match args.get(1) {
+            Some(path) => check_trace(Path::new(path)),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- check-trace <path>");
+                ExitCode::from(2)
+            }
+        },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--bless]");
+            eprintln!("usage: cargo run -p xtask -- lint [--bless] | check-trace <path>");
             ExitCode::from(2)
         }
     }
+}
+
+/// Structural validation of a Chrome Trace Event file. The telemetry
+/// exporter emits one complete event (`ph:"X"`) per span with `span_id` /
+/// `parent_id` args; this checks the shape a Perfetto import relies on
+/// without pulling in a JSON parser.
+fn check_trace(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("xtask check-trace: cannot read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut problems = Vec::new();
+    if !text.starts_with("{\"traceEvents\":[") {
+        problems.push("missing leading {\"traceEvents\":[ array".to_string());
+    }
+    let events = text.matches("{\"name\":").count();
+    if events == 0 {
+        problems.push("no trace events at all".to_string());
+    }
+    for field in [
+        "\"ph\":\"X\"",
+        "\"ts\":",
+        "\"dur\":",
+        "\"pid\":",
+        "\"tid\":",
+    ] {
+        let n = text.matches(field).count();
+        if n != events {
+            problems.push(format!("{n} of {events} events carry {field}"));
+        }
+    }
+    // Every event must name the span tree: a job span exists and at least
+    // one stage event points back at a job span via parent_id.
+    let job_ids: Vec<u64> = text
+        .split("{\"name\":\"job\"")
+        .skip(1)
+        .filter_map(|rest| field_u64(rest, "\"span_id\":"))
+        .collect();
+    if job_ids.is_empty() {
+        problems.push("no \"job\" span in the trace".to_string());
+    } else {
+        let nested = text
+            .split("{\"name\":")
+            .skip(1)
+            .filter(|e| !e.starts_with("\"job\""))
+            .filter_map(|e| field_u64(e, "\"parent_id\":"))
+            .any(|parent| job_ids.contains(&parent));
+        if !nested {
+            problems.push("no event nests under a job span via parent_id".to_string());
+        }
+    }
+    if problems.is_empty() {
+        eprintln!(
+            "xtask check-trace: ok — {events} events, {} job spans in {}",
+            job_ids.len(),
+            path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask check-trace: {} is not a valid trace:",
+            path.display()
+        );
+        for problem in &problems {
+            eprintln!("  {problem}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Reads the unsigned integer immediately following `key` in `text`
+/// (within the current event object), if any.
+fn field_u64(text: &str, key: &str) -> Option<u64> {
+    let rest = &text[text.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 fn lint(bless: bool) -> ExitCode {

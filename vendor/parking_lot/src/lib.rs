@@ -40,6 +40,16 @@ impl<T: ?Sized> Mutex<T> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Acquires the lock only if it is free right now (`None` when held),
+    /// matching parking_lot's `Option`-returning signature.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
